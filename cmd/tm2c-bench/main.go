@@ -1,0 +1,85 @@
+// Command tm2c-bench regenerates the tables and figures of the TM2C paper's
+// evaluation (§5-§7).
+//
+// Usage:
+//
+//	tm2c-bench -list
+//	tm2c-bench -run fig5a
+//	tm2c-bench -run all -scale quick
+//	tm2c-bench -run fig8a,fig8b -scale full -csv
+//
+// Scales: quick (seconds), default (a few minutes), full (closest to the
+// paper's parameters; tens of minutes). Results print as aligned text
+// tables, or CSV with -csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		run     = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		scale   = flag.String("scale", "default", "quick | default | full")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		timings = flag.Bool("timings", false, "print wall-clock time per experiment")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var sc exp.Scale
+	switch *scale {
+	case "quick":
+		sc = exp.Quick
+	case "default":
+		sc = exp.Default
+	case "full":
+		sc = exp.Full
+	default:
+		fmt.Fprintf(os.Stderr, "tm2c-bench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	sc.Seed = *seed
+
+	var ids []string
+	if *run == "all" {
+		ids = exp.IDs()
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		e, ok := exp.ByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tm2c-bench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tables := e.Run(sc)
+		for _, t := range tables {
+			if *csv {
+				fmt.Printf("# %s — %s\n", t.ID, t.Title)
+				t.CSV(os.Stdout)
+				fmt.Println()
+			} else {
+				t.Render(os.Stdout)
+			}
+		}
+		if *timings {
+			fmt.Fprintf(os.Stderr, "[%s took %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

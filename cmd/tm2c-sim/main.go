@@ -1,0 +1,176 @@
+// Command tm2c-sim runs one ad-hoc TM2C workload with explicit knobs and
+// prints a detailed statistics report. It is the exploratory companion to
+// tm2c-bench: every protocol and platform parameter of the paper is a flag.
+//
+// Examples:
+//
+//	tm2c-sim -app bank -cm faircm -cores 48 -duration 50ms
+//	tm2c-sim -app list -mode elastic-read -platform opteron
+//	tm2c-sim -app hashset -deployment multitask -update 50
+//	tm2c-sim -app mapreduce -size 4194304 -chunk 8192
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/apps/bank"
+	"repro/internal/apps/hashset"
+	"repro/internal/apps/intset"
+	"repro/internal/apps/mapreduce"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "bank", "bank | hashset | list | mapreduce")
+		cores    = flag.Int("cores", 48, "total cores")
+		svc      = flag.Int("svc", 0, "DTM service cores (0 = half)")
+		cmName   = flag.String("cm", "faircm", "none | backoff | offset-greedy | wholly | faircm")
+		deploy   = flag.String("deployment", "dedicated", "dedicated | multitask")
+		acquire  = flag.String("acquire", "lazy", "lazy | eager")
+		platform = flag.String("platform", "scc", "scc | scc800 | opteron | scc:N (setting N)")
+		duration = flag.Duration("duration", 20*time.Millisecond, "virtual run length")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+
+		// workload knobs
+		update   = flag.Int("update", 20, "hashset/list: update percentage")
+		balances = flag.Int("balance", 20, "bank: balance percentage")
+		accounts = flag.Int("accounts", 1024, "bank: accounts")
+		buckets  = flag.Int("buckets", 128, "hashset: buckets")
+		load     = flag.Int("load", 4, "hashset: load factor")
+		elems    = flag.Int("elems", 512, "list: initial elements")
+		mode     = flag.String("mode", "normal", "list: normal | elastic-early | elastic-read")
+		size     = flag.Int("size", 4<<20, "mapreduce: input bytes")
+		chunk    = flag.Int("chunk", 8<<10, "mapreduce: chunk bytes")
+	)
+	flag.Parse()
+
+	pol, err := repro.ParsePolicy(*cmName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := repro.Config{
+		Seed:         *seed,
+		TotalCores:   *cores,
+		ServiceCores: *svc,
+		Policy:       pol,
+	}
+	switch *platform {
+	case "scc":
+		cfg.Platform = repro.SCC(0)
+	case "scc800":
+		cfg.Platform = repro.SCC(1)
+	case "opteron":
+		cfg.Platform = repro.Opteron()
+	default:
+		var n int
+		if _, err := fmt.Sscanf(*platform, "scc:%d", &n); err != nil {
+			fatal(fmt.Errorf("unknown platform %q", *platform))
+		}
+		cfg.Platform = repro.SCC(n)
+	}
+	switch *deploy {
+	case "dedicated":
+		cfg.Deployment = repro.Dedicated
+	case "multitask":
+		cfg.Deployment = repro.Multitask
+	default:
+		fatal(fmt.Errorf("unknown deployment %q", *deploy))
+	}
+	switch *acquire {
+	case "lazy":
+		cfg.Acquire = repro.Lazy
+	case "eager":
+		cfg.Acquire = repro.Eager
+	default:
+		fatal(fmt.Errorf("unknown acquire mode %q", *acquire))
+	}
+
+	sys, err := repro.NewSystem(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	var verify func() error
+	switch *app {
+	case "bank":
+		b := bank.New(sys, *accounts)
+		sys.SpawnWorkers(b.TransferWorker(*balances))
+		verify = func() error {
+			if b.TotalRaw() != b.Total() {
+				return fmt.Errorf("money not conserved: %d != %d", b.TotalRaw(), b.Total())
+			}
+			return nil
+		}
+	case "hashset":
+		set := hashset.New(sys, *buckets)
+		n := *buckets * *load
+		rr := repro.NewRand(*seed)
+		set.InitFill(n, uint64(2*n), &rr)
+		sys.SpawnWorkers(set.Worker(hashset.Workload{UpdatePct: *update, KeyRange: uint64(2 * n)}))
+	case "list":
+		l := intset.New(sys)
+		rr := repro.NewRand(*seed)
+		l.InitFill(*elems, uint64(2**elems), &rr)
+		var m intset.Mode
+		switch *mode {
+		case "normal":
+			m = intset.Normal
+		case "elastic-early":
+			m = intset.ElasticEarly
+		case "elastic-read":
+			m = intset.ElasticRead
+		default:
+			fatal(fmt.Errorf("unknown list mode %q", *mode))
+		}
+		sys.SpawnWorkers(l.Worker(intset.Workload{UpdatePct: *update, KeyRange: uint64(2 * *elems), Mode: m}))
+	case "mapreduce":
+		j := mapreduce.NewJob(sys, *seed, *size, *chunk)
+		sys.SpawnWorkers(func(rt *repro.Runtime) { j.Worker(rt) })
+		verify = func() error {
+			if j.HistogramRaw() != j.Expected() && int(j.HistogramTotal()) == *size {
+				return fmt.Errorf("histogram mismatch")
+			}
+			return nil
+		}
+	default:
+		fatal(fmt.Errorf("unknown app %q", *app))
+	}
+
+	st := sys.Run(*duration)
+	report(sys, st)
+	if verify != nil {
+		if err := verify(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("verification: OK")
+	}
+}
+
+func report(sys *repro.System, st *repro.Stats) {
+	cfg := sys.Config()
+	fmt.Printf("platform            %s\n", cfg.Platform.Name)
+	fmt.Printf("cores               %d (%d app + %d service, %v)\n",
+		cfg.TotalCores, sys.NumAppCores(), sys.NumServiceCores(), cfg.Deployment)
+	fmt.Printf("contention manager  %v\n", cfg.Policy)
+	fmt.Printf("virtual duration    %v\n", st.Duration)
+	fmt.Printf("throughput          %.2f ops/ms\n", st.Throughput())
+	fmt.Printf("commits / aborts    %d / %d (commit rate %.1f%%)\n", st.Commits, st.Aborts, st.CommitRate())
+	fmt.Printf("aborts by kind      RAW=%d WAW=%d WAR=%d\n",
+		st.AbortsByKind[0], st.AbortsByKind[1], st.AbortsByKind[2])
+	fmt.Printf("conflicts/revokes   %d / %d\n", st.Conflicts, st.Revocations)
+	fmt.Printf("messages            %d (%.1f KB), read-lock %d, write-lock %d, release %d, early %d\n",
+		st.Msgs, float64(st.MsgBytes)/1024, st.ReadLockReqs, st.WriteLockReqs, st.ReleaseMsgs, st.EarlyReleases)
+	if sys.TxLifespans.Count() > 0 {
+		fmt.Printf("tx lifespan         %s\n", sys.TxLifespans.String())
+	}
+	fmt.Printf("kernel events       %d\n", sys.K.EventsRun())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tm2c-sim:", err)
+	os.Exit(1)
+}

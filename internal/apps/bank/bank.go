@@ -1,0 +1,187 @@
+// Package bank implements the bank application of §5.3: accounts in shared
+// memory with transfer and balance operations. Three variants exist, exactly
+// as in the paper's evaluation:
+//
+//   - transactional, through the TM2C runtime;
+//   - lock-based, serializing every operation behind a single global
+//     test-and-set register (the SCC offers one register per core, too few
+//     for fine-grained locking, §5.3);
+//   - bare sequential, for speedup baselines.
+//
+// The invariant used throughout the tests is money conservation: the sum of
+// all accounts never changes, and every transactional balance snapshot must
+// observe the exact initial total (an opacity witness).
+package bank
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// InitialPerAccount is the starting balance of every account.
+const InitialPerAccount = 1000
+
+// Bank is a shared-memory account array.
+type Bank struct {
+	sys  *core.System
+	base mem.Addr
+	n    int
+}
+
+// New allocates n accounts, funded with InitialPerAccount each. Like the
+// paper's benchmark state, the initial array lives behind one memory
+// controller.
+func New(sys *core.System, n int) *Bank {
+	b := &Bank{sys: sys, base: sys.Mem.Alloc(n, 0), n: n}
+	for i := 0; i < n; i++ {
+		sys.Mem.WriteRaw(b.addr(i), InitialPerAccount)
+	}
+	return b
+}
+
+// Accounts returns the number of accounts.
+func (b *Bank) Accounts() int { return b.n }
+
+func (b *Bank) addr(i int) mem.Addr { return b.base + mem.Addr(i) }
+
+// Total is the invariant sum of the bank.
+func (b *Bank) Total() uint64 { return uint64(b.n) * InitialPerAccount }
+
+// TotalRaw sums all accounts without latency (verification only).
+func (b *Bank) TotalRaw() uint64 {
+	var sum uint64
+	for i := 0; i < b.n; i++ {
+		sum += b.sys.Mem.ReadRaw(b.addr(i))
+	}
+	return sum
+}
+
+// Transfer atomically moves amount from one account to another ("the
+// sequential implementation of a transfer performs only four accesses to the
+// shared memory", §5.3).
+func (b *Bank) Transfer(rt *core.Runtime, from, to int, amount uint64) {
+	rt.Run(func(tx *core.Tx) {
+		f := tx.Read(b.addr(from))
+		t := tx.Read(b.addr(to))
+		tx.Write(b.addr(from), f-amount)
+		tx.Write(b.addr(to), t+amount)
+	})
+}
+
+// Balance atomically sums every account.
+func (b *Bank) Balance(rt *core.Runtime) uint64 {
+	var sum uint64
+	rt.Run(func(tx *core.Tx) {
+		sum = 0
+		for i := 0; i < b.n; i++ {
+			sum += tx.Read(b.addr(i))
+		}
+	})
+	return sum
+}
+
+// GlobalLock is the single test-and-set lock of the lock-based variant; it
+// lives on the register of core 0.
+type GlobalLock struct {
+	sys *core.System
+	reg int
+}
+
+// NewGlobalLock returns the bank's global lock.
+func NewGlobalLock(sys *core.System) *GlobalLock {
+	return &GlobalLock{sys: sys, reg: 0}
+}
+
+// Acquire spins on the remote register with randomized exponential backoff.
+func (l *GlobalLock) Acquire(p *sim.Proc, coreID int) {
+	backoff := 2 * time.Microsecond
+	for l.sys.Regs.TAS(p, coreID, l.reg) {
+		p.Advance(time.Duration(p.Rand().Int63() % int64(backoff)))
+		if backoff < 128*time.Microsecond {
+			backoff *= 2
+		}
+	}
+}
+
+// Release clears the lock.
+func (l *GlobalLock) Release(p *sim.Proc, coreID int) {
+	l.sys.Regs.TASRelease(p, coreID, l.reg)
+}
+
+// LockTransfer is the lock-based transfer: four shared-memory accesses under
+// the global lock.
+func (b *Bank) LockTransfer(l *GlobalLock, p *sim.Proc, coreID, from, to int, amount uint64) {
+	l.Acquire(p, coreID)
+	f := b.sys.Mem.Read(p, coreID, b.addr(from))
+	t := b.sys.Mem.Read(p, coreID, b.addr(to))
+	b.sys.Mem.Write(p, coreID, b.addr(from), f-amount)
+	b.sys.Mem.Write(p, coreID, b.addr(to), t+amount)
+	l.Release(p, coreID)
+}
+
+// LockBalance is the lock-based balance scan.
+func (b *Bank) LockBalance(l *GlobalLock, p *sim.Proc, coreID int) uint64 {
+	l.Acquire(p, coreID)
+	var sum uint64
+	for i := 0; i < b.n; i++ {
+		sum += b.sys.Mem.Read(p, coreID, b.addr(i))
+	}
+	l.Release(p, coreID)
+	return sum
+}
+
+// SeqTransfer is the bare sequential transfer (no synchronization; valid
+// only single-core).
+func (b *Bank) SeqTransfer(p *sim.Proc, coreID, from, to int, amount uint64) {
+	f := b.sys.Mem.Read(p, coreID, b.addr(from))
+	t := b.sys.Mem.Read(p, coreID, b.addr(to))
+	b.sys.Mem.Write(p, coreID, b.addr(from), f-amount)
+	b.sys.Mem.Write(p, coreID, b.addr(to), t+amount)
+}
+
+// SeqBalance is the bare sequential balance scan.
+func (b *Bank) SeqBalance(p *sim.Proc, coreID int) uint64 {
+	var sum uint64
+	for i := 0; i < b.n; i++ {
+		sum += b.sys.Mem.Read(p, coreID, b.addr(i))
+	}
+	return sum
+}
+
+// PickTransfer draws a random (from, to) pair with from != to.
+func PickTransfer(r *sim.Rand, n int) (from, to int) {
+	from = r.Intn(n)
+	to = (from + 1 + r.Intn(n-1)) % n
+	return from, to
+}
+
+// TransferWorker returns a worker loop executing transfers with the given
+// percentage of balance operations, until the system deadline.
+func (b *Bank) TransferWorker(balancePct int) func(rt *core.Runtime) {
+	return func(rt *core.Runtime) {
+		r := rt.Rand()
+		for !rt.Stopped() {
+			if balancePct > 0 && r.Intn(100) < balancePct {
+				b.Balance(rt)
+			} else {
+				from, to := PickTransfer(r, b.n)
+				b.Transfer(rt, from, to, 1)
+			}
+			rt.AddOps(1)
+		}
+	}
+}
+
+// BalanceOnlyWorker returns a worker that repeatedly runs balance
+// operations (the "1 reader" core of Figures 5(c)/5(d)).
+func (b *Bank) BalanceOnlyWorker() func(rt *core.Runtime) {
+	return func(rt *core.Runtime) {
+		for !rt.Stopped() {
+			b.Balance(rt)
+			rt.AddOps(1)
+		}
+	}
+}

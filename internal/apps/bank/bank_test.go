@@ -1,0 +1,169 @@
+package bank
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cm"
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+func newSys(t *testing.T, mut func(*core.Config)) *core.System {
+	t.Helper()
+	cfg := core.Config{Platform: noc.SCC(0), Seed: 7, TotalCores: 8, Policy: cm.FairCM}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewFundsAccounts(t *testing.T) {
+	s := newSys(t, nil)
+	b := New(s, 16)
+	if b.Accounts() != 16 {
+		t.Fatalf("Accounts = %d", b.Accounts())
+	}
+	if b.TotalRaw() != b.Total() || b.Total() != 16*InitialPerAccount {
+		t.Fatalf("TotalRaw = %d, Total = %d", b.TotalRaw(), b.Total())
+	}
+}
+
+func TestTransactionalConservationAndSnapshots(t *testing.T) {
+	s := newSys(t, nil)
+	b := New(s, 12)
+	s.SpawnWorkers(func(rt *core.Runtime) {
+		r := rt.Rand()
+		for i := 0; i < 25; i++ {
+			if i%5 == 0 {
+				if got := b.Balance(rt); got != b.Total() {
+					t.Errorf("balance snapshot %d != %d", got, b.Total())
+				}
+			} else {
+				from, to := PickTransfer(r, b.Accounts())
+				b.Transfer(rt, from, to, uint64(r.Intn(50)))
+			}
+		}
+	})
+	s.RunToCompletion()
+	if b.TotalRaw() != b.Total() {
+		t.Fatalf("money not conserved: %d != %d", b.TotalRaw(), b.Total())
+	}
+}
+
+func TestLockBasedConservationAndMutualExclusion(t *testing.T) {
+	s := newSys(t, nil)
+	b := New(s, 12)
+	l := NewGlobalLock(s)
+	s.SpawnRaw(func(p *sim.Proc, coreID int) {
+		r := p.Rand()
+		for i := 0; i < 25; i++ {
+			if i%6 == 0 {
+				if got := b.LockBalance(l, p, coreID); got != b.Total() {
+					t.Errorf("lock balance %d != %d (mutual exclusion broken)", got, b.Total())
+				}
+			} else {
+				from, to := PickTransfer(r, b.Accounts())
+				b.LockTransfer(l, p, coreID, from, to, uint64(r.Intn(50)))
+			}
+			s.AddOps(1)
+		}
+	})
+	st := s.RunToCompletion()
+	if b.TotalRaw() != b.Total() {
+		t.Fatalf("money not conserved under lock: %d != %d", b.TotalRaw(), b.Total())
+	}
+	if st.Ops == 0 {
+		t.Fatal("no ops recorded")
+	}
+}
+
+func TestSequentialVariant(t *testing.T) {
+	s := newSys(t, func(c *core.Config) { c.TotalCores = 2; c.ServiceCores = 1 })
+	b := New(s, 6)
+	s.SpawnRaw(func(p *sim.Proc, coreID int) {
+		b.SeqTransfer(p, coreID, 0, 1, 100)
+		if got := b.SeqBalance(p, coreID); got != b.Total() {
+			t.Errorf("seq balance = %d, want %d", got, b.Total())
+		}
+	})
+	s.RunToCompletion()
+	if s.Mem.ReadRaw(b.addr(0)) != InitialPerAccount-100 {
+		t.Fatal("seq transfer did not apply")
+	}
+	if b.TotalRaw() != b.Total() {
+		t.Fatal("seq conservation broken")
+	}
+}
+
+func TestPickTransferProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n8 uint8) bool {
+		n := int(n8%100) + 2
+		r := sim.NewRand(seed)
+		for i := 0; i < 20; i++ {
+			from, to := PickTransfer(&r, n)
+			if from == to || from < 0 || from >= n || to < 0 || to >= n {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferWorkerRunsUntilDeadline(t *testing.T) {
+	s := newSys(t, nil)
+	b := New(s, 64)
+	s.SpawnWorkers(b.TransferWorker(20))
+	st := s.Run(3 * time.Millisecond)
+	if st.Ops == 0 {
+		t.Fatal("worker made no progress")
+	}
+	if b.TotalRaw() != b.Total() {
+		t.Fatalf("conservation after deadline drain: %d != %d", b.TotalRaw(), b.Total())
+	}
+}
+
+func TestBalanceOnlyWorker(t *testing.T) {
+	s := newSys(t, nil)
+	b := New(s, 16)
+	s.SpawnWorkers(func(rt *core.Runtime) {
+		if rt.AppIndex() == 0 {
+			b.BalanceOnlyWorker()(rt)
+			return
+		}
+		b.TransferWorker(0)(rt)
+	})
+	st := s.Run(3 * time.Millisecond)
+	if st.PerCore[0].Ops == 0 {
+		t.Fatal("balance core made no progress (starved)")
+	}
+}
+
+func TestGlobalLockSerializes(t *testing.T) {
+	// A counter incremented under the lock must not lose updates.
+	s := newSys(t, nil)
+	l := NewGlobalLock(s)
+	ctr := s.Mem.Alloc(1, 0)
+	const perCore = 20
+	s.SpawnRaw(func(p *sim.Proc, coreID int) {
+		for i := 0; i < perCore; i++ {
+			l.Acquire(p, coreID)
+			v := s.Mem.Read(p, coreID, ctr)
+			s.Mem.Write(p, coreID, ctr, v+1)
+			l.Release(p, coreID)
+		}
+	})
+	s.RunToCompletion()
+	want := uint64(perCore * s.NumAppCores())
+	if got := s.Mem.ReadRaw(ctr); got != want {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, want)
+	}
+}

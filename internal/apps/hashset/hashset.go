@@ -1,0 +1,341 @@
+// Package hashset implements the synchrobench-style hash table benchmark of
+// §5.2: a fixed array of buckets, each a sorted singly-linked list of nodes
+// living in shared memory. The operations are contains, add, remove and (for
+// the eager/lazy comparison of Figure 4(c)) move.
+//
+// Both a transactional version (through the TM2C runtime) and a bare
+// sequential version (direct shared-memory accesses) are provided; they run
+// the same traversal logic over the same memory layout.
+//
+// Layout: the set header holds the bucket array (one head pointer per
+// bucket); a node is a two-word object [key, next]. Address 0 is the nil
+// pointer (never allocated by internal/mem).
+package hashset
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Nominal per-operation compute costs (SCC-533 cycles turned into time);
+// they model the hashing and pointer-chasing work of the slow in-order P54C
+// cores and are scaled by the platform's compute factor.
+const (
+	OpBaseCompute  = 4 * time.Microsecond
+	PerNodeCompute = 1 * time.Microsecond
+)
+
+// Set is the shared-memory hash table.
+type Set struct {
+	sys      *core.System
+	buckets  mem.Addr // bucket head pointers, one word each
+	nbuckets int
+}
+
+// New allocates a set with nbuckets buckets. Like the paper's initial hash
+// table, the bucket array lives entirely behind one memory controller
+// (§5.2: "the initial hash table resides only in one of the four memory
+// controllers").
+func New(sys *core.System, nbuckets int) *Set {
+	return &Set{
+		sys:      sys,
+		buckets:  sys.Mem.Alloc(nbuckets, 0),
+		nbuckets: nbuckets,
+	}
+}
+
+// Buckets returns the bucket count.
+func (s *Set) Buckets() int { return s.nbuckets }
+
+func hashKey(key uint64) uint64 {
+	key ^= key >> 33
+	key *= 0x9e3779b97f4a7c15
+	key ^= key >> 29
+	return key
+}
+
+func (s *Set) bucketAddr(key uint64) mem.Addr {
+	return s.buckets + mem.Addr(hashKey(key)%uint64(s.nbuckets))
+}
+
+// node field offsets.
+const (
+	fKey  = 0
+	fNext = 1
+	nodeW = 2
+)
+
+// InitFill populates the set with n distinct keys drawn from [1, keyRange]
+// using raw accesses (setup code outside the simulation). It returns the
+// inserted keys.
+func (s *Set) InitFill(n int, keyRange uint64, r *sim.Rand) []uint64 {
+	inserted := make([]uint64, 0, n)
+	for len(inserted) < n {
+		key := r.Uint64()%keyRange + 1
+		if s.rawInsert(key) {
+			inserted = append(inserted, key)
+		}
+	}
+	return inserted
+}
+
+// rawInsert inserts without latency accounting; false if present.
+func (s *Set) rawInsert(key uint64) bool {
+	m := s.sys.Mem
+	b := s.bucketAddr(key)
+	prev, cur := mem.Addr(0), mem.Addr(m.ReadRaw(b))
+	for cur != 0 && m.ReadRaw(cur+fKey) < key {
+		prev, cur = cur, mem.Addr(m.ReadRaw(cur+fNext))
+	}
+	if cur != 0 && m.ReadRaw(cur+fKey) == key {
+		return false
+	}
+	n := m.Alloc(nodeW, 0)
+	m.WriteRaw(n+fKey, key)
+	m.WriteRaw(n+fNext, uint64(cur))
+	if prev == 0 {
+		m.WriteRaw(b, uint64(n))
+	} else {
+		m.WriteRaw(prev+fNext, uint64(n))
+	}
+	return true
+}
+
+// RawKeys walks the whole table without latency and returns every key, for
+// invariant checking (sortedness and uniqueness are verified by tests).
+func (s *Set) RawKeys() []uint64 {
+	m := s.sys.Mem
+	var keys []uint64
+	for i := 0; i < s.nbuckets; i++ {
+		cur := mem.Addr(m.ReadRaw(s.buckets + mem.Addr(i)))
+		for cur != 0 {
+			keys = append(keys, m.ReadRaw(cur+fKey))
+			cur = mem.Addr(m.ReadRaw(cur + fNext))
+		}
+	}
+	return keys
+}
+
+// locate walks one bucket inside tx, returning the predecessor node (0 if
+// the head pointer) and the current node (0 if past the end), such that
+// cur.key >= key.
+func (s *Set) locate(tx *core.Tx, rt *core.Runtime, key uint64) (bucket, prev, cur mem.Addr, curKey uint64) {
+	bucket = s.bucketAddr(key)
+	cur = mem.Addr(tx.Read(bucket))
+	for cur != 0 {
+		rt.Compute(PerNodeCompute)
+		n := tx.ReadN(cur, nodeW)
+		curKey = n[fKey]
+		if curKey >= key {
+			return bucket, prev, cur, curKey
+		}
+		prev, cur = cur, mem.Addr(n[fNext])
+	}
+	return bucket, prev, 0, 0
+}
+
+// Contains reports whether key is in the set (transactional).
+func (s *Set) Contains(rt *core.Runtime, key uint64) bool {
+	rt.Compute(OpBaseCompute)
+	var found bool
+	rt.Run(func(tx *core.Tx) {
+		_, _, cur, curKey := s.locate(tx, rt, key)
+		found = cur != 0 && curKey == key
+	})
+	return found
+}
+
+// Add inserts key; false if it was already present ("failed updates count as
+// read-only transactions", §5.2). New nodes are allocated near the calling
+// core's closest memory controller, as in the paper.
+func (s *Set) Add(rt *core.Runtime, key uint64) bool {
+	rt.Compute(OpBaseCompute)
+	var added bool
+	rt.Run(func(tx *core.Tx) {
+		added = s.addInTx(tx, rt, key)
+	})
+	return added
+}
+
+func (s *Set) addInTx(tx *core.Tx, rt *core.Runtime, key uint64) bool {
+	bucket, prev, cur, curKey := s.locate(tx, rt, key)
+	if cur != 0 && curKey == key {
+		return false
+	}
+	n := s.sys.Mem.AllocNear(nodeW, rt.Core())
+	tx.WriteN(n, []uint64{key, uint64(cur)})
+	if prev == 0 {
+		tx.Write(bucket, uint64(n))
+	} else {
+		// Whole-object write: the lock unit is the object, so updating a
+		// node rewrites [key, next] under the node's base lock — the same
+		// lock its readers hold (txwrite(obj) in the paper).
+		pkey := tx.ReadN(prev, nodeW)[fKey] // served from the tx cache
+		tx.WriteN(prev, []uint64{pkey, uint64(n)})
+	}
+	return true
+}
+
+// Remove deletes key; false if absent.
+func (s *Set) Remove(rt *core.Runtime, key uint64) bool {
+	rt.Compute(OpBaseCompute)
+	var removed bool
+	rt.Run(func(tx *core.Tx) {
+		removed = s.removeInTx(tx, rt, key)
+	})
+	return removed
+}
+
+func (s *Set) removeInTx(tx *core.Tx, rt *core.Runtime, key uint64) bool {
+	bucket, prev, cur, curKey := s.locate(tx, rt, key)
+	if cur == 0 || curKey != key {
+		return false
+	}
+	next := tx.ReadN(cur, nodeW)[fNext]
+	if prev == 0 {
+		tx.Write(bucket, next)
+	} else {
+		pkey := tx.ReadN(prev, nodeW)[fKey]
+		tx.WriteN(prev, []uint64{pkey, next})
+	}
+	return true
+}
+
+// Move atomically removes from and inserts to (the §5.2 move operation used
+// by the eager-vs-lazy experiment: it issues a write in the middle of the
+// transaction). It returns false if from was absent or to already present.
+func (s *Set) Move(rt *core.Runtime, from, to uint64) bool {
+	rt.Compute(2 * OpBaseCompute)
+	var ok bool
+	rt.Run(func(tx *core.Tx) {
+		ok = false
+		if !s.removeInTx(tx, rt, from) {
+			return
+		}
+		if !s.addInTx(tx, rt, to) {
+			return
+		}
+		ok = true
+	})
+	return ok
+}
+
+// Sequential variants: identical logic over raw memory with latency charged
+// through mem.Read/ReadBatch, without any locking.
+
+func (s *Set) seqLocate(p *sim.Proc, coreID int, key uint64) (bucket, prev, cur mem.Addr, curKey uint64) {
+	m := s.sys.Mem
+	bucket = s.bucketAddr(key)
+	cur = mem.Addr(m.Read(p, coreID, bucket))
+	for cur != 0 {
+		p.Advance(s.sys.Platform().Compute(PerNodeCompute))
+		n := m.ReadBatch(p, coreID, cur, nodeW)
+		curKey = n[fKey]
+		if curKey >= key {
+			return bucket, prev, cur, curKey
+		}
+		prev, cur = cur, mem.Addr(n[fNext])
+	}
+	return bucket, prev, 0, 0
+}
+
+// SeqContains is the bare sequential contains.
+func (s *Set) SeqContains(p *sim.Proc, coreID int, key uint64) bool {
+	p.Advance(s.sys.Platform().Compute(OpBaseCompute))
+	_, _, cur, curKey := s.seqLocate(p, coreID, key)
+	return cur != 0 && curKey == key
+}
+
+// SeqAdd is the bare sequential add.
+func (s *Set) SeqAdd(p *sim.Proc, coreID int, key uint64) bool {
+	p.Advance(s.sys.Platform().Compute(OpBaseCompute))
+	m := s.sys.Mem
+	bucket, prev, cur, curKey := s.seqLocate(p, coreID, key)
+	if cur != 0 && curKey == key {
+		return false
+	}
+	n := m.AllocNear(nodeW, coreID)
+	m.WriteBatch(p, coreID, []mem.Addr{n + fKey, n + fNext}, []uint64{key, uint64(cur)})
+	if prev == 0 {
+		m.Write(p, coreID, bucket, uint64(n))
+	} else {
+		m.Write(p, coreID, prev+fNext, uint64(n))
+	}
+	return true
+}
+
+// SeqRemove is the bare sequential remove.
+func (s *Set) SeqRemove(p *sim.Proc, coreID int, key uint64) bool {
+	p.Advance(s.sys.Platform().Compute(OpBaseCompute))
+	m := s.sys.Mem
+	bucket, prev, cur, curKey := s.seqLocate(p, coreID, key)
+	if cur == 0 || curKey != key {
+		return false
+	}
+	next := m.Read(p, coreID, cur+fNext)
+	if prev == 0 {
+		m.Write(p, coreID, bucket, next)
+	} else {
+		m.Write(p, coreID, prev+fNext, next)
+	}
+	return true
+}
+
+// Workload is the synchrobench operation mix.
+type Workload struct {
+	UpdatePct int    // percentage of attempted updates (half add, half remove)
+	MovePct   int    // percentage of move operations (Figure 4(c) only)
+	KeyRange  uint64 // keys drawn uniformly from [1, KeyRange]
+}
+
+// Worker returns a transactional worker loop for the workload.
+func (s *Set) Worker(w Workload) func(rt *core.Runtime) {
+	return func(rt *core.Runtime) {
+		r := rt.Rand()
+		for !rt.Stopped() {
+			s.RunOp(rt, r, w)
+			rt.AddOps(1)
+		}
+	}
+}
+
+// RunOp executes one randomly drawn operation of the workload.
+func (s *Set) RunOp(rt *core.Runtime, r *sim.Rand, w Workload) {
+	key := r.Uint64()%w.KeyRange + 1
+	roll := r.Intn(100)
+	switch {
+	case roll < w.MovePct:
+		s.Move(rt, key, r.Uint64()%w.KeyRange+1)
+	case roll < w.MovePct+w.UpdatePct:
+		if r.Intn(2) == 0 {
+			s.Add(rt, key)
+		} else {
+			s.Remove(rt, key)
+		}
+	default:
+		s.Contains(rt, key)
+	}
+}
+
+// SeqOp executes one randomly drawn sequential operation.
+func (s *Set) SeqOp(p *sim.Proc, coreID int, r *sim.Rand, w Workload) {
+	key := r.Uint64()%w.KeyRange + 1
+	roll := r.Intn(100)
+	switch {
+	case roll < w.MovePct:
+		if s.SeqRemove(p, coreID, key) {
+			s.SeqAdd(p, coreID, r.Uint64()%w.KeyRange+1)
+		}
+	case roll < w.MovePct+w.UpdatePct:
+		if r.Intn(2) == 0 {
+			s.SeqAdd(p, coreID, key)
+		} else {
+			s.SeqRemove(p, coreID, key)
+		}
+	default:
+		s.SeqContains(p, coreID, key)
+	}
+}

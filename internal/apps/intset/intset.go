@@ -1,0 +1,248 @@
+// Package intset implements the sorted linked-list benchmark of §6.2: a
+// single sorted list of [key, next] nodes in shared memory, exercised with
+// the synchrobench contains/add/remove mix.
+//
+// The list is the elastic-transaction showcase: a search traversal only
+// needs consecutive reads to be atomic, so the read-only prefix can either
+// release its read locks early (elastic-early) or take no locks at all and
+// validate by re-reading (elastic-read). Mode selects between the three
+// implementations, which share the same traversal structure.
+package intset
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// PerNodeCompute is the nominal per-node traversal cost.
+const PerNodeCompute = 600 * time.Nanosecond
+
+// Mode selects the transactional model of the list operations.
+type Mode uint8
+
+const (
+	// Normal uses plain TM2C transactions (visible read locks on the whole
+	// traversal).
+	Normal Mode = iota
+	// ElasticEarly releases the read locks of nodes that fell out of the
+	// two-node traversal window (§6.1 first implementation).
+	ElasticEarly
+	// ElasticRead takes no read locks and validates consecutive reads from
+	// shared memory (§6.1 second implementation).
+	ElasticRead
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ElasticEarly:
+		return "elastic-early"
+	case ElasticRead:
+		return "elastic-read"
+	default:
+		return "normal"
+	}
+}
+
+// TxKind maps the mode to the runtime's transaction kind.
+func (m Mode) TxKind() core.TxKind {
+	switch m {
+	case ElasticEarly:
+		return core.ElasticEarly
+	case ElasticRead:
+		return core.ElasticRead
+	default:
+		return core.Normal
+	}
+}
+
+const (
+	fKey  = 0
+	fNext = 1
+	nodeW = 2
+)
+
+// List is the shared-memory sorted list.
+type List struct {
+	sys  *core.System
+	head mem.Addr // one-word head pointer
+}
+
+// New allocates an empty list (head pointer behind controller 0).
+func New(sys *core.System) *List {
+	return &List{sys: sys, head: sys.Mem.Alloc(1, 0)}
+}
+
+// InitFill inserts n distinct keys from [1, keyRange] with raw accesses.
+func (l *List) InitFill(n int, keyRange uint64, r *sim.Rand) []uint64 {
+	inserted := make([]uint64, 0, n)
+	for len(inserted) < n {
+		key := r.Uint64()%keyRange + 1
+		if l.rawInsert(key) {
+			inserted = append(inserted, key)
+		}
+	}
+	return inserted
+}
+
+func (l *List) rawInsert(key uint64) bool {
+	m := l.sys.Mem
+	prev, cur := mem.Addr(0), mem.Addr(m.ReadRaw(l.head))
+	for cur != 0 && m.ReadRaw(cur+fKey) < key {
+		prev, cur = cur, mem.Addr(m.ReadRaw(cur+fNext))
+	}
+	if cur != 0 && m.ReadRaw(cur+fKey) == key {
+		return false
+	}
+	n := m.Alloc(nodeW, 0)
+	m.WriteRaw(n+fKey, key)
+	m.WriteRaw(n+fNext, uint64(cur))
+	if prev == 0 {
+		m.WriteRaw(l.head, uint64(n))
+	} else {
+		m.WriteRaw(prev+fNext, uint64(n))
+	}
+	return true
+}
+
+// RawKeys returns the current keys in list order (verification only).
+func (l *List) RawKeys() []uint64 {
+	m := l.sys.Mem
+	var keys []uint64
+	cur := mem.Addr(m.ReadRaw(l.head))
+	for cur != 0 {
+		keys = append(keys, m.ReadRaw(cur+fKey))
+		cur = mem.Addr(m.ReadRaw(cur + fNext))
+	}
+	return keys
+}
+
+// locate traverses inside tx until cur.key >= key, applying the mode's
+// elastic behaviour: under ElasticEarly, nodes leaving the two-node window
+// are released immediately.
+func (l *List) locate(tx *core.Tx, rt *core.Runtime, mode Mode, key uint64) (prev, cur mem.Addr, curKey uint64) {
+	var prevPrev mem.Addr
+	headReleased := false
+	cur = mem.Addr(tx.Read(l.head))
+	for cur != 0 {
+		rt.Compute(PerNodeCompute)
+		n := tx.ReadN(cur, nodeW)
+		curKey = n[fKey]
+		if mode == ElasticEarly {
+			// The traversal window is {prev, cur}; anything older is no
+			// longer semantically relevant to the search (§6).
+			if prevPrev != 0 {
+				tx.EarlyRelease(prevPrev)
+			} else if prev != 0 && !headReleased {
+				tx.EarlyRelease(l.head)
+				headReleased = true
+			}
+		}
+		if curKey >= key {
+			return prev, cur, curKey
+		}
+		prevPrev, prev, cur = prev, cur, mem.Addr(n[fNext])
+	}
+	return prev, 0, 0
+}
+
+// Contains reports whether key is present.
+func (l *List) Contains(rt *core.Runtime, mode Mode, key uint64) bool {
+	var found bool
+	rt.RunKind(mode.TxKind(), func(tx *core.Tx) {
+		_, cur, curKey := l.locate(tx, rt, mode, key)
+		found = cur != 0 && curKey == key
+	})
+	return found
+}
+
+// Add inserts key; false if already present.
+func (l *List) Add(rt *core.Runtime, mode Mode, key uint64) bool {
+	var added bool
+	rt.RunKind(mode.TxKind(), func(tx *core.Tx) {
+		added = false
+		prev, cur, curKey := l.locate(tx, rt, mode, key)
+		if cur != 0 && curKey == key {
+			return
+		}
+		n := l.sys.Mem.AllocNear(nodeW, rt.Core())
+		tx.WriteN(n, []uint64{key, uint64(cur)})
+		if prev == 0 {
+			tx.Write(l.head, uint64(n))
+		} else {
+			// Whole-object write: the lock unit is the object, so the
+			// update conflicts with the node's readers (and, for
+			// elastic-read, sits in their validation windows).
+			pkey := tx.ReadN(prev, nodeW)[fKey]
+			tx.WriteN(prev, []uint64{pkey, uint64(n)})
+		}
+		added = true
+	})
+	return added
+}
+
+// Remove deletes key; false if absent.
+func (l *List) Remove(rt *core.Runtime, mode Mode, key uint64) bool {
+	var removed bool
+	rt.RunKind(mode.TxKind(), func(tx *core.Tx) {
+		removed = false
+		prev, cur, curKey := l.locate(tx, rt, mode, key)
+		if cur == 0 || curKey != key {
+			return
+		}
+		next := tx.ReadN(cur, nodeW)[fNext]
+		if prev == 0 {
+			tx.Write(l.head, next)
+		} else {
+			pkey := tx.ReadN(prev, nodeW)[fKey]
+			tx.WriteN(prev, []uint64{pkey, next})
+		}
+		if mode != Normal {
+			// Elastic modes do not hold read locks on the whole traversal,
+			// so two adjacent removals (remove(B) writes A, remove(C)
+			// writes B) would otherwise not conflict and the second unlink
+			// would be lost. Writing a tombstone into the removed node
+			// serializes adjacent updates via WAW and — because §6.1's
+			// validation relies on committed updates writing *different*
+			// values — makes the removal visible to elastic-read windows:
+			// the key field becomes 0, which no live node carries.
+			tx.WriteN(cur, []uint64{0, next})
+		}
+		removed = true
+	})
+	return removed
+}
+
+// Workload is the synchrobench mix for the list.
+type Workload struct {
+	UpdatePct int
+	KeyRange  uint64
+	Mode      Mode
+}
+
+// Worker returns a worker loop for the workload.
+func (l *List) Worker(w Workload) func(rt *core.Runtime) {
+	return func(rt *core.Runtime) {
+		r := rt.Rand()
+		for !rt.Stopped() {
+			l.RunOp(rt, r, w)
+			rt.AddOps(1)
+		}
+	}
+}
+
+// RunOp executes one randomly drawn operation.
+func (l *List) RunOp(rt *core.Runtime, r *sim.Rand, w Workload) {
+	key := r.Uint64()%w.KeyRange + 1
+	if r.Intn(100) < w.UpdatePct {
+		if r.Intn(2) == 0 {
+			l.Add(rt, w.Mode, key)
+		} else {
+			l.Remove(rt, w.Mode, key)
+		}
+	} else {
+		l.Contains(rt, w.Mode, key)
+	}
+}

@@ -1,0 +1,268 @@
+// Package skiplist implements a transactional skip list over TM2C shared
+// memory. The paper evaluates synchrobench's hash table and linked list;
+// the skip list is the suite's third classic search structure and serves as
+// an extension benchmark: logarithmic traversals produce mid-sized read
+// sets (between the hash table's short chains and the list's long ones) and
+// updates write several predecessor nodes at once, exercising multi-object
+// write-lock batching.
+//
+// Layout: a node is a fixed-size object of 2+MaxLevel words:
+// [key, level, next_0 .. next_{MaxLevel-1}]; unused levels hold 0. The head
+// node has key 0 (smaller than every stored key; keys are >= 1). Fixed-size
+// nodes keep object bases and lengths consistent across all accessors,
+// which the object-granularity lock protocol requires.
+package skiplist
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// MaxLevel is the tallest tower; 2^8 = 256x fan-out covers the benchmark
+// sizes used here.
+const MaxLevel = 8
+
+const (
+	fKey   = 0
+	fLevel = 1
+	fNext  = 2 // first of MaxLevel next pointers
+	nodeW  = 2 + MaxLevel
+)
+
+// PerNodeCompute is the nominal traversal cost per visited node.
+const PerNodeCompute = 700 * time.Nanosecond
+
+// List is the shared-memory skip list.
+type List struct {
+	sys  *core.System
+	head mem.Addr
+}
+
+// New allocates an empty skip list (head tower behind controller 0).
+func New(sys *core.System) *List {
+	head := sys.Mem.Alloc(nodeW, 0)
+	sys.Mem.WriteRaw(head+fLevel, MaxLevel)
+	return &List{sys: sys, head: head}
+}
+
+// randomLevel draws a geometric tower height in [1, MaxLevel].
+func randomLevel(r *sim.Rand) int {
+	lvl := 1
+	for lvl < MaxLevel && r.Uint64()&3 == 0 { // p = 1/4
+		lvl++
+	}
+	return lvl
+}
+
+// InitFill inserts n distinct keys from [1, keyRange] with raw accesses.
+func (l *List) InitFill(n int, keyRange uint64, r *sim.Rand) []uint64 {
+	inserted := make([]uint64, 0, n)
+	for len(inserted) < n {
+		key := r.Uint64()%keyRange + 1
+		if l.rawInsert(key, randomLevel(r)) {
+			inserted = append(inserted, key)
+		}
+	}
+	return inserted
+}
+
+func (l *List) rawInsert(key uint64, level int) bool {
+	m := l.sys.Mem
+	var preds [MaxLevel]mem.Addr
+	cur := l.head
+	for lv := MaxLevel - 1; lv >= 0; lv-- {
+		for {
+			next := mem.Addr(m.ReadRaw(cur + fNext + mem.Addr(lv)))
+			if next == 0 || m.ReadRaw(next+fKey) >= key {
+				break
+			}
+			cur = next
+		}
+		preds[lv] = cur
+	}
+	at := mem.Addr(m.ReadRaw(preds[0] + fNext))
+	if at != 0 && m.ReadRaw(at+fKey) == key {
+		return false
+	}
+	n := m.Alloc(nodeW, 0)
+	m.WriteRaw(n+fKey, key)
+	m.WriteRaw(n+fLevel, uint64(level))
+	for lv := 0; lv < level; lv++ {
+		next := m.ReadRaw(preds[lv] + fNext + mem.Addr(lv))
+		m.WriteRaw(n+fNext+mem.Addr(lv), next)
+		m.WriteRaw(preds[lv]+fNext+mem.Addr(lv), uint64(n))
+	}
+	return true
+}
+
+// RawKeys returns the bottom-level keys in order (verification).
+func (l *List) RawKeys() []uint64 {
+	m := l.sys.Mem
+	var keys []uint64
+	cur := mem.Addr(m.ReadRaw(l.head + fNext))
+	for cur != 0 {
+		keys = append(keys, m.ReadRaw(cur+fKey))
+		cur = mem.Addr(m.ReadRaw(cur + fNext))
+	}
+	return keys
+}
+
+// CheckTowers verifies structural integrity with raw accesses: every level
+// is sorted and every tower is reachable at each of its levels. It returns
+// the bottom-level size.
+func (l *List) CheckTowers() (int, error) {
+	m := l.sys.Mem
+	for lv := 0; lv < MaxLevel; lv++ {
+		var prev uint64
+		cur := mem.Addr(m.ReadRaw(l.head + fNext + mem.Addr(lv)))
+		for cur != 0 {
+			key := m.ReadRaw(cur + fKey)
+			if key <= prev {
+				return 0, errUnsorted(lv, prev, key)
+			}
+			if int(m.ReadRaw(cur+fLevel)) <= lv {
+				return 0, errLowTower(lv, key)
+			}
+			prev = key
+			cur = mem.Addr(m.ReadRaw(cur + fNext + mem.Addr(lv)))
+		}
+	}
+	return len(l.RawKeys()), nil
+}
+
+func errUnsorted(lv int, prev, key uint64) error {
+	return fmt.Errorf("skiplist: level %d unsorted: %d after %d", lv, key, prev)
+}
+
+func errLowTower(lv int, key uint64) error {
+	return fmt.Errorf("skiplist: node %d linked above its level at %d", key, lv)
+}
+
+// locate returns the predecessors at every level and the candidate node
+// (the bottom-level successor of preds[0]).
+func (l *List) locate(tx *core.Tx, rt *core.Runtime, key uint64) (preds [MaxLevel]mem.Addr, cand mem.Addr, candKey uint64) {
+	cur := l.head
+	curObj := tx.ReadN(cur, nodeW)
+	for lv := MaxLevel - 1; lv >= 0; lv-- {
+		for {
+			next := mem.Addr(curObj[fNext+lv])
+			if next == 0 {
+				break
+			}
+			rt.Compute(PerNodeCompute)
+			nextObj := tx.ReadN(next, nodeW)
+			if nextObj[fKey] >= key {
+				break
+			}
+			cur, curObj = next, nextObj
+		}
+		preds[lv] = cur
+	}
+	cand = mem.Addr(curObj[fNext])
+	if cand != 0 {
+		candKey = tx.ReadN(cand, nodeW)[fKey]
+	}
+	return preds, cand, candKey
+}
+
+// Contains reports whether key is present (transactional).
+func (l *List) Contains(rt *core.Runtime, key uint64) bool {
+	var found bool
+	rt.Run(func(tx *core.Tx) {
+		_, cand, candKey := l.locate(tx, rt, key)
+		found = cand != 0 && candKey == key
+	})
+	return found
+}
+
+// Add inserts key with a deterministic random tower height; false if
+// already present.
+func (l *List) Add(rt *core.Runtime, key uint64) bool {
+	level := randomLevel(rt.Rand())
+	var added bool
+	rt.Run(func(tx *core.Tx) {
+		added = false
+		preds, cand, candKey := l.locate(tx, rt, key)
+		if cand != 0 && candKey == key {
+			return
+		}
+		n := l.sys.Mem.AllocNear(nodeW, rt.Core())
+		obj := make([]uint64, nodeW)
+		obj[fKey] = key
+		obj[fLevel] = uint64(level)
+		for lv := 0; lv < level; lv++ {
+			pred := tx.ReadN(preds[lv], nodeW)
+			obj[fNext+lv] = pred[fNext+lv]
+		}
+		tx.WriteN(n, obj)
+		for lv := 0; lv < level; lv++ {
+			pred := tx.ReadN(preds[lv], nodeW)
+			upd := cloneSlice(pred)
+			upd[fNext+lv] = uint64(n)
+			tx.WriteN(preds[lv], upd)
+		}
+		added = true
+	})
+	return added
+}
+
+// Remove deletes key; false if absent.
+func (l *List) Remove(rt *core.Runtime, key uint64) bool {
+	var removed bool
+	rt.Run(func(tx *core.Tx) {
+		removed = false
+		preds, cand, candKey := l.locate(tx, rt, key)
+		if cand == 0 || candKey != key {
+			return
+		}
+		victim := tx.ReadN(cand, nodeW)
+		level := int(victim[fLevel])
+		for lv := 0; lv < level; lv++ {
+			pred := tx.ReadN(preds[lv], nodeW)
+			if mem.Addr(pred[fNext+lv]) != cand {
+				continue // taller predecessor bypasses the victim here
+			}
+			upd := cloneSlice(pred)
+			upd[fNext+lv] = victim[fNext+lv]
+			tx.WriteN(preds[lv], upd)
+		}
+		removed = true
+	})
+	return removed
+}
+
+// Workload is the synchrobench mix.
+type Workload struct {
+	UpdatePct int
+	KeyRange  uint64
+}
+
+// Worker returns a worker loop for the workload.
+func (l *List) Worker(w Workload) func(rt *core.Runtime) {
+	return func(rt *core.Runtime) {
+		r := rt.Rand()
+		for !rt.Stopped() {
+			key := r.Uint64()%w.KeyRange + 1
+			if r.Intn(100) < w.UpdatePct {
+				if r.Intn(2) == 0 {
+					l.Add(rt, key)
+				} else {
+					l.Remove(rt, key)
+				}
+			} else {
+				l.Contains(rt, key)
+			}
+			rt.AddOps(1)
+		}
+	}
+}
+
+func cloneSlice(v []uint64) []uint64 {
+	out := make([]uint64, len(v))
+	copy(out, v)
+	return out
+}

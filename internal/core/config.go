@@ -1,0 +1,241 @@
+// Package core implements the TM2C runtime: the APP service (transactional
+// wrappers and commit protocol, §3.3), the DTM service (DS-Lock request
+// handling with distributed contention management, §3.2/§4), the two
+// deployment strategies (§3.1), and the elastic transaction extension (§6).
+//
+// A System wires a simulated many-core (internal/sim + internal/noc +
+// internal/mem) to a set of DTM nodes and application runtimes. Application
+// code runs inside worker procs and uses the Tx API; every shared access is
+// transparently turned into message-passing lock acquisition against the
+// responsible DTM node, exactly following Algorithms 1-4 of the paper.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cm"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// Deployment selects how the APP and DTM services share the cores (§3.1).
+type Deployment uint8
+
+const (
+	// Dedicated assigns disjoint core sets to the application and the DTM
+	// service. This is TM2C's default strategy.
+	Dedicated Deployment = iota
+	// Multitask co-locates both services on every core, libtask-style: the
+	// DTM part of a core only runs when the application part yields, so
+	// service requests can wait behind local computation (Figure 2).
+	Multitask
+)
+
+func (d Deployment) String() string {
+	if d == Multitask {
+		return "multitask"
+	}
+	return "dedicated"
+}
+
+// AcquireMode selects when write locks are acquired (§3.3).
+type AcquireMode uint8
+
+const (
+	// Lazy defers write-lock acquisition to commit time (write-back).
+	// TM2C's default: it shortens the write-lock hold window and enables
+	// write-lock batching.
+	Lazy AcquireMode = iota
+	// Eager acquires the write lock inside the txwrite wrapper, for the
+	// Figure 4(c) comparison.
+	Eager
+)
+
+func (m AcquireMode) String() string {
+	if m == Eager {
+		return "eager"
+	}
+	return "lazy"
+}
+
+// TxKind selects the transactional model for a transaction (§6).
+type TxKind uint8
+
+const (
+	// Normal transactions acquire visible read locks on every read.
+	Normal TxKind = iota
+	// ElasticEarly transactions may release read locks early through
+	// Tx.EarlyRelease (the DSTM-style explicit release implementation).
+	ElasticEarly
+	// ElasticRead transactions take no read locks at all: consecutive-read
+	// atomicity is enforced by re-reading a small validation window from
+	// shared memory.
+	ElasticRead
+)
+
+func (k TxKind) String() string {
+	switch k {
+	case ElasticEarly:
+		return "elastic-early"
+	case ElasticRead:
+		return "elastic-read"
+	default:
+		return "normal"
+	}
+}
+
+// Costs are the nominal software costs of the runtime, defined for the SCC's
+// 533 MHz cores and scaled by the platform's compute factor.
+type Costs struct {
+	TxBegin    time.Duration // starting a transaction attempt
+	Wrapper    time.Duration // per transactional read/write wrapper call
+	Commit     time.Duration // commit bookkeeping
+	SvcBase    time.Duration // DTM: per-message dispatch
+	SvcLock    time.Duration // DTM: per lock acquire/conflict check
+	SvcRelease time.Duration // DTM: per lock release
+	// MultitaskSwitch is charged per DTM request served by a multitasked
+	// core: the libtask-style coroutine switch into the service task and
+	// back, plus the cache disturbance it causes (§3.1). Dedicated
+	// deployments never pay it.
+	MultitaskSwitch time.Duration
+}
+
+// DefaultCosts are the calibrated nominal costs.
+var DefaultCosts = Costs{
+	TxBegin:         200 * time.Nanosecond,
+	Wrapper:         150 * time.Nanosecond,
+	Commit:          300 * time.Nanosecond,
+	SvcBase:         200 * time.Nanosecond,
+	SvcLock:         300 * time.Nanosecond,
+	SvcRelease:      120 * time.Nanosecond,
+	MultitaskSwitch: 5 * time.Microsecond,
+}
+
+// Config describes one TM2C system instance.
+type Config struct {
+	// Platform is the timing model (default: SCC setting 0).
+	Platform noc.Platform
+	// Seed drives all pseudo-randomness.
+	Seed uint64
+	// TotalCores is the number of cores used (default: all platform cores).
+	TotalCores int
+	// ServiceCores is the size of the DTM partition in Dedicated mode
+	// (default: half the cores, the paper's standard split). Ignored under
+	// Multitask, where every core hosts both services. The special value
+	// -1 builds a system with no DTM service at all, for purely
+	// non-transactional baselines (every core is an application core;
+	// only SpawnRaw may be used).
+	ServiceCores int
+	// Deployment selects Dedicated (default) or Multitask.
+	Deployment Deployment
+	// Policy is the contention manager (default NoCM, as in the paper).
+	Policy cm.Policy
+	// Acquire selects lazy (default) or eager write-lock acquisition.
+	Acquire AcquireMode
+	// NoBatching disables write-lock batching (one message per object
+	// instead of one per DTM node) for the batching ablation.
+	NoBatching bool
+	// LockGranule is the number of words covered by one lock stripe; it
+	// must be a power of two (default 1). Objects larger than the granule
+	// are locked by their base address.
+	LockGranule int
+	// Costs overrides the nominal software costs (default DefaultCosts).
+	Costs *Costs
+}
+
+func (c *Config) normalize() error {
+	if c.Platform.NumCores() == 0 {
+		c.Platform = noc.SCC(0)
+	}
+	if c.TotalCores == 0 {
+		c.TotalCores = c.Platform.NumCores()
+	}
+	if c.TotalCores < 2 {
+		return errors.New("core: need at least 2 cores")
+	}
+	if c.TotalCores > c.Platform.NumCores() {
+		return fmt.Errorf("core: %d cores requested but platform has %d",
+			c.TotalCores, c.Platform.NumCores())
+	}
+	if c.Deployment == Dedicated {
+		switch {
+		case c.ServiceCores == -1:
+			c.ServiceCores = 0 // raw-only system
+		case c.ServiceCores == 0:
+			c.ServiceCores = c.TotalCores / 2
+		}
+		if c.ServiceCores < 0 || c.ServiceCores >= c.TotalCores {
+			return fmt.Errorf("core: invalid service-core count %d of %d",
+				c.ServiceCores, c.TotalCores)
+		}
+	}
+	if c.LockGranule == 0 {
+		c.LockGranule = 1
+	}
+	if c.LockGranule&(c.LockGranule-1) != 0 {
+		return fmt.Errorf("core: lock granule %d is not a power of two", c.LockGranule)
+	}
+	if c.Costs == nil {
+		c.Costs = &DefaultCosts
+	}
+	return nil
+}
+
+// Stats are the counters of one run. All app-core counters are aggregated;
+// PerCore holds the per-application-core breakdown.
+type Stats struct {
+	Commits uint64 // committed transactions
+	Aborts  uint64 // aborted transaction attempts
+	Ops     uint64 // application-level operations completed
+
+	AbortsByKind [3]uint64 // indexed by cm.Kind
+
+	// Message traffic.
+	Msgs          uint64
+	MsgBytes      uint64
+	ReadLockReqs  uint64
+	WriteLockReqs uint64
+	ReleaseMsgs   uint64
+	EarlyReleases uint64
+	Responses     uint64
+
+	// DTM activity.
+	Conflicts   uint64
+	Revocations uint64 // enemy aborts performed by CMs
+
+	// Irrevocables counts completed irrevocable transactions (§2
+	// extension).
+	Irrevocables uint64
+
+	// Run length (virtual).
+	Duration sim.Time
+
+	PerCore []CoreStats
+}
+
+// CoreStats is the per-application-core breakdown.
+type CoreStats struct {
+	Core    int
+	Commits uint64
+	Aborts  uint64
+	Ops     uint64
+}
+
+// Throughput returns completed operations per virtual millisecond.
+func (s *Stats) Throughput() float64 {
+	if s.Duration == 0 {
+		return 0
+	}
+	return float64(s.Ops) / (float64(s.Duration) / 1e6)
+}
+
+// CommitRate returns the fraction of attempts that committed, in percent.
+func (s *Stats) CommitRate() float64 {
+	total := s.Commits + s.Aborts
+	if total == 0 {
+		return 100
+	}
+	return 100 * float64(s.Commits) / float64(total)
+}

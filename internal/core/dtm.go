@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"time"
+
+	"repro/internal/cm"
+	"repro/internal/dslock"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// dtmNode is one DTM service node: it owns the lock table for the slice of
+// the address space that hashes to it and arbitrates conflicts through the
+// configured contention manager (§3.2).
+type dtmNode struct {
+	s     *System
+	idx   int
+	core  int // physical core hosting the node
+	table *dslock.Table
+	excl  exclState // irrevocable-transaction exclusivity token
+}
+
+// serveLoop is the dedicated-deployment service loop: receive, handle,
+// repeat. The proc is reclaimed by the kernel at shutdown.
+func (n *dtmNode) serveLoop(p *sim.Proc) {
+	for {
+		m := p.Recv()
+		n.handle(p, m)
+	}
+}
+
+// handle dispatches one incoming message. It returns true if the message
+// was a DTM request (the multitask await loop uses this to distinguish
+// requests from transaction responses).
+func (n *dtmNode) handle(p *sim.Proc, m sim.Msg) bool {
+	switch r := m.Payload.(type) {
+	case *reqReadLock:
+		n.switchIn(p)
+		n.handleReadLock(p, r)
+	case *reqWriteLock:
+		n.switchIn(p)
+		n.handleWriteLock(p, r)
+	case *relLocks:
+		n.switchIn(p)
+		n.handleRelease(p, r)
+		n.tryGrantExclusive(p)
+	case *earlyRelease:
+		n.switchIn(p)
+		n.handleEarlyRelease(p, r)
+		n.tryGrantExclusive(p)
+	case *reqExclusive:
+		n.switchIn(p)
+		n.handleExclusive(p, r)
+	case *relExclusive:
+		n.switchIn(p)
+		n.handleExclusiveRelease(p, r)
+	default:
+		return false
+	}
+	return true
+}
+
+// switchIn charges the coroutine-switch cost of serving a request on a
+// multitasked core (§3.1/Figure 2); dedicated service cores pay nothing.
+func (n *dtmNode) switchIn(p *sim.Proc) {
+	if n.s.cfg.Deployment == Multitask {
+		p.Advance(n.s.compute(n.s.cfg.Costs.MultitaskSwitch))
+	}
+}
+
+// handleReadLock implements Algorithm 1 (dsl_read_lock) plus the revocation
+// protocol: on a RAW conflict the contention manager either aborts the
+// requester or remotely aborts the writer and steals its lock.
+func (n *dtmNode) handleReadLock(p *sim.Proc, r *reqReadLock) {
+	c := n.s.cfg.Costs
+	p.Advance(n.s.compute(c.SvcBase + c.SvcLock))
+	if n.excl.blocked() {
+		// An irrevocable transaction holds or awaits this node's
+		// exclusivity token: reject so the table drains (§2 extension).
+		n.respond(p, r.Reply, r.ReplyTo, &respLock{OK: false, Kind: cm.RAW})
+		return
+	}
+	meta := r.Meta
+	n.s.cfg.Policy.ArrivalPrio(&meta, p.Now())
+	for {
+		conf := n.table.ReadConflict(r.Addr, meta)
+		if conf == nil {
+			n.table.AddReader(r.Addr, meta)
+			n.respond(p, r.Reply, r.ReplyTo, &respLock{OK: true})
+			return
+		}
+		n.s.stats.Conflicts++
+		if n.s.cfg.Policy.Resolve(meta, conf.Enemies, conf.Kind) == cm.AbortRequester ||
+			!n.abortEnemies(p, r.Addr, conf.Enemies) {
+			n.respond(p, r.Reply, r.ReplyTo, &respLock{OK: false, Kind: conf.Kind})
+			return
+		}
+		// Enemies aborted and revoked; re-check (bounded: the conflict
+		// classes can only shrink).
+	}
+}
+
+// handleWriteLock implements Algorithm 2 (dsl_write_lock) for a batch of
+// objects. Either every lock in the batch is acquired or none: on failure
+// the batch's own acquisitions are rolled back before the conflict reply, so
+// the requester never holds partial state it does not know about.
+func (n *dtmNode) handleWriteLock(p *sim.Proc, r *reqWriteLock) {
+	c := n.s.cfg.Costs
+	p.Advance(n.s.compute(c.SvcBase + c.SvcLock*time.Duration(len(r.Addrs))))
+	if n.excl.blocked() {
+		n.respond(p, r.Reply, r.ReplyTo, &respLock{OK: false, Kind: cm.WAW})
+		return
+	}
+	meta := r.Meta
+	n.s.cfg.Policy.ArrivalPrio(&meta, p.Now())
+	var acquired []mem.Addr
+	for _, addr := range r.Addrs {
+		for {
+			conf := n.table.WriteConflict(addr, meta)
+			if conf == nil {
+				n.table.SetWriter(addr, meta)
+				acquired = append(acquired, addr)
+				break
+			}
+			n.s.stats.Conflicts++
+			if n.s.cfg.Policy.Resolve(meta, conf.Enemies, conf.Kind) == cm.AbortRequester ||
+				!n.abortEnemies(p, addr, conf.Enemies) {
+				for _, a := range acquired {
+					n.table.ReleaseWrite(a, meta.Core, meta.TxID)
+				}
+				n.respond(p, r.Reply, r.ReplyTo, &respLock{OK: false, Kind: conf.Kind})
+				return
+			}
+		}
+	}
+	n.respond(p, r.Reply, r.ReplyTo, &respLock{OK: true})
+}
+
+// abortEnemies tries to remotely abort every enemy transaction via its
+// status register (§4.1: "the status of such an aborting transaction is
+// atomically switched from pending to aborted"). It returns false if any
+// enemy has already entered its commit phase (TxCommitting) and is therefore
+// no longer abortable; stale locks left by finished attempts are revoked.
+func (n *dtmNode) abortEnemies(p *sim.Proc, addr mem.Addr, enemies []cm.Meta) bool {
+	for _, e := range enemies {
+		swapped, obsID, obsState := n.s.Regs.CASStatusRemoteObserve(
+			p, n.core, e.Core, e.TxID, mem.TxPending, mem.TxAborted)
+		if swapped {
+			n.s.stats.Revocations++
+			n.table.Revoke(addr, e.Core, e.TxID)
+			continue
+		}
+		if obsID == e.TxID && obsState == mem.TxCommitting {
+			// The enemy holds all its write locks and is persisting; it
+			// cannot be aborted. Its commit is finite, so aborting the
+			// requester preserves starvation-freedom.
+			return false
+		}
+		// The lock is stale: the attempt already aborted or committed
+		// (persist happens before release, so revoking is safe), or the
+		// core has moved on to a newer attempt.
+		n.table.Revoke(addr, e.Core, e.TxID)
+	}
+	return true
+}
+
+func (n *dtmNode) handleRelease(p *sim.Proc, r *relLocks) {
+	c := n.s.cfg.Costs
+	ops := len(r.ReadAddrs) + len(r.WriteAddrs)
+	p.Advance(n.s.compute(c.SvcBase + c.SvcRelease*time.Duration(ops)))
+	for _, a := range r.ReadAddrs {
+		n.table.ReleaseRead(a, r.Core, r.TxID)
+	}
+	for _, a := range r.WriteAddrs {
+		n.table.ReleaseWrite(a, r.Core, r.TxID)
+	}
+}
+
+func (n *dtmNode) handleEarlyRelease(p *sim.Proc, r *earlyRelease) {
+	c := n.s.cfg.Costs
+	p.Advance(n.s.compute(c.SvcBase + c.SvcRelease*time.Duration(len(r.Addrs))))
+	for _, a := range r.Addrs {
+		n.table.ReleaseRead(a, r.Core, r.TxID)
+	}
+}
+
+func (n *dtmNode) respond(p *sim.Proc, reply *sim.Proc, replyCore int, resp *respLock) {
+	if reply == nil {
+		panic(fmt.Sprintf("core: dtm%d response with no reply proc", n.core))
+	}
+	n.s.stats.Responses++
+	n.s.send(p, n.core, reply, replyCore, resp, msgRespBytes)
+}

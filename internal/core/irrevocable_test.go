@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cm"
+	"repro/internal/mem"
+)
+
+func TestIrrevocableRunsExactlyOnce(t *testing.T) {
+	s := testSystem(t, nil)
+	a := s.Mem.Alloc(1, 0)
+	runs := 0
+	s.SpawnWorkers(func(rt *Runtime) {
+		if rt.AppIndex() != 0 {
+			return
+		}
+		rt.RunIrrevocable(func(ir *Irrevocable) {
+			runs++ // a side effect: must happen exactly once
+			ir.Write(a, ir.Read(a)+1)
+		})
+	})
+	st := s.RunToCompletion()
+	if runs != 1 {
+		t.Fatalf("irrevocable body ran %d times", runs)
+	}
+	if s.Mem.ReadRaw(a) != 1 {
+		t.Fatal("irrevocable write lost")
+	}
+	if st.Irrevocables != 1 {
+		t.Fatalf("Irrevocables = %d", st.Irrevocables)
+	}
+	if s.LockedAddrs() != 0 {
+		t.Fatal("locks leaked")
+	}
+}
+
+func TestIrrevocableAtomicAgainstTransactions(t *testing.T) {
+	// Core 0 repeatedly runs an irrevocable read-modify-write over two
+	// words that must stay equal; other cores update the pair
+	// transactionally. Neither side may observe or produce a torn pair.
+	s := testSystem(t, func(c *Config) { c.Policy = cm.FairCM })
+	pair := s.Mem.Alloc(2, 0)
+	const perCore = 15
+	s.SpawnWorkers(func(rt *Runtime) {
+		if rt.AppIndex() == 0 {
+			for i := 0; i < perCore; i++ {
+				rt.RunIrrevocable(func(ir *Irrevocable) {
+					x := ir.Read(pair)
+					y := ir.Read(pair + 1)
+					if x != y {
+						t.Errorf("irrevocable observed torn pair: %d != %d", x, y)
+					}
+					ir.Write(pair, x+1)
+					ir.Write(pair+1, y+1)
+				})
+			}
+			return
+		}
+		for i := 0; i < perCore; i++ {
+			rt.Run(func(tx *Tx) {
+				x := tx.Read(pair)
+				y := tx.Read(pair + 1)
+				if x != y {
+					t.Errorf("transaction observed torn pair: %d != %d", x, y)
+				}
+				tx.Write(pair, x+1)
+				tx.Write(pair+1, y+1)
+			})
+		}
+	})
+	s.RunToCompletion()
+	x, y := s.Mem.ReadRaw(pair), s.Mem.ReadRaw(pair+1)
+	if x != y {
+		t.Fatalf("final pair torn: %d != %d", x, y)
+	}
+	want := uint64(perCore * s.NumAppCores())
+	if x != want {
+		t.Fatalf("pair = %d, want %d (lost updates)", x, want)
+	}
+	if s.LockedAddrs() != 0 {
+		t.Fatal("locks leaked")
+	}
+}
+
+func TestTwoIrrevocablesSerialize(t *testing.T) {
+	s := testSystem(t, nil)
+	a := s.Mem.Alloc(1, 0)
+	s.SpawnWorkers(func(rt *Runtime) {
+		if rt.AppIndex() > 1 {
+			return
+		}
+		for i := 0; i < 10; i++ {
+			rt.RunIrrevocable(func(ir *Irrevocable) {
+				ir.Write(a, ir.Read(a)+1)
+			})
+		}
+	})
+	s.RunToCompletion()
+	if got := s.Mem.ReadRaw(a); got != 20 {
+		t.Fatalf("counter = %d, want 20 (irrevocables interleaved!)", got)
+	}
+}
+
+func TestIrrevocableUnderMultitask(t *testing.T) {
+	s := testSystem(t, func(c *Config) { c.Deployment = Multitask; c.TotalCores = 4 })
+	a := s.Mem.Alloc(1, 0)
+	s.SpawnWorkers(func(rt *Runtime) {
+		rt.RunIrrevocable(func(ir *Irrevocable) {
+			ir.Write(a, ir.Read(a)+1)
+		})
+	})
+	s.RunToCompletion()
+	if got := s.Mem.ReadRaw(a); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+}
+
+func TestStaleExclusiveReleaseIgnored(t *testing.T) {
+	s := testSystem(t, nil)
+	a := s.Mem.Alloc(1, 0)
+	s.SpawnWorkers(func(rt *Runtime) {
+		if rt.AppIndex() != 0 {
+			return
+		}
+		// A stray release for a token nobody holds must be a no-op.
+		for ni := range s.nodes {
+			rel := &relExclusive{Core: rt.Core(), TxID: 9999}
+			s.send(rt.Proc(), rt.Core(), s.nodeProcs[ni], s.nodes[ni].core, rel, rel.bytes())
+		}
+		rt.RunIrrevocable(func(ir *Irrevocable) { ir.Write(a, 1) })
+		rt.Run(func(tx *Tx) { tx.Write(a, tx.Read(a)+1) })
+	})
+	s.RunToCompletion()
+	if got := s.Mem.ReadRaw(a); got != 2 {
+		t.Fatalf("a = %d, want 2", got)
+	}
+}
+
+func TestIrrevocableStatusNotAbortable(t *testing.T) {
+	s := testSystem(t, nil)
+	s.SpawnWorkers(func(rt *Runtime) {
+		if rt.AppIndex() != 0 {
+			return
+		}
+		rt.RunIrrevocable(func(ir *Irrevocable) {
+			// A CM-style CAS from pending must fail: the register was set
+			// directly to committing.
+			id, st := s.Regs.LoadStatusLocal(rt.Core())
+			if st != mem.TxCommitting {
+				t.Errorf("irrevocable status = %v, want committing", st)
+			}
+			if s.Regs.CASStatusLocal(rt.Core(), id, mem.TxPending, mem.TxAborted) {
+				t.Error("irrevocable transaction was abortable")
+			}
+		})
+	})
+	s.RunToCompletion()
+}

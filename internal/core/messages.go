@@ -1,0 +1,85 @@
+package core
+
+import (
+	"repro/internal/cm"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// The DTM wire protocol. Every transactional wrapper is "similar to an
+// RPC-like call ... but uses message passing" (Algorithm 3/4): the app core
+// sends a request to the responsible DTM node and blocks for the response.
+// Releases and early releases are fire-and-forget.
+//
+// Payload sizes below approximate the on-wire encoding (for latency
+// accounting only): an 8-byte header, 8 bytes per address, and a 24-byte
+// transaction metadata block.
+
+const (
+	msgHeaderBytes = 8
+	msgMetaBytes   = 24
+	msgAddrBytes   = 8
+	msgRespBytes   = msgHeaderBytes + 16
+)
+
+// reqReadLock asks for the read lock of one object (Algorithm 1 trigger).
+type reqReadLock struct {
+	Addr    mem.Addr
+	Meta    cm.Meta
+	Reply   *sim.Proc
+	ReplyTo int // app core ID
+}
+
+func (r *reqReadLock) bytes() int { return msgHeaderBytes + msgMetaBytes + msgAddrBytes }
+
+// reqWriteLock asks for the write locks of one or more objects owned by the
+// same DTM node (Algorithm 2 trigger; batching per §3.3).
+type reqWriteLock struct {
+	Addrs   []mem.Addr
+	Meta    cm.Meta
+	Reply   *sim.Proc
+	ReplyTo int
+}
+
+func (r *reqWriteLock) bytes() int {
+	return msgHeaderBytes + msgMetaBytes + msgAddrBytes*len(r.Addrs)
+}
+
+// respLock answers a read- or write-lock request. OK means NO_CONFLICT; on
+// failure Kind reports the conflict class that aborted the requester.
+type respLock struct {
+	OK   bool
+	Kind cm.Kind
+}
+
+// relLocks releases the given read and write locks of attempt (Core, TxID).
+// Fire-and-forget: stale releases are no-ops at the lock table.
+type relLocks struct {
+	ReadAddrs  []mem.Addr
+	WriteAddrs []mem.Addr
+	Core       int
+	TxID       uint64
+}
+
+func (r *relLocks) bytes() int {
+	return msgHeaderBytes + 16 + msgAddrBytes*(len(r.ReadAddrs)+len(r.WriteAddrs))
+}
+
+// earlyRelease releases read locks before commit (elastic-early, §6.1).
+type earlyRelease struct {
+	Addrs []mem.Addr
+	Core  int
+	TxID  uint64
+}
+
+func (r *earlyRelease) bytes() int {
+	return msgHeaderBytes + 16 + msgAddrBytes*len(r.Addrs)
+}
+
+// barrierMsg implements the §8 privatization barrier: each app core sends
+// one to every other app core and waits for all of them.
+type barrierMsg struct {
+	Epoch uint64
+}
+
+func (barrierMsg) bytes() int { return msgHeaderBytes + 8 }

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dslock"
+	"repro/internal/hist"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// System is one TM2C instance: a simulated many-core with a DTM service
+// partition and an application partition (Figure 1). Build it with
+// NewSystem, allocate shared data through Mem, start application code with
+// SpawnWorkers, then call Run exactly once.
+type System struct {
+	cfg Config
+
+	K    *sim.Kernel
+	Mem  *mem.Memory
+	Regs *mem.Registers
+
+	// TxLifespans aggregates every committed transaction's lifespan (first
+	// attempt start to commit, §4.1). Under a starvation-free CM the tail
+	// stays bounded even on conflict-heavy workloads.
+	TxLifespans hist.Histogram
+
+	appCores []int // physical IDs of application cores
+	svcCores []int // physical IDs of DTM cores (== appCores under Multitask)
+	isSvc    map[int]bool
+
+	nodes     []*dtmNode
+	nodeProcs []*sim.Proc
+	runtimes  []*Runtime
+
+	deadline sim.Time
+	stats    Stats
+	audit    *auditor
+	spawned  bool
+	ran      bool
+}
+
+// NewSystem validates cfg and builds the system. Under Dedicated deployment
+// the DTM service procs are spawned immediately; application workers are
+// attached with SpawnWorkers.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:   cfg,
+		K:     sim.New(cfg.Seed),
+		isSvc: make(map[int]bool),
+	}
+	s.Mem = mem.New(&s.cfg.Platform)
+	s.Regs = mem.NewRegisters(&s.cfg.Platform)
+
+	if cfg.Deployment == Multitask {
+		for c := 0; c < cfg.TotalCores; c++ {
+			s.appCores = append(s.appCores, c)
+			s.svcCores = append(s.svcCores, c)
+			s.isSvc[c] = true
+		}
+	} else {
+		// Spread the service cores evenly across the core list (and hence
+		// across the mesh) so neither partition clusters in one corner.
+		total, svc := cfg.TotalCores, cfg.ServiceCores
+		for c := 0; c < total; c++ {
+			if ((c+1)*svc)/total > (c*svc)/total {
+				s.svcCores = append(s.svcCores, c)
+				s.isSvc[c] = true
+			} else {
+				s.appCores = append(s.appCores, c)
+			}
+		}
+	}
+	for i, c := range s.svcCores {
+		s.nodes = append(s.nodes, &dtmNode{s: s, idx: i, core: c, table: dslock.NewTable()})
+	}
+	s.nodeProcs = make([]*sim.Proc, len(s.nodes))
+	if cfg.Deployment == Dedicated {
+		for _, n := range s.nodes {
+			n := n
+			s.nodeProcs[n.idx] = s.K.Spawn(fmt.Sprintf("dtm%d", n.core), n.serveLoop)
+		}
+	}
+	return s, nil
+}
+
+// Config returns the normalized configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Platform returns the system's timing model.
+func (s *System) Platform() *noc.Platform { return &s.cfg.Platform }
+
+// NumAppCores returns the number of application cores.
+func (s *System) NumAppCores() int { return len(s.appCores) }
+
+// NumServiceCores returns the number of DTM nodes.
+func (s *System) NumServiceCores() int { return len(s.svcCores) }
+
+// AppCores returns the physical IDs of the application cores.
+func (s *System) AppCores() []int { return append([]int(nil), s.appCores...) }
+
+// SpawnWorkers starts one application worker per app core. The worker
+// receives the core's Runtime and typically loops until Runtime.Stopped.
+// Under Multitask deployment the same proc also serves the core's DTM node:
+// incoming requests are handled whenever the application blocks or reaches a
+// transaction boundary.
+func (s *System) SpawnWorkers(worker func(rt *Runtime)) {
+	if s.spawned {
+		panic("core: SpawnWorkers called twice")
+	}
+	if len(s.nodes) == 0 {
+		panic("core: SpawnWorkers on a raw-only system (ServiceCores: -1)")
+	}
+	s.spawned = true
+	for i, c := range s.appCores {
+		rt := &Runtime{
+			s:      s,
+			core:   c,
+			appIdx: i,
+			stats:  CoreStats{Core: c},
+		}
+		if s.cfg.Deployment == Multitask {
+			rt.node = s.nodes[i] // svcCores == appCores, same index
+		}
+		s.runtimes = append(s.runtimes, rt)
+	}
+	for _, rt := range s.runtimes {
+		rt := rt
+		p := s.K.Spawn(fmt.Sprintf("app%d", rt.core), func(p *sim.Proc) {
+			rt.proc = p
+			rt.initLocal()
+			worker(rt)
+			if rt.node != nil {
+				// Keep serving DTM requests after the workload finishes.
+				for {
+					m := p.Recv()
+					rt.node.handle(p, m)
+				}
+			}
+		})
+		if rt.node != nil {
+			// Register the proc before any worker starts so that requests
+			// routed to this node never observe a nil destination.
+			s.nodeProcs[rt.node.idx] = p
+		}
+	}
+}
+
+// SpawnRaw starts one plain proc per application core, without the
+// transactional runtime. Non-transactional baselines (sequential code, the
+// global-lock bank) use it; they access Mem and Regs directly and report
+// completed operations through AddOps.
+func (s *System) SpawnRaw(worker func(p *sim.Proc, core int)) {
+	if s.spawned {
+		panic("core: SpawnRaw after workers already spawned")
+	}
+	s.spawned = true
+	for _, c := range s.appCores {
+		c := c
+		s.K.Spawn(fmt.Sprintf("raw%d", c), func(p *sim.Proc) { worker(p, c) })
+	}
+}
+
+// AddOps records n completed application-level operations (used by
+// non-transactional baselines; transactional workers use Runtime.AddOps).
+func (s *System) AddOps(n int) { s.stats.Ops += uint64(n) }
+
+// Deadline returns the virtual stop time (set by Run).
+func (s *System) Deadline() sim.Time { return s.deadline }
+
+// Run executes the simulation until the virtual deadline d, then lets
+// in-flight transactions drain (workers observe Stopped and exit, so no new
+// work starts), snapshots the statistics, and tears the simulated machine
+// down. The graceful drain guarantees that shared memory is never left with
+// a half-persisted write set. Run must be called exactly once.
+func (s *System) Run(d time.Duration) *Stats {
+	if s.ran {
+		panic("core: Run called twice")
+	}
+	if d <= 0 {
+		panic("core: Run with non-positive duration")
+	}
+	s.ran = true
+	s.deadline = sim.Time(d)
+	// Hard cap at 6x the deadline: the drain tail must accommodate one
+	// last long transaction (e.g. a full bank balance scan), but a
+	// pathological livelock among the final in-flight transactions must
+	// not hang the host process.
+	s.K.Run(s.deadline * 6)
+	s.snapshot(s.K.Now())
+	s.K.Shutdown()
+	return &s.stats
+}
+
+// RunToCompletion executes until every proc has finished or blocked with no
+// pending events (all finite workloads done). Tests use it for workloads
+// with a fixed operation count.
+func (s *System) RunToCompletion() *Stats {
+	if s.ran {
+		panic("core: Run called twice")
+	}
+	s.ran = true
+	s.deadline = sim.Infinity
+	s.K.Run(sim.Infinity)
+	s.snapshot(s.K.Now())
+	s.K.Shutdown()
+	return &s.stats
+}
+
+func (s *System) snapshot(d sim.Time) {
+	s.stats.Duration = d
+	for _, rt := range s.runtimes {
+		s.stats.Commits += rt.stats.Commits
+		s.stats.Aborts += rt.stats.Aborts
+		s.stats.Ops += rt.stats.Ops
+		s.stats.PerCore = append(s.stats.PerCore, rt.stats)
+	}
+}
+
+// Stats returns the snapshot taken by Run. Valid only after Run.
+func (s *System) Stats() *Stats { return &s.stats }
+
+// LockedAddrs returns how many addresses still hold at least one lock
+// across all DTM nodes. After a fully drained run it must be zero: every
+// commit and every abort releases all of its locks. Tests use it as a
+// lock-leak detector.
+func (s *System) LockedAddrs() int {
+	total := 0
+	for _, n := range s.nodes {
+		total += n.table.Size()
+	}
+	return total
+}
+
+// lockKey maps an object base address to its lock stripe.
+func (s *System) lockKey(addr mem.Addr) mem.Addr {
+	return addr &^ mem.Addr(s.cfg.LockGranule-1)
+}
+
+// nodeFor maps a lock key to the responsible DTM node by hashing (§3.2).
+func (s *System) nodeFor(key mem.Addr) int {
+	x := uint64(key)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x % uint64(len(s.nodes)))
+}
+
+// recvPeers returns how many peers the receiving core polls for incoming
+// messages: the size of the opposite partition under Dedicated deployment,
+// everyone under Multitask.
+func (s *System) recvPeers(dstCore int) int {
+	if s.cfg.Deployment == Multitask {
+		return s.cfg.TotalCores - 1
+	}
+	if s.isSvc[dstCore] {
+		return len(s.appCores)
+	}
+	return len(s.svcCores)
+}
+
+// send transmits payload from srcCore (running in proc p) to dstProc on
+// dstCore, charging the platform's message latency.
+func (s *System) send(p *sim.Proc, srcCore int, dstProc *sim.Proc, dstCore int, payload any, nbytes int) {
+	delay := s.cfg.Platform.MsgDelay(srcCore, dstCore, nbytes, s.recvPeers(dstCore))
+	p.Send(dstProc, payload, delay)
+	s.stats.Msgs++
+	s.stats.MsgBytes += uint64(nbytes)
+}
+
+// compute scales a nominal duration to the platform.
+func (s *System) compute(d time.Duration) time.Duration {
+	return s.cfg.Platform.Compute(d)
+}

@@ -1,0 +1,592 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cm"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Runtime is the transactional runtime of one application core: the APP
+// service of Figure 1. Application workers receive it from SpawnWorkers and
+// execute transactions with Run/RunKind.
+type Runtime struct {
+	s      *System
+	core   int // physical core ID
+	appIdx int
+	proc   *sim.Proc
+	local  *cm.Local
+	node   *dtmNode // co-located DTM node (Multitask only)
+
+	nextTxID uint64
+	stats    CoreStats
+
+	barrierEpoch uint64
+	barrierSeen  map[uint64]int
+}
+
+func (rt *Runtime) initLocal() {
+	rt.local = cm.NewLocal(rt.s.cfg.Policy, rt.core, rt.proc.Rand())
+	rt.barrierSeen = make(map[uint64]int)
+}
+
+// Core returns the physical core ID.
+func (rt *Runtime) Core() int { return rt.core }
+
+// AppIndex returns the index of this core within the application partition.
+func (rt *Runtime) AppIndex() int { return rt.appIdx }
+
+// Proc returns the simulation process of the core.
+func (rt *Runtime) Proc() *sim.Proc { return rt.proc }
+
+// Rand returns the core's deterministic random source.
+func (rt *Runtime) Rand() *sim.Rand { return rt.proc.Rand() }
+
+// Mem returns the shared memory (for direct, weakly-atomic accesses; see
+// §2 — transactional data must not be accessed non-transactionally while
+// transactions may touch it).
+func (rt *Runtime) Mem() *mem.Memory { return rt.s.Mem }
+
+// Stopped reports whether the system's virtual deadline has passed; worker
+// loops use it as their exit condition.
+func (rt *Runtime) Stopped() bool { return rt.proc.Now() >= rt.s.deadline }
+
+// Compute charges d of nominal local computation (scaled to the platform).
+func (rt *Runtime) Compute(d time.Duration) { rt.proc.Advance(rt.s.compute(d)) }
+
+// AddOps records n completed application-level operations.
+func (rt *Runtime) AddOps(n int) { rt.stats.Ops += uint64(n) }
+
+// abortSignal is panicked out of transactional wrappers to unwind an
+// aborted attempt; Runtime.attempt recovers it. It never escapes the
+// package.
+type abortSignal struct {
+	kind    cm.Kind
+	hasKind bool // false for elastic-read validation aborts and remote aborts
+}
+
+// Tx is one transaction attempt. All accesses are at object granularity: an
+// object is n contiguous words identified by its base address, mirroring the
+// paper's txread(obj)/txwrite(obj) wrappers (Algorithms 3-4).
+type Tx struct {
+	rt   *Runtime
+	id   uint64
+	kind TxKind
+
+	reads     map[mem.Addr][]uint64
+	readOrder []mem.Addr
+	writes    map[mem.Addr][]uint64
+	writeOrd  []mem.Addr
+	wlocked   []mem.Addr // lock keys of write locks already held (eager mode)
+
+	window [2]winEntry // elastic-read validation window (last two reads)
+	nwin   int
+
+	// lastGrant is the completion time of the latest successful read,
+	// used by the auditor: a read-only transaction serializes at its last
+	// read, the only instant all of its locks are provably held.
+	lastGrant sim.Time
+}
+
+type winEntry struct {
+	base mem.Addr
+	vals []uint64
+}
+
+// ID returns the attempt identifier.
+func (tx *Tx) ID() uint64 { return tx.id }
+
+// Kind returns the transactional model of this transaction.
+func (tx *Tx) Kind() TxKind { return tx.kind }
+
+// ReadSetSize returns the number of objects currently read-locked.
+func (tx *Tx) ReadSetSize() int { return len(tx.reads) }
+
+// WriteSetSize returns the number of objects in the write buffer.
+func (tx *Tx) WriteSetSize() int { return len(tx.writes) }
+
+// Run executes fn as a Normal transaction, retrying on aborts until it
+// commits. It returns the number of attempts used.
+func (rt *Runtime) Run(fn func(*Tx)) int { return rt.RunKind(Normal, fn) }
+
+// RunKind executes fn as a transaction of the given kind, retrying until
+// commit. Inside fn, transactional reads and writes may abort the attempt by
+// unwinding the stack; fn must therefore be side-effect free apart from Tx
+// accesses and local computation (§2: no side effects in transactions).
+func (rt *Runtime) RunKind(kind TxKind, fn func(*Tx)) int {
+	rt.local.StartLifespan(rt.proc.Now())
+	attempts := 0
+	var lifeStart sim.Time
+	for {
+		attempts++
+		rt.drainRequests()
+		rt.nextTxID++
+		tx := &Tx{
+			rt:     rt,
+			id:     rt.nextTxID,
+			kind:   kind,
+			reads:  make(map[mem.Addr][]uint64),
+			writes: make(map[mem.Addr][]uint64),
+		}
+		rt.s.Regs.SetStatusLocal(rt.core, tx.id, mem.TxPending)
+		if attempts == 1 {
+			lifeStart = rt.proc.Now()
+		}
+		// The begin cost carries a small random jitter (<= 256 ns nominal).
+		// Besides being physically plausible, it breaks the deterministic
+		// symmetric livelocks that policies without randomization or
+		// priorities (NoCM) would otherwise sustain forever in a perfectly
+		// deterministic simulator.
+		jitter := time.Duration(rt.proc.Rand().Intn(257)) * time.Nanosecond
+		rt.proc.Advance(rt.s.compute(rt.s.cfg.Costs.TxBegin + jitter))
+		if rt.attempt(tx, fn) {
+			rt.local.OnCommit(rt.proc.Now())
+			rt.stats.Commits++
+			// Lifespan = start of the first attempt to commit, across
+			// aborts — the paper's §4.1 definition.
+			rt.s.TxLifespans.Observe(rt.proc.Now() - lifeStart)
+			return attempts
+		}
+		if backoff := rt.local.OnAbort(); backoff > 0 {
+			rt.proc.Advance(rt.s.compute(backoff))
+		}
+		rt.local.StartAttempt(rt.proc.Now())
+	}
+}
+
+func (rt *Runtime) attempt(tx *Tx, fn func(*Tx)) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			sig, isAbort := r.(abortSignal)
+			if !isAbort {
+				panic(r)
+			}
+			rt.abortCleanup(tx, sig)
+			ok = false
+		}
+	}()
+	fn(tx)
+	tx.commit()
+	return true
+}
+
+// checkAborted aborts the attempt if a contention manager remotely switched
+// this transaction's status register to aborted. A core checks its own
+// register locally, which is free.
+func (tx *Tx) checkAborted() {
+	if _, st := tx.rt.s.Regs.LoadStatusLocal(tx.rt.core); st == mem.TxAborted {
+		panic(abortSignal{})
+	}
+}
+
+// Read returns the single word object at addr.
+func (tx *Tx) Read(addr mem.Addr) uint64 { return tx.ReadN(addr, 1)[0] }
+
+// ReadN returns the n-word object at base. Under Normal and ElasticEarly
+// kinds this is Algorithm 4: the read lock is acquired from the responsible
+// DTM node before the shared memory is read (visible reads, early
+// acquisition). Under ElasticRead no lock is taken; the previous reads in
+// the validation window are re-read instead.
+func (tx *Tx) ReadN(base mem.Addr, n int) []uint64 {
+	rt := tx.rt
+	rt.proc.Advance(rt.s.compute(rt.s.cfg.Costs.Wrapper))
+	if v, ok := tx.writes[base]; ok {
+		return cloneWords(v)
+	}
+	if v, ok := tx.reads[base]; ok {
+		return cloneWords(v)
+	}
+	if tx.kind == ElasticRead {
+		return tx.elasticRead(base, n)
+	}
+	tx.checkAborted()
+	key := rt.s.lockKey(base)
+	resp := rt.rpcReadLock(tx, key)
+	if !resp.OK {
+		panic(abortSignal{kind: resp.Kind, hasKind: true})
+	}
+	// Record the grant before anything can abort the attempt: if the lock
+	// were not in the read set when the post-read abort check fires, the
+	// cleanup would never release it and the stale entry could block that
+	// object forever.
+	vals := rt.s.Mem.ReadBatch(rt.proc, rt.core, base, n)
+	tx.reads[base] = vals
+	tx.readOrder = append(tx.readOrder, base)
+	tx.lastGrant = rt.proc.Now()
+	tx.checkAborted()
+	return cloneWords(vals)
+}
+
+// elasticRead performs a lock-free read with consecutive-read validation
+// (§6.1, elastic-read): before reading the next object, every object in the
+// window is re-read from shared memory; a change aborts the attempt.
+// Re-reading an object already in the window returns the windowed value
+// without rotating the window, so update operations that re-touch the node
+// they are about to write keep that node under commit-time validation.
+func (tx *Tx) elasticRead(base mem.Addr, n int) []uint64 {
+	rt := tx.rt
+	for i := 0; i < tx.nwin; i++ {
+		if tx.window[i].base == base {
+			return cloneWords(tx.window[i].vals)
+		}
+	}
+	tx.validateWindow(true)
+	vals := rt.s.Mem.ReadBatch(rt.proc, rt.core, base, n)
+	tx.pushWindow(base, vals)
+	return cloneWords(vals)
+}
+
+func (tx *Tx) pushWindow(base mem.Addr, vals []uint64) {
+	if tx.nwin < len(tx.window) {
+		tx.window[tx.nwin] = winEntry{base, vals}
+		tx.nwin++
+		return
+	}
+	tx.window[0] = tx.window[1]
+	tx.window[1] = winEntry{base, vals}
+}
+
+// validateWindow re-reads the window entries and aborts on any change.
+// charged selects whether the re-reads cost memory latency (the final
+// commit-time re-check is folded into the persist and is free).
+func (tx *Tx) validateWindow(charged bool) {
+	rt := tx.rt
+	for i := 0; i < tx.nwin; i++ {
+		w := tx.window[i]
+		var cur []uint64
+		if charged {
+			cur = rt.s.Mem.ReadBatch(rt.proc, rt.core, w.base, len(w.vals))
+		} else {
+			cur = make([]uint64, len(w.vals))
+			for j := range cur {
+				cur[j] = rt.s.Mem.ReadRaw(w.base + mem.Addr(j))
+			}
+		}
+		for j := range cur {
+			if cur[j] != w.vals[j] {
+				panic(abortSignal{})
+			}
+		}
+	}
+}
+
+// Write buffers a single-word write.
+func (tx *Tx) Write(addr mem.Addr, v uint64) { tx.WriteN(addr, []uint64{v}) }
+
+// WriteN buffers a write of the n-word object at base (deferred writes,
+// §3.3). Under Eager acquisition the write lock is requested immediately;
+// under Lazy it is deferred to commit.
+func (tx *Tx) WriteN(base mem.Addr, vals []uint64) {
+	rt := tx.rt
+	rt.proc.Advance(rt.s.compute(rt.s.cfg.Costs.Wrapper))
+	if rt.s.cfg.Acquire == Eager {
+		key := rt.s.lockKey(base)
+		if !containsAddr(tx.wlocked, key) {
+			tx.checkAborted()
+			resp := rt.rpcWriteLock(tx, []mem.Addr{key})
+			if !resp.OK {
+				panic(abortSignal{kind: resp.Kind, hasKind: true})
+			}
+			tx.wlocked = append(tx.wlocked, key)
+		}
+	}
+	if _, ok := tx.writes[base]; !ok {
+		tx.writeOrd = append(tx.writeOrd, base)
+	}
+	tx.writes[base] = cloneWords(vals)
+}
+
+// EarlyRelease drops the read locks of the given objects before commit
+// (elastic-early, §6.1). The release messages are fire-and-forget, like
+// DSTM's explicit release. Objects not in the read set are ignored.
+func (tx *Tx) EarlyRelease(bases ...mem.Addr) {
+	rt := tx.rt
+	if tx.kind != ElasticEarly {
+		panic(fmt.Sprintf("core: EarlyRelease on %v transaction", tx.kind))
+	}
+	var keys []mem.Addr
+	for _, b := range bases {
+		if _, ok := tx.reads[b]; !ok {
+			continue
+		}
+		delete(tx.reads, b)
+		keys = append(keys, rt.s.lockKey(b))
+	}
+	for _, g := range rt.groupByNode(keys) {
+		msg := &earlyRelease{Addrs: g.addrs, Core: rt.core, TxID: tx.id}
+		rt.s.stats.EarlyReleases++
+		rt.s.send(rt.proc, rt.core, rt.s.nodeProcs[g.node], rt.s.nodes[g.node].core, msg, msg.bytes())
+	}
+}
+
+// commit implements Algorithm 3 (txcommit): acquire the write locks (batched
+// per responsible node unless disabled), switch to the non-abortable
+// committing state, persist the write set, release every lock.
+func (tx *Tx) commit() {
+	rt := tx.rt
+	tx.checkAborted()
+	rt.proc.Advance(rt.s.compute(rt.s.cfg.Costs.Commit))
+
+	if len(tx.writeOrd) > 0 && rt.s.cfg.Acquire == Lazy {
+		groups := rt.groupByNode(tx.writeKeys())
+		for _, g := range groups {
+			tx.checkAborted()
+			batches := [][]mem.Addr{g.addrs}
+			if rt.s.cfg.NoBatching {
+				batches = batches[:0]
+				for _, a := range g.addrs {
+					batches = append(batches, []mem.Addr{a})
+				}
+			}
+			for _, b := range batches {
+				resp := rt.rpcWriteLock(tx, b)
+				if !resp.OK {
+					panic(abortSignal{kind: resp.Kind, hasKind: true})
+				}
+				tx.wlocked = append(tx.wlocked, b...)
+			}
+		}
+	}
+
+	if len(tx.writeOrd) > 0 {
+		// Become non-abortable. If the CAS fails, a CM got to us first.
+		if !rt.s.Regs.CASStatusLocal(rt.core, tx.id, mem.TxPending, mem.TxCommitting) {
+			panic(abortSignal{})
+		}
+		if tx.kind == ElasticRead {
+			// Final consecutive-read validation at the persist instant.
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						// Roll back to abortable state before unwinding.
+						rt.s.Regs.SetStatusLocal(rt.core, tx.id, mem.TxAborted)
+						panic(r)
+					}
+				}()
+				tx.validateWindow(false)
+			}()
+		}
+		// Persist the write set to shared memory.
+		var addrs []mem.Addr
+		var vals []uint64
+		for _, base := range tx.writeOrd {
+			for i, v := range tx.writes[base] {
+				addrs = append(addrs, base+mem.Addr(i))
+				vals = append(vals, v)
+			}
+		}
+		rt.s.Mem.WriteBatch(rt.proc, rt.core, addrs, vals)
+	}
+
+	rt.s.Regs.SetStatusLocal(rt.core, tx.id, mem.TxCommitted)
+	if rt.s.audit != nil {
+		instant := rt.proc.Now() // updates: persist completion, all locks held
+		if len(tx.writeOrd) == 0 {
+			instant = tx.lastGrant // read-only: the last read's instant
+		}
+		rt.s.recordCommit(tx, instant)
+	}
+	rt.releaseAll(tx)
+}
+
+// abortCleanup releases every lock held by the failed attempt and marks the
+// status register.
+func (rt *Runtime) abortCleanup(tx *Tx, sig abortSignal) {
+	rt.s.Regs.SetStatusLocal(rt.core, tx.id, mem.TxAborted)
+	rt.releaseAll(tx)
+	rt.stats.Aborts++
+	if sig.hasKind {
+		rt.s.stats.AbortsByKind[sig.kind]++
+	}
+}
+
+// releaseAll sends one release message per DTM node covering the attempt's
+// remaining read locks and acquired write locks. Nodes are visited in
+// first-use order (reads in read order, then write locks in acquisition
+// order) so identical runs schedule identical events.
+func (rt *Runtime) releaseAll(tx *Tx) {
+	type rel struct{ reads, writes []mem.Addr }
+	perNode := make(map[int]*rel)
+	var order []int
+	get := func(ni int) *rel {
+		r := perNode[ni]
+		if r == nil {
+			r = &rel{}
+			perNode[ni] = r
+			order = append(order, ni)
+		}
+		return r
+	}
+	if tx.kind != ElasticRead {
+		for _, base := range tx.readOrder {
+			if _, held := tx.reads[base]; !held {
+				continue // early-released
+			}
+			key := rt.s.lockKey(base)
+			r := get(rt.s.nodeFor(key))
+			r.reads = append(r.reads, key)
+		}
+	}
+	for _, key := range tx.wlocked {
+		r := get(rt.s.nodeFor(key))
+		r.writes = append(r.writes, key)
+	}
+	for _, ni := range order {
+		r := perNode[ni]
+		msg := &relLocks{ReadAddrs: r.reads, WriteAddrs: r.writes, Core: rt.core, TxID: tx.id}
+		rt.s.stats.ReleaseMsgs++
+		rt.s.send(rt.proc, rt.core, rt.s.nodeProcs[ni], rt.s.nodes[ni].core, msg, msg.bytes())
+	}
+}
+
+// writeKeys returns the deduplicated lock keys of the write set, in first-
+// write order.
+func (tx *Tx) writeKeys() []mem.Addr {
+	seen := make(map[mem.Addr]bool, len(tx.writeOrd))
+	var keys []mem.Addr
+	for _, base := range tx.writeOrd {
+		k := tx.rt.s.lockKey(base)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+type nodeGroup struct {
+	node  int
+	addrs []mem.Addr
+}
+
+// groupByNode partitions lock keys by responsible DTM node, preserving the
+// relative order of first appearance (deterministic batching).
+func (rt *Runtime) groupByNode(keys []mem.Addr) []nodeGroup {
+	idx := make(map[int]int)
+	var groups []nodeGroup
+	for _, k := range keys {
+		ni := rt.s.nodeFor(k)
+		gi, ok := idx[ni]
+		if !ok {
+			gi = len(groups)
+			idx[ni] = gi
+			groups = append(groups, nodeGroup{node: ni})
+		}
+		groups[gi].addrs = append(groups[gi].addrs, k)
+	}
+	return groups
+}
+
+// rpcReadLock sends a read-lock request and waits for the response.
+func (rt *Runtime) rpcReadLock(tx *Tx, key mem.Addr) *respLock {
+	ni := rt.s.nodeFor(key)
+	req := &reqReadLock{
+		Addr:    key,
+		Meta:    rt.local.RequestMeta(tx.id, rt.proc.Now()),
+		Reply:   rt.proc,
+		ReplyTo: rt.core,
+	}
+	rt.s.stats.ReadLockReqs++
+	rt.s.send(rt.proc, rt.core, rt.s.nodeProcs[ni], rt.s.nodes[ni].core, req, req.bytes())
+	return rt.awaitResp()
+}
+
+// rpcWriteLock sends a (batched) write-lock request and waits.
+func (rt *Runtime) rpcWriteLock(tx *Tx, keys []mem.Addr) *respLock {
+	ni := rt.s.nodeFor(keys[0])
+	req := &reqWriteLock{
+		Addrs:   keys,
+		Meta:    rt.local.RequestMeta(tx.id, rt.proc.Now()),
+		Reply:   rt.proc,
+		ReplyTo: rt.core,
+	}
+	rt.s.stats.WriteLockReqs++
+	rt.s.send(rt.proc, rt.core, rt.s.nodeProcs[ni], rt.s.nodes[ni].core, req, req.bytes())
+	return rt.awaitResp()
+}
+
+// awaitResp blocks until the outstanding request's response arrives. Under
+// Multitask deployment the co-located DTM node's requests are served while
+// waiting — the libtask-style interleaving of §3.1.
+func (rt *Runtime) awaitResp() *respLock {
+	for {
+		m := rt.proc.Recv()
+		switch pl := m.Payload.(type) {
+		case *respLock:
+			return pl
+		case barrierMsg:
+			rt.barrierSeen[pl.Epoch]++
+		default:
+			if rt.node != nil && rt.node.handle(rt.proc, m) {
+				continue
+			}
+			panic(fmt.Sprintf("core: app%d unexpected message %T", rt.core, m.Payload))
+		}
+	}
+}
+
+// drainRequests serves any queued DTM requests at a transaction boundary
+// (Multitask cooperative yield).
+func (rt *Runtime) drainRequests() {
+	if rt.node == nil {
+		return
+	}
+	for {
+		m, ok := rt.proc.TryRecv()
+		if !ok {
+			return
+		}
+		if !rt.node.handle(rt.proc, m) {
+			if b, isB := m.Payload.(barrierMsg); isB {
+				rt.barrierSeen[b.Epoch]++
+				continue
+			}
+			panic(fmt.Sprintf("core: app%d unexpected message %T at tx boundary", rt.core, m.Payload))
+		}
+	}
+}
+
+// Barrier blocks until every application core has reached the same barrier
+// (§8 privatization support): each core sends a barrier message to all other
+// application cores and waits for all of theirs.
+func (rt *Runtime) Barrier() {
+	rt.barrierEpoch++
+	epoch := rt.barrierEpoch
+	msg := barrierMsg{Epoch: epoch}
+	for _, other := range rt.s.runtimes {
+		if other == rt {
+			continue
+		}
+		rt.s.send(rt.proc, rt.core, other.proc, other.core, msg, msg.bytes())
+	}
+	for rt.barrierSeen[epoch] < len(rt.s.runtimes)-1 {
+		m := rt.proc.Recv()
+		switch pl := m.Payload.(type) {
+		case barrierMsg:
+			rt.barrierSeen[pl.Epoch]++
+		default:
+			if rt.node != nil && rt.node.handle(rt.proc, m) {
+				continue
+			}
+			panic(fmt.Sprintf("core: app%d unexpected message %T in barrier", rt.core, m.Payload))
+		}
+	}
+	delete(rt.barrierSeen, epoch)
+}
+
+func cloneWords(v []uint64) []uint64 {
+	out := make([]uint64, len(v))
+	copy(out, v)
+	return out
+}
+
+func containsAddr(s []mem.Addr, a mem.Addr) bool {
+	for _, x := range s {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}

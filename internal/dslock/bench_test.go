@@ -1,0 +1,38 @@
+package dslock
+
+import (
+	"testing"
+
+	"repro/internal/cm"
+	"repro/internal/mem"
+)
+
+// BenchmarkReadLockGrant measures the grant/release fast path.
+func BenchmarkReadLockGrant(b *testing.B) {
+	t := NewTable()
+	m := cm.Meta{Core: 1, TxID: 1}
+	for i := 0; i < b.N; i++ {
+		addr := mem.Addr(i % 1024)
+		if t.ReadConflict(addr, m) == nil {
+			t.AddReader(addr, m)
+		}
+		t.ReleaseRead(addr, m.Core, m.TxID)
+	}
+}
+
+// BenchmarkWriteConflictScan measures conflict detection against a
+// populated reader set.
+func BenchmarkWriteConflictScan(b *testing.B) {
+	t := NewTable()
+	const addr mem.Addr = 7
+	for c := 0; c < 16; c++ {
+		t.AddReader(addr, cm.Meta{Core: c, TxID: uint64(c)})
+	}
+	req := cm.Meta{Core: 99, TxID: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t.WriteConflict(addr, req) == nil {
+			b.Fatal("expected conflict")
+		}
+	}
+}

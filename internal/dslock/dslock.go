@@ -1,0 +1,230 @@
+// Package dslock implements the DS-Lock component at the heart of TM2C's
+// DTM service (§3.2): a table of multiple-readers/single-writer *revocable*
+// locks over shared-memory words.
+//
+// Each DTM node owns one Table covering the slice of the address space that
+// hashes to it. The table is a pure data structure — message passing,
+// contention-manager invocation and remote revocation are driven by the DTM
+// service loop in internal/core, which keeps this package directly
+// unit-testable.
+//
+// Lock identity is the pair (core, txID): releases and revocations only
+// remove entries whose identity matches, so a stale release from an aborted
+// attempt can never disturb a lock legitimately held by a newer transaction.
+package dslock
+
+import (
+	"fmt"
+
+	"repro/internal/cm"
+	"repro/internal/mem"
+)
+
+// entry is the lock state of one address.
+type entry struct {
+	writer  *cm.Meta
+	readers []cm.Meta // at most one per core
+}
+
+func (e *entry) empty() bool { return e.writer == nil && len(e.readers) == 0 }
+
+// Table is the lock table of one DTM node.
+type Table struct {
+	locks map[mem.Addr]*entry
+
+	// Stats.
+	Grants, Conflicts uint64
+}
+
+// NewTable returns an empty lock table.
+func NewTable() *Table {
+	return &Table{locks: make(map[mem.Addr]*entry)}
+}
+
+// Size returns the number of addresses with at least one lock held.
+func (t *Table) Size() int { return len(t.locks) }
+
+// Conflict describes why a request cannot be granted: the conflict kind and
+// the metadata of every enemy transaction, for the contention manager.
+type Conflict struct {
+	Kind    cm.Kind
+	Enemies []cm.Meta
+}
+
+// ReadConflict checks a read-lock request by req against the table. It
+// returns nil if the lock can be granted immediately, or the RAW conflict
+// with the current writer (Algorithm 1).
+func (t *Table) ReadConflict(addr mem.Addr, req cm.Meta) *Conflict {
+	e := t.locks[addr]
+	if e == nil || e.writer == nil || e.writer.Core == req.Core {
+		return nil
+	}
+	return &Conflict{Kind: cm.RAW, Enemies: []cm.Meta{*e.writer}}
+}
+
+// WriteConflict checks a write-lock request by req. It returns nil if the
+// lock can be granted, a WAW conflict if a foreign writer holds the lock, or
+// a WAR conflict listing every foreign reader (Algorithm 2).
+func (t *Table) WriteConflict(addr mem.Addr, req cm.Meta) *Conflict {
+	e := t.locks[addr]
+	if e == nil {
+		return nil
+	}
+	if e.writer != nil && e.writer.Core != req.Core {
+		return &Conflict{Kind: cm.WAW, Enemies: []cm.Meta{*e.writer}}
+	}
+	var enemies []cm.Meta
+	for _, r := range e.readers {
+		if r.Core != req.Core {
+			enemies = append(enemies, r)
+		}
+	}
+	if len(enemies) > 0 {
+		return &Conflict{Kind: cm.WAR, Enemies: enemies}
+	}
+	return nil
+}
+
+// AddReader records a granted read lock. A core's previous read entry for
+// the same address (e.g. an earlier attempt) is replaced.
+func (t *Table) AddReader(addr mem.Addr, m cm.Meta) {
+	t.Grants++
+	e := t.ensure(addr)
+	for i := range e.readers {
+		if e.readers[i].Core == m.Core {
+			e.readers[i] = m
+			return
+		}
+	}
+	e.readers = append(e.readers, m)
+}
+
+// SetWriter records a granted write lock. It panics if a different core
+// still holds the write lock — the service must resolve conflicts first.
+func (t *Table) SetWriter(addr mem.Addr, m cm.Meta) {
+	t.Grants++
+	e := t.ensure(addr)
+	if e.writer != nil && e.writer.Core != m.Core {
+		panic(fmt.Sprintf("dslock: SetWriter(%#x) over foreign writer core %d", uint64(addr), e.writer.Core))
+	}
+	w := m
+	e.writer = &w
+}
+
+// WriterOf returns the current writer's metadata, if any.
+func (t *Table) WriterOf(addr mem.Addr) (cm.Meta, bool) {
+	if e := t.locks[addr]; e != nil && e.writer != nil {
+		return *e.writer, true
+	}
+	return cm.Meta{}, false
+}
+
+// ReadersOf returns a copy of the reader set of addr.
+func (t *Table) ReadersOf(addr mem.Addr) []cm.Meta {
+	e := t.locks[addr]
+	if e == nil || len(e.readers) == 0 {
+		return nil
+	}
+	out := make([]cm.Meta, len(e.readers))
+	copy(out, e.readers)
+	return out
+}
+
+// ReleaseRead removes (core, txID)'s read lock on addr. It reports whether
+// an entry was removed; stale releases are harmless no-ops.
+func (t *Table) ReleaseRead(addr mem.Addr, core int, txID uint64) bool {
+	e := t.locks[addr]
+	if e == nil {
+		return false
+	}
+	for i := range e.readers {
+		if e.readers[i].Core == core && e.readers[i].TxID == txID {
+			e.readers = append(e.readers[:i], e.readers[i+1:]...)
+			t.gc(addr, e)
+			return true
+		}
+	}
+	return false
+}
+
+// ReleaseWrite removes (core, txID)'s write lock on addr.
+func (t *Table) ReleaseWrite(addr mem.Addr, core int, txID uint64) bool {
+	e := t.locks[addr]
+	if e == nil || e.writer == nil || e.writer.Core != core || e.writer.TxID != txID {
+		return false
+	}
+	e.writer = nil
+	t.gc(addr, e)
+	return true
+}
+
+// Revoke removes every lock (read and write) held by (core, txID) on addr.
+// The DTM service calls it after the contention manager has aborted the
+// enemy transaction. It reports whether anything was removed.
+func (t *Table) Revoke(addr mem.Addr, core int, txID uint64) bool {
+	e := t.locks[addr]
+	if e == nil {
+		return false
+	}
+	removed := false
+	if e.writer != nil && e.writer.Core == core && e.writer.TxID == txID {
+		e.writer = nil
+		removed = true
+	}
+	for i := 0; i < len(e.readers); {
+		if e.readers[i].Core == core && e.readers[i].TxID == txID {
+			e.readers = append(e.readers[:i], e.readers[i+1:]...)
+			removed = true
+			continue
+		}
+		i++
+	}
+	if removed {
+		t.gc(addr, e)
+	}
+	return removed
+}
+
+func (t *Table) ensure(addr mem.Addr) *entry {
+	e := t.locks[addr]
+	if e == nil {
+		e = &entry{}
+		t.locks[addr] = e
+	}
+	return e
+}
+
+func (t *Table) gc(addr mem.Addr, e *entry) {
+	if e.empty() {
+		delete(t.locks, addr)
+	}
+}
+
+// CheckInvariants validates the table's structural invariants; tests call it
+// after random operation sequences. The invariants are: no empty entries
+// linger, at most one reader entry per core per address, and a foreign
+// writer never coexists with foreign readers (the WAR resolution either
+// aborted the readers or the writer).
+func (t *Table) CheckInvariants() error {
+	for addr, e := range t.locks {
+		if e.empty() {
+			return fmt.Errorf("empty entry lingers at %#x", uint64(addr))
+		}
+		seen := make(map[int]bool)
+		for _, r := range e.readers {
+			if seen[r.Core] {
+				return fmt.Errorf("duplicate reader core %d at %#x", r.Core, uint64(addr))
+			}
+			seen[r.Core] = true
+		}
+		if e.writer != nil {
+			for _, r := range e.readers {
+				if r.Core != e.writer.Core {
+					return fmt.Errorf("foreign reader core %d coexists with writer core %d at %#x",
+						r.Core, e.writer.Core, uint64(addr))
+				}
+			}
+		}
+	}
+	return nil
+}

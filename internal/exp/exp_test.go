@@ -1,0 +1,150 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny is the cheapest scale that still exercises every code path.
+var tiny = Scale{Duration: 800 * time.Microsecond, SizeDiv: 16, Cores: []int{4, 8}, Seed: 3}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"settings", "fig4a", "fig4b", "fig4c",
+		"fig5a", "fig5b", "fig5c", "fig5d",
+		"fig6a", "fig6b", "fig7a", "fig7b",
+		"fig8a", "fig8b", "fig8c", "fig8d",
+		"ablbatch", "ablpoll", "ablgran",
+		"extskip", "extirrev",
+	}
+	ids := IDs()
+	for _, w := range want {
+		found := false
+		for _, id := range ids {
+			if id == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("experiment %q not registered", w)
+		}
+	}
+	if len(ids) != len(want) {
+		t.Errorf("registry has %d experiments, want %d (%v)", len(ids), len(want), ids)
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig5a"); !ok {
+		t.Fatal("fig5a missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("bogus ID found")
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tab := &Table{
+		ID:      "demo",
+		Title:   "Demo",
+		Columns: []string{"x", "y"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("wide-label", 12345.0)
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"## demo", "x", "y", "wide-label", "12345", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	tab.CSV(&sb)
+	if !strings.HasPrefix(sb.String(), "x,y\n1,2.500\n") {
+		t.Errorf("csv output:\n%s", sb.String())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{0: "0", 0.5: "0.500", 42.42: "42.4", 1234567: "1234567"}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// TestEveryExperimentRunsAtTinyScale smoke-runs the full registry and
+// validates the result tables are well-formed.
+func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny sweep still takes a few seconds")
+	}
+	for _, e := range All {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(tiny)
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tab := range tables {
+				if tab.ID == "" || tab.Title == "" {
+					t.Errorf("table missing ID/title: %+v", tab)
+				}
+				if len(tab.Rows) == 0 {
+					t.Errorf("table %s has no rows", tab.ID)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Columns) {
+						t.Errorf("table %s row width %d != %d columns", tab.ID, len(row), len(tab.Columns))
+					}
+				}
+			}
+		})
+	}
+}
+
+// Qualitative shape checks at a small but meaningful scale. Generous
+// tolerances: these assert orderings, not magnitudes.
+func TestShapeDedicatedBeatsMultitask(t *testing.T) {
+	sc := Scale{Duration: 3 * time.Millisecond, SizeDiv: 8, Cores: []int{48}, Seed: 5}
+	tabs := fig4a(sc)
+	row := tabs[0].Rows[len(tabs[0].Rows)-1]
+	multi, ded := row[1], row[3] // lf2 columns
+	if parse(t, ded) <= parse(t, multi) {
+		t.Errorf("dedicated (%s) should beat multitask (%s) at 48 cores", ded, multi)
+	}
+}
+
+func TestShapeElasticReadWins(t *testing.T) {
+	sc := Scale{Duration: 4 * time.Millisecond, SizeDiv: 16, Cores: []int{16}, Seed: 5}
+	tabs := fig7b(sc)
+	row := tabs[0].Rows[0]
+	if parse(t, row[1]) <= 1.0 {
+		t.Errorf("elastic-read speedup over normal = %s, want > 1", row[1])
+	}
+}
+
+func TestShapeFairCMThrottlesBalanceCore(t *testing.T) {
+	sc := Scale{Duration: 6 * time.Millisecond, SizeDiv: 8, Cores: []int{16}, Seed: 5}
+	tabs := fig5c(sc)
+	row := tabs[0].Rows[0] // columns: cores, wholly, offset-greedy, faircm, backoff
+	wholly, faircm := parse(t, row[1]), parse(t, row[3])
+	if faircm <= wholly {
+		t.Errorf("FairCM (%v) should beat Wholly (%v) with one balance core", faircm, wholly)
+	}
+}
+
+func parse(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmt.Sscan(s, &v); err != nil {
+		t.Fatalf("cannot parse %q: %v", s, err)
+	}
+	return v
+}

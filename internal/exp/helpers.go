@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/cm"
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// sysConfig carries the per-run knobs shared by the experiment helpers.
+type sysConfig struct {
+	pl    noc.Platform
+	total int
+	svc   int // 0 = default split, -1 = raw only
+	dep   core.Deployment
+	pol   cm.Policy
+	acq   core.AcquireMode
+	batch bool // false disables write-lock batching
+	gran  int
+	seed  uint64
+}
+
+func defaultSys(total int) sysConfig {
+	return sysConfig{pl: noc.SCC(0), total: total, pol: cm.FairCM, batch: true}
+}
+
+func (c sysConfig) build() *core.System {
+	cfg := core.Config{
+		Platform:     c.pl,
+		Seed:         c.seed,
+		TotalCores:   c.total,
+		ServiceCores: c.svc,
+		Deployment:   c.dep,
+		Policy:       c.pol,
+		Acquire:      c.acq,
+		NoBatching:   !c.batch,
+		LockGranule:  c.gran,
+	}
+	s, err := core.NewSystem(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("exp: bad system config: %v", err))
+	}
+	return s
+}
+
+// perMs converts an ops count over a virtual duration to ops per virtual ms.
+func perMs(ops uint64, d sim.Time) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(ops) / (float64(d) / 1e6)
+}
+
+// ratio guards against division by zero.
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// halfSplit returns the dedicated service-core count used by the paper for
+// a given total (half the cores, at least one of each).
+func halfSplit(total int) int {
+	s := total / 2
+	if s < 1 {
+		s = 1
+	}
+	if s >= total {
+		s = total - 1
+	}
+	return s
+}

@@ -1,0 +1,214 @@
+// Package mem emulates the non-coherent shared memory of a many-core: a
+// flat, word-addressable address space reached through a small number of
+// memory controllers, with no hardware cache coherence.
+//
+// The address space is partitioned into one region per memory controller
+// (high address bits select the controller), matching the SCC where each
+// DDR3 controller serves a fixed physical range. A bump allocator per region
+// lets callers place data near a chosen controller — the paper relies on
+// this ("each core adding a new element stores it in its closest memory
+// controller", §5.2).
+//
+// Accesses are charged virtual latency: distance to the controller plus a
+// queueing term, so controller congestion emerges when many cores hammer
+// the same region (the effect behind Fig. 4(b) and the elastic-read knee in
+// Fig. 7(b)).
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// Addr is a word address in the shared address space.
+type Addr uint64
+
+// regionShift selects the memory-controller region from the high bits.
+const regionShift = 40
+
+// Nil is the null address. The allocator never returns it, so data
+// structures may use it as a null pointer.
+const Nil Addr = 0
+
+// Memory is the shared address space. All methods must be called from the
+// currently running simulation context (a proc or kernel event); the
+// one-at-a-time kernel provides mutual exclusion.
+type Memory struct {
+	pl    *noc.Platform
+	words map[Addr]uint64
+	brk   []Addr     // per-region bump pointer
+	busy  []sim.Time // per-controller queue: time the MC is busy until
+
+	// Stats accumulates access counters; read them after a run.
+	Stats MemStats
+}
+
+// MemStats counts memory traffic.
+type MemStats struct {
+	Reads, Writes uint64
+	PerMC         []uint64
+	WaitTime      sim.Time // total queueing delay experienced
+}
+
+// New returns an empty memory for the platform.
+func New(pl *noc.Platform) *Memory {
+	n := pl.MCCount()
+	m := &Memory{
+		pl:    pl,
+		words: make(map[Addr]uint64),
+		brk:   make([]Addr, n),
+		busy:  make([]sim.Time, n),
+	}
+	m.Stats.PerMC = make([]uint64, n)
+	for i := range m.brk {
+		// Start each region at word 1 so that Nil (0) is never allocated.
+		m.brk[i] = Addr(i)<<regionShift + 1
+	}
+	return m
+}
+
+// MCOf returns the memory controller serving addr.
+func (m *Memory) MCOf(addr Addr) int {
+	mc := int(addr >> regionShift)
+	if mc >= len(m.brk) {
+		panic(fmt.Sprintf("mem: address %#x outside any controller region", uint64(addr)))
+	}
+	return mc
+}
+
+// Alloc reserves n contiguous words in controller mc's region and returns
+// the base address. It never fails (the regions are 2^40 words).
+func (m *Memory) Alloc(n int, mc int) Addr {
+	if n <= 0 {
+		panic("mem: Alloc of non-positive size")
+	}
+	mc %= len(m.brk)
+	base := m.brk[mc]
+	m.brk[mc] += Addr(n)
+	return base
+}
+
+// NearestMC returns the controller closest to core on the platform.
+func (m *Memory) NearestMC(core int) int {
+	best, bestHops := 0, 1<<30
+	for mc := 0; mc < m.pl.MCCount(); mc++ {
+		if h := m.pl.MemHops(core, mc); h < bestHops {
+			best, bestHops = mc, h
+		}
+	}
+	return best
+}
+
+// AllocNear reserves n words in the region of the controller closest to
+// core.
+func (m *Memory) AllocNear(n int, core int) Addr {
+	return m.Alloc(n, m.NearestMC(core))
+}
+
+// access charges p with the latency of nWords accesses from core through
+// addr's controller. A batch pays the distance once and occupies the
+// controller once per word.
+func (m *Memory) access(p *sim.Proc, core int, addr Addr, nWords int) {
+	mc := m.MCOf(addr)
+	m.Stats.PerMC[mc] += uint64(nWords)
+	now := p.Now()
+	start := now
+	if m.busy[mc] > start {
+		start = m.busy[mc]
+	}
+	wait := start - now
+	service := sim.Time(m.pl.MemService) * sim.Time(nWords)
+	m.busy[mc] = start + service
+	m.Stats.WaitTime += wait
+	total := (wait + service).Duration() + m.pl.MemDelay(core, mc)
+	p.Advance(total)
+}
+
+// Read returns the word at addr, charging access latency to p.
+func (m *Memory) Read(p *sim.Proc, core int, addr Addr) uint64 {
+	m.Stats.Reads++
+	m.access(p, core, addr, 1)
+	return m.words[addr]
+}
+
+// Write stores v at addr, charging access latency to p.
+func (m *Memory) Write(p *sim.Proc, core int, addr Addr, v uint64) {
+	m.Stats.Writes++
+	m.access(p, core, addr, 1)
+	m.setWord(addr, v)
+}
+
+// ReadBatch returns the n contiguous words starting at base, charging one
+// batched access: the distance to the controller is paid once, the
+// controller is occupied once per word. Objects (multi-word records) are
+// read this way.
+func (m *Memory) ReadBatch(p *sim.Proc, core int, base Addr, n int) []uint64 {
+	if n <= 0 {
+		panic("mem: ReadBatch of non-positive size")
+	}
+	m.Stats.Reads += uint64(n)
+	m.access(p, core, base, n)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = m.words[base+Addr(i)]
+	}
+	return out
+}
+
+// WriteBatch stores values[i] at addrs[i], charging a single batched access:
+// one distance payment per controller touched, one service slot per word.
+func (m *Memory) WriteBatch(p *sim.Proc, core int, addrs []Addr, values []uint64) {
+	if len(addrs) != len(values) {
+		panic("mem: WriteBatch length mismatch")
+	}
+	if len(addrs) == 0 {
+		return
+	}
+	m.Stats.Writes += uint64(len(addrs))
+	// Group per controller, paying distance once per controller; iterate
+	// controllers in fixed order for determinism.
+	perMC := make([]int, len(m.brk))
+	for _, a := range addrs {
+		perMC[m.MCOf(a)]++
+	}
+	for mc, n := range perMC {
+		if n == 0 {
+			continue
+		}
+		m.Stats.PerMC[mc] += uint64(n)
+		now := p.Now()
+		start := now
+		if m.busy[mc] > start {
+			start = m.busy[mc]
+		}
+		wait := start - now
+		service := sim.Time(m.pl.MemService) * sim.Time(n)
+		m.busy[mc] = start + service
+		m.Stats.WaitTime += wait
+		p.Advance((wait + service).Duration() + m.pl.MemDelay(core, mc))
+	}
+	for i, a := range addrs {
+		m.setWord(a, values[i])
+	}
+}
+
+func (m *Memory) setWord(addr Addr, v uint64) {
+	if v == 0 {
+		delete(m.words, addr) // keep the map sparse
+		return
+	}
+	m.words[addr] = v
+}
+
+// ReadRaw returns the word at addr without charging latency. Intended for
+// setup and verification code outside the simulated machine.
+func (m *Memory) ReadRaw(addr Addr) uint64 { return m.words[addr] }
+
+// WriteRaw stores v at addr without charging latency. Intended for setup
+// code outside the simulated machine.
+func (m *Memory) WriteRaw(addr Addr, v uint64) { m.setWord(addr, v) }
+
+// Footprint returns the number of non-zero words currently stored.
+func (m *Memory) Footprint() int { return len(m.words) }

@@ -1,0 +1,320 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+func newTestMem() (*noc.Platform, *Memory) {
+	pl := noc.SCC(0)
+	return &pl, New(&pl)
+}
+
+func TestAllocNeverReturnsNil(t *testing.T) {
+	_, m := newTestMem()
+	for mc := 0; mc < 4; mc++ {
+		if a := m.Alloc(1, mc); a == Nil {
+			t.Fatalf("Alloc returned Nil in region %d", mc)
+		}
+	}
+}
+
+func TestAllocRegionsDisjoint(t *testing.T) {
+	_, m := newTestMem()
+	type span struct{ lo, hi Addr }
+	var spans []span
+	for i := 0; i < 200; i++ {
+		n := i%17 + 1
+		a := m.Alloc(n, i%4)
+		spans = append(spans, span{a, a + Addr(n)})
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			a, b := spans[i], spans[j]
+			if a.lo < b.hi && b.lo < a.hi {
+				t.Fatalf("allocations overlap: %+v and %+v", a, b)
+			}
+		}
+	}
+}
+
+func TestAllocPropertyNonOverlapping(t *testing.T) {
+	if err := quick.Check(func(sizes []uint8) bool {
+		_, m := newTestMem()
+		seen := make(map[Addr]bool)
+		for i, s := range sizes {
+			n := int(s%32) + 1
+			base := m.Alloc(n, i%4)
+			for w := Addr(0); w < Addr(n); w++ {
+				if seen[base+w] {
+					return false
+				}
+				seen[base+w] = true
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMCOfMatchesAllocRegion(t *testing.T) {
+	_, m := newTestMem()
+	for mc := 0; mc < 4; mc++ {
+		a := m.Alloc(8, mc)
+		if got := m.MCOf(a); got != mc {
+			t.Errorf("MCOf(alloc in %d) = %d", mc, got)
+		}
+	}
+}
+
+func TestAllocPanicsOnNonPositive(t *testing.T) {
+	_, m := newTestMem()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Alloc(0) did not panic")
+		}
+	}()
+	m.Alloc(0, 0)
+}
+
+func TestReadAfterWrite(t *testing.T) {
+	_, m := newTestMem()
+	k := sim.New(1)
+	a := m.Alloc(4, 0)
+	k.Spawn("c", func(p *sim.Proc) {
+		m.Write(p, 0, a, 42)
+		if v := m.Read(p, 0, a); v != 42 {
+			t.Errorf("read back %d, want 42", v)
+		}
+		if v := m.Read(p, 0, a+1); v != 0 {
+			t.Errorf("unwritten word = %d, want 0", v)
+		}
+	})
+	k.Run(sim.Infinity)
+}
+
+func TestAccessChargesLatency(t *testing.T) {
+	pl, m := newTestMem()
+	k := sim.New(1)
+	a := m.Alloc(1, 0)
+	var elapsed sim.Time
+	k.Spawn("c", func(p *sim.Proc) {
+		start := p.Now()
+		m.Read(p, 0, a)
+		elapsed = p.Now() - start
+	})
+	k.Run(sim.Infinity)
+	min := sim.Time(pl.MemBase)
+	if elapsed < min {
+		t.Fatalf("read took %v, want >= %v", elapsed, min)
+	}
+}
+
+func TestControllerCongestion(t *testing.T) {
+	_, m := newTestMem()
+	k := sim.New(1)
+	a := m.Alloc(1, 0)
+	// Ten cores hit the same controller at t=0; later ones must queue.
+	var times []sim.Time
+	for c := 0; c < 10; c++ {
+		core := c
+		k.Spawn("c", func(p *sim.Proc) {
+			m.Read(p, core, a)
+			times = append(times, p.Now())
+		})
+	}
+	k.Run(sim.Infinity)
+	if m.Stats.WaitTime == 0 {
+		t.Fatal("expected queueing wait under contention")
+	}
+	if m.Stats.Reads != 10 {
+		t.Fatalf("reads = %d", m.Stats.Reads)
+	}
+}
+
+func TestWriteBatchCheaperThanSingles(t *testing.T) {
+	cost := func(batch bool) sim.Time {
+		_, m := newTestMem()
+		k := sim.New(1)
+		addrs := make([]Addr, 16)
+		vals := make([]uint64, 16)
+		base := m.Alloc(16, 0)
+		for i := range addrs {
+			addrs[i] = base + Addr(i)
+			vals[i] = uint64(i + 1)
+		}
+		var elapsed sim.Time
+		k.Spawn("c", func(p *sim.Proc) {
+			start := p.Now()
+			if batch {
+				m.WriteBatch(p, 0, addrs, vals)
+			} else {
+				for i := range addrs {
+					m.Write(p, 0, addrs[i], vals[i])
+				}
+			}
+			elapsed = p.Now() - start
+		})
+		k.Run(sim.Infinity)
+		for i := range addrs {
+			if m.ReadRaw(addrs[i]) != vals[i] {
+				t.Fatalf("batch=%v lost write at %d", batch, i)
+			}
+		}
+		return elapsed
+	}
+	if b, s := cost(true), cost(false); b >= s {
+		t.Fatalf("batch (%v) should be cheaper than singles (%v)", b, s)
+	}
+}
+
+func TestWriteBatchValidation(t *testing.T) {
+	_, m := newTestMem()
+	k := sim.New(1)
+	k.Spawn("c", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("length mismatch did not panic")
+			}
+		}()
+		m.WriteBatch(p, 0, []Addr{1}, nil)
+	})
+	k.Run(sim.Infinity)
+}
+
+func TestWriteBatchEmptyIsFree(t *testing.T) {
+	_, m := newTestMem()
+	k := sim.New(1)
+	k.Spawn("c", func(p *sim.Proc) {
+		start := p.Now()
+		m.WriteBatch(p, 0, nil, nil)
+		if p.Now() != start {
+			t.Errorf("empty batch consumed time")
+		}
+	})
+	k.Run(sim.Infinity)
+}
+
+func TestZeroWritesKeepMapSparse(t *testing.T) {
+	_, m := newTestMem()
+	a := m.Alloc(1, 0)
+	m.WriteRaw(a, 7)
+	if m.Footprint() != 1 {
+		t.Fatalf("footprint = %d", m.Footprint())
+	}
+	m.WriteRaw(a, 0)
+	if m.Footprint() != 0 {
+		t.Fatalf("footprint after zeroing = %d", m.Footprint())
+	}
+}
+
+func TestNearestMC(t *testing.T) {
+	_, m := newTestMem()
+	// Core 0 is at tile (0,0): controller 0's corner.
+	if mc := m.NearestMC(0); mc != 0 {
+		t.Errorf("NearestMC(0) = %d, want 0", mc)
+	}
+	// Core 47 is at tile (5,3): controller 3's corner.
+	if mc := m.NearestMC(47); mc != 3 {
+		t.Errorf("NearestMC(47) = %d, want 3", mc)
+	}
+	a := m.AllocNear(4, 47)
+	if m.MCOf(a) != 3 {
+		t.Errorf("AllocNear(47) placed in MC %d", m.MCOf(a))
+	}
+}
+
+func TestMCOfPanicsOutsideRegions(t *testing.T) {
+	_, m := newTestMem()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MCOf on wild address did not panic")
+		}
+	}()
+	m.MCOf(Addr(200) << 40)
+}
+
+func TestStatusRegisterLifecycle(t *testing.T) {
+	pl := noc.SCC(0)
+	r := NewRegisters(&pl)
+	r.SetStatusLocal(3, 100, TxPending)
+	if id, st := r.LoadStatusLocal(3); id != 100 || st != TxPending {
+		t.Fatalf("load = (%d,%v)", id, st)
+	}
+	if !r.CASStatusLocal(3, 100, TxPending, TxCommitting) {
+		t.Fatal("CAS pending->committing failed")
+	}
+	if r.CASStatusLocal(3, 100, TxPending, TxAborted) {
+		t.Fatal("CAS from stale state succeeded")
+	}
+	if r.CASStatusLocal(3, 99, TxCommitting, TxAborted) {
+		t.Fatal("CAS with wrong txID succeeded")
+	}
+}
+
+func TestRemoteCASChargesLatency(t *testing.T) {
+	pl := noc.SCC(0)
+	r := NewRegisters(&pl)
+	r.SetStatusLocal(40, 7, TxPending)
+	k := sim.New(1)
+	k.Spawn("dtm", func(p *sim.Proc) {
+		start := p.Now()
+		if !r.CASStatusRemote(p, 0, 40, 7, TxPending, TxAborted) {
+			t.Errorf("remote CAS failed")
+		}
+		if p.Now() == start {
+			t.Errorf("remote CAS was free")
+		}
+	})
+	k.Run(sim.Infinity)
+	if _, st := r.LoadStatusLocal(40); st != TxAborted {
+		t.Fatalf("state = %v, want aborted", st)
+	}
+	if r.RemoteOps != 1 {
+		t.Fatalf("RemoteOps = %d", r.RemoteOps)
+	}
+}
+
+func TestTASSemantics(t *testing.T) {
+	pl := noc.SCC(0)
+	r := NewRegisters(&pl)
+	k := sim.New(1)
+	k.Spawn("c", func(p *sim.Proc) {
+		if r.TAS(p, 1, 0) {
+			t.Errorf("first TAS should return false (was clear)")
+		}
+		if !r.TAS(p, 2, 0) {
+			t.Errorf("second TAS should return true (was set)")
+		}
+		r.TASRelease(p, 1, 0)
+		if r.TAS(p, 3, 0) {
+			t.Errorf("TAS after release should return false")
+		}
+	})
+	k.Run(sim.Infinity)
+}
+
+func TestTxStateString(t *testing.T) {
+	names := map[TxState]string{
+		TxFree: "free", TxPending: "pending", TxCommitting: "committing",
+		TxAborted: "aborted", TxCommitted: "committed", TxState(99): "invalid",
+	}
+	for st, want := range names {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}
+
+func TestMemDelayFartherMCCostsMore(t *testing.T) {
+	// Sanity for time.Duration plumbing between noc and mem.
+	pl := noc.SCC(0)
+	if pl.MemDelay(0, 3)-pl.MemDelay(0, 0) < time.Duration(8)*pl.MemPerHop {
+		t.Fatal("per-hop memory cost not applied")
+	}
+}

@@ -1,0 +1,134 @@
+package mem
+
+import (
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// TxState is the state held in a core's transaction status register.
+//
+// The SCC exposes one globally accessible test-and-set register per core;
+// TM2C uses it to switch a transaction's status "atomically from pending to
+// aborted" (§4.1). We model the register as a (txID, state) word supporting
+// compare-and-swap, charged with the platform's remote-atomic latency when
+// accessed from another core and free when a core inspects its own register.
+type TxState uint8
+
+const (
+	// TxFree means no transaction is active on the core.
+	TxFree TxState = iota
+	// TxPending is an executing, abortable transaction.
+	TxPending
+	// TxCommitting is a transaction that holds all its write locks and is
+	// persisting its write set; it can no longer be aborted.
+	TxCommitting
+	// TxAborted marks a transaction killed by a contention manager.
+	TxAborted
+	// TxCommitted marks a completed transaction.
+	TxCommitted
+)
+
+func (s TxState) String() string {
+	switch s {
+	case TxFree:
+		return "free"
+	case TxPending:
+		return "pending"
+	case TxCommitting:
+		return "committing"
+	case TxAborted:
+		return "aborted"
+	case TxCommitted:
+		return "committed"
+	default:
+		return "invalid"
+	}
+}
+
+type statusWord struct {
+	txID  uint64
+	state TxState
+}
+
+// Registers models the per-core atomic registers: one transaction status
+// word and one test-and-set bit per core.
+type Registers struct {
+	pl     *noc.Platform
+	status []statusWord
+	tas    []bool
+
+	// Stats.
+	RemoteOps uint64
+}
+
+// NewRegisters returns registers for every core of the platform.
+func NewRegisters(pl *noc.Platform) *Registers {
+	n := pl.NumCores()
+	return &Registers{
+		pl:     pl,
+		status: make([]statusWord, n),
+		tas:    make([]bool, n),
+	}
+}
+
+// SetStatusLocal installs (txID, state) in owner's own register. Local
+// register access is free.
+func (r *Registers) SetStatusLocal(owner int, txID uint64, state TxState) {
+	r.status[owner] = statusWord{txID: txID, state: state}
+}
+
+// LoadStatusLocal reads owner's own register without latency.
+func (r *Registers) LoadStatusLocal(owner int) (txID uint64, state TxState) {
+	w := r.status[owner]
+	return w.txID, w.state
+}
+
+// CASStatusLocal atomically replaces (txID, from) with (txID, to) on the
+// caller's own register, without latency. It reports whether the swap
+// happened.
+func (r *Registers) CASStatusLocal(owner int, txID uint64, from, to TxState) bool {
+	w := r.status[owner]
+	if w.txID != txID || w.state != from {
+		return false
+	}
+	r.status[owner] = statusWord{txID: txID, state: to}
+	return true
+}
+
+// CASStatusRemote attempts the same swap from core src, charging the remote
+// atomic round-trip latency to p.
+func (r *Registers) CASStatusRemote(p *sim.Proc, src, owner int, txID uint64, from, to TxState) bool {
+	r.RemoteOps++
+	p.Advance(r.pl.AtomicDelay(src, owner))
+	return r.CASStatusLocal(owner, txID, from, to)
+}
+
+// CASStatusRemoteObserve is CASStatusRemote but additionally returns the
+// register word observed at the register (after the swap, if it happened).
+// The DTM service uses the observation to distinguish an enemy that is
+// committing (non-abortable) from a stale lock left by a finished attempt.
+func (r *Registers) CASStatusRemoteObserve(p *sim.Proc, src, owner int, txID uint64, from, to TxState) (swapped bool, obsTxID uint64, obsState TxState) {
+	r.RemoteOps++
+	p.Advance(r.pl.AtomicDelay(src, owner))
+	swapped = r.CASStatusLocal(owner, txID, from, to)
+	w := r.status[owner]
+	return swapped, w.txID, w.state
+}
+
+// TAS performs a remote test-and-set on core reg's register from core src:
+// it sets the bit and returns its previous value. The caller acquired the
+// "lock" iff TAS returns false.
+func (r *Registers) TAS(p *sim.Proc, src, reg int) bool {
+	r.RemoteOps++
+	p.Advance(r.pl.AtomicDelay(src, reg))
+	old := r.tas[reg]
+	r.tas[reg] = true
+	return old
+}
+
+// TASRelease clears core reg's test-and-set bit from core src.
+func (r *Registers) TASRelease(p *sim.Proc, src, reg int) {
+	r.RemoteOps++
+	p.Advance(r.pl.AtomicDelay(src, reg))
+	r.tas[reg] = false
+}

@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Msg is a message delivered to a Proc's mailbox.
+type Msg struct {
+	From    int  // sender proc ID
+	SentAt  Time // virtual time the send was issued
+	At      Time // virtual delivery time
+	Payload any  // application payload
+}
+
+// killSentinel is panicked out of park() during Kernel.Shutdown so that the
+// spawn wrapper can unwind a blocked proc's goroutine.
+type killSentinel struct{}
+
+// Proc is a simulated process (one core, one service loop, ...). All methods
+// except ID and Name must be called only from the proc's own goroutine while
+// it is the running process.
+type Proc struct {
+	k    *Kernel
+	id   int
+	name string
+
+	wake     chan struct{}
+	started  bool
+	finished bool
+
+	mbox    []Msg
+	mhead   int
+	waiting bool
+	tgen    uint64 // generation counter cancelling stale RecvTimeout timers
+
+	rng Rand
+}
+
+// Spawn creates a new proc running fn and schedules it to start at the
+// current virtual time. Spawn may be called from kernel context or from a
+// running proc.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		k:    k,
+		id:   len(k.procs),
+		name: name,
+		wake: make(chan struct{}),
+		rng:  NewRand(k.seed ^ (0x9e3779b97f4a7c15 * uint64(len(k.procs)+1))),
+	}
+	k.procs = append(k.procs, p)
+	k.live++
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killSentinel); !ok {
+					// A real bug in proc code: hand the panic to the
+					// kernel, which re-raises it in Run's caller.
+					k.fault = r
+				}
+			}
+			p.finished = true
+			k.live--
+			k.parked <- struct{}{}
+		}()
+		<-p.wake
+		p.started = true
+		fn(p)
+	}()
+	k.schedule(k.now, func() {
+		if !k.killing {
+			k.resume(p)
+		}
+	})
+	return p
+}
+
+// ID returns the proc's kernel-assigned identifier.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Rand returns the proc's deterministic random source.
+func (p *Proc) Rand() *Rand { return &p.rng }
+
+// park yields control back to the kernel and blocks until resumed.
+func (p *Proc) park() {
+	p.k.parked <- struct{}{}
+	<-p.wake
+	if p.k.killing {
+		panic(killSentinel{})
+	}
+}
+
+// Advance consumes d of virtual compute time.
+func (p *Proc) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: %s: negative advance %v", p.name, d))
+	}
+	if d == 0 {
+		return
+	}
+	k := p.k
+	k.schedule(k.now+Time(d), func() { k.resume(p) })
+	p.park()
+}
+
+// Yield reschedules the proc at the current instant behind already-pending
+// events, letting same-timestamp work elsewhere proceed first.
+func (p *Proc) Yield() {
+	k := p.k
+	k.schedule(k.now, func() { k.resume(p) })
+	p.park()
+}
+
+// Send delivers payload to dst after the given delay. Messages between the
+// same (src, dst) pair are never reordered: if a later send computes an
+// earlier delivery time it is clamped to the previous delivery time.
+// Send does not block the sender.
+func (p *Proc) Send(dst *Proc, payload any, delay time.Duration) {
+	p.k.SendFrom(p.id, dst, payload, delay)
+}
+
+// SendFrom is Send with an explicit source ID; the kernel may use it from
+// event context (e.g. environment-injected messages).
+func (k *Kernel) SendFrom(src int, dst *Proc, payload any, delay time.Duration) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative send delay %v", delay))
+	}
+	sent := k.now
+	at := k.deliverAt(int32(src), int32(dst.id), k.now+Time(delay))
+	k.schedule(at, func() {
+		if dst.finished {
+			return
+		}
+		dst.mbox = append(dst.mbox, Msg{From: src, SentAt: sent, At: k.now, Payload: payload})
+		if dst.waiting {
+			dst.waiting = false
+			k.resume(dst)
+		}
+	})
+}
+
+// Pending reports how many messages are queued in the proc's mailbox.
+func (p *Proc) Pending() int { return len(p.mbox) - p.mhead }
+
+func (p *Proc) popMsg() Msg {
+	m := p.mbox[p.mhead]
+	p.mbox[p.mhead] = Msg{} // drop payload reference
+	p.mhead++
+	if p.mhead == len(p.mbox) {
+		p.mbox = p.mbox[:0]
+		p.mhead = 0
+	} else if p.mhead > 64 && p.mhead*2 > len(p.mbox) {
+		n := copy(p.mbox, p.mbox[p.mhead:])
+		p.mbox = p.mbox[:n]
+		p.mhead = 0
+	}
+	return m
+}
+
+// Recv blocks until a message is available and returns it.
+func (p *Proc) Recv() Msg {
+	for p.Pending() == 0 {
+		p.waiting = true
+		p.park()
+	}
+	return p.popMsg()
+}
+
+// TryRecv returns a queued message, if any, without blocking.
+func (p *Proc) TryRecv() (Msg, bool) {
+	if p.Pending() == 0 {
+		return Msg{}, false
+	}
+	return p.popMsg(), true
+}
+
+// RecvTimeout waits up to d for a message. ok is false on timeout.
+func (p *Proc) RecvTimeout(d time.Duration) (m Msg, ok bool) {
+	if p.Pending() > 0 {
+		return p.popMsg(), true
+	}
+	if d <= 0 {
+		return Msg{}, false
+	}
+	k := p.k
+	p.tgen++
+	gen := p.tgen
+	expired := false
+	k.schedule(k.now+Time(d), func() {
+		// Fire only if the proc is still blocked in the same RecvTimeout.
+		if p.waiting && gen == p.tgen && !p.finished {
+			p.waiting = false
+			expired = true
+			k.resume(p)
+		}
+	})
+	p.waiting = true
+	p.park()
+	if expired && p.Pending() == 0 {
+		return Msg{}, false
+	}
+	p.tgen++ // cancel the pending timer if a message won the race
+	return p.popMsg(), true
+}

@@ -1,0 +1,210 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel models a many-core chip in virtual time: every simulated core is
+// a Proc backed by a real goroutine, but the kernel guarantees that exactly
+// one goroutine (either the kernel's event loop or a single Proc) executes at
+// any instant. Control is handed off through unbuffered channels, so no
+// shared state needs locking and, given a fixed seed, every run produces an
+// identical event sequence.
+//
+// Procs interact with the simulation only through their *Proc handle:
+// Advance consumes virtual compute time, Send/Recv exchange messages with a
+// caller-supplied delivery delay, and Rand supplies deterministic
+// pseudo-randomness. Higher layers (internal/noc, internal/core) decide what
+// the delays mean physically.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the
+// simulation. It is unrelated to wall-clock time.
+type Time int64
+
+// Infinity is a timestamp later than any reachable simulation instant.
+const Infinity Time = math.MaxInt64
+
+// Duration converts a virtual time span to a time.Duration. Virtual time is
+// kept in nanoseconds, so the conversion is exact.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is a scheduled callback. Events with equal timestamps fire in
+// scheduling order (seq), which makes the simulation deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+
+// Kernel is the discrete-event scheduler. The zero value is not usable; use
+// New.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	procs  []*Proc
+	live   int // procs spawned and not yet finished
+	parked chan struct{}
+
+	// fifoLast tracks the last delivery timestamp per (src, dst) pair so
+	// that messages between the same two procs are never reordered even
+	// when later messages are assigned smaller delays (e.g. under
+	// congestion models).
+	fifoLast map[uint64]Time
+
+	killing bool
+	seed    uint64
+	// fault holds a panic value captured from a proc goroutine; resume
+	// re-raises it in kernel context so it propagates out of Run to the
+	// simulation's caller instead of killing the process.
+	fault any
+
+	eventsRun uint64
+	hashing   bool
+	hash      uint64
+}
+
+// New returns a kernel whose process RNGs derive from seed.
+func New(seed uint64) *Kernel {
+	return &Kernel{
+		parked:   make(chan struct{}),
+		fifoLast: make(map[uint64]Time),
+		seed:     seed,
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Seed returns the seed the kernel was created with.
+func (k *Kernel) Seed() uint64 { return k.seed }
+
+// EventsRun reports how many events have fired so far. It is a cheap proxy
+// for simulation effort, useful in tests and benchmarks.
+func (k *Kernel) EventsRun() uint64 { return k.eventsRun }
+
+// EnableTraceHash makes the kernel fold every fired event's (time, seq) pair
+// into an FNV-1a hash, retrievable with TraceHash. Two runs of the same
+// workload with the same seed must produce identical hashes.
+func (k *Kernel) EnableTraceHash() { k.hashing = true; k.hash = 1469598103934665603 }
+
+// TraceHash returns the accumulated event-trace hash (see EnableTraceHash).
+func (k *Kernel) TraceHash() uint64 { return k.hash }
+
+// schedule enqueues fn to run at timestamp at (clamped to now).
+func (k *Kernel) schedule(at Time, fn func()) {
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: at, seq: k.seq, fn: fn})
+}
+
+// At schedules fn to run in kernel context after virtual delay d. It may be
+// called from kernel context (before Run, or inside another event) or from a
+// running Proc.
+func (k *Kernel) At(d time.Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	k.schedule(k.now+Time(d), fn)
+}
+
+// Run executes events until the event queue is empty (which implies every
+// proc has finished or is blocked forever) or until the virtual deadline
+// passes, whichever comes first. It returns the number of events fired
+// during this call. Run(Infinity) drains the simulation.
+func (k *Kernel) Run(until Time) uint64 {
+	var fired uint64
+	for len(k.events) > 0 && !k.killing {
+		if k.events.peek().at > until {
+			if until > k.now {
+				k.now = until
+			}
+			return fired
+		}
+		ev := heap.Pop(&k.events).(event)
+		k.now = ev.at
+		k.eventsRun++
+		fired++
+		if k.hashing {
+			k.hash ^= uint64(ev.at)
+			k.hash *= 1099511628211
+			k.hash ^= ev.seq
+			k.hash *= 1099511628211
+		}
+		ev.fn()
+	}
+	return fired
+}
+
+// Idle reports whether no events remain.
+func (k *Kernel) Idle() bool { return len(k.events) == 0 }
+
+// Live reports how many spawned procs have not yet finished.
+func (k *Kernel) Live() int { return k.live }
+
+// Shutdown force-terminates every proc that is still blocked, releasing
+// their goroutines. It must be called from kernel context (i.e. not from
+// inside a proc). After Shutdown the kernel can still be inspected but no
+// further events run.
+func (k *Kernel) Shutdown() {
+	k.killing = true
+	for _, p := range k.procs {
+		if !p.finished && p.started {
+			// Wake the proc; park() observes killing and panics with
+			// killSentinel, which the spawn wrapper recovers.
+			k.resume(p)
+		}
+	}
+	k.events = nil
+}
+
+// resume transfers control to p and blocks until p parks again or finishes.
+// If the proc's goroutine died with a panic, the panic is re-raised here, in
+// kernel context.
+func (k *Kernel) resume(p *Proc) {
+	p.wake <- struct{}{}
+	<-k.parked
+	if k.fault != nil {
+		f := k.fault
+		k.fault = nil
+		panic(f)
+	}
+}
+
+type pairKey = uint64
+
+func mkPair(src, dst int32) pairKey { return uint64(uint32(src))<<32 | uint64(uint32(dst)) }
+
+// deliverAt computes the FIFO-respecting delivery time for a message from
+// src to dst wanted at time at, and records it.
+func (k *Kernel) deliverAt(src, dst int32, at Time) Time {
+	key := mkPair(src, dst)
+	if last, ok := k.fifoLast[key]; ok && at < last {
+		at = last
+	}
+	k.fifoLast[key] = at
+	return at
+}

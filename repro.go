@@ -1,0 +1,139 @@
+// Package repro is TM2C-Go: a reproduction of "TM2C: a Software
+// Transactional Memory for Many-Cores" (Gramoli, Guerraoui, Trigonakis,
+// EuroSys 2012) as a Go library.
+//
+// TM2C runs transactions on a non-cache-coherent many-core by turning every
+// shared access into message passing against a distributed lock service
+// (DS-Lock), with fully decentralized contention management. This package is
+// the public facade: it re-exports the supported surface of the internal
+// packages — the simulated many-core (System), the transactional runtime
+// (Runtime, Tx), the contention-manager policies, and the platform timing
+// models (SCC under its five performance settings, and a 48-core Opteron
+// multi-core).
+//
+// A minimal program:
+//
+//	sys, err := repro.NewSystem(repro.Config{Policy: repro.FairCM})
+//	if err != nil { ... }
+//	acct := sys.Mem.Alloc(2, 0)
+//	sys.Mem.WriteRaw(acct, 100)
+//	sys.SpawnWorkers(func(rt *repro.Runtime) {
+//		for !rt.Stopped() {
+//			rt.Run(func(tx *repro.Tx) {
+//				v := tx.Read(acct)
+//				tx.Write(acct, v+1)
+//			})
+//			rt.AddOps(1)
+//		}
+//	})
+//	stats := sys.Run(10 * time.Millisecond)
+//	fmt.Printf("%.1f ops/ms, %.1f%% commit rate\n",
+//		stats.Throughput(), stats.CommitRate())
+//
+// Time inside a System is virtual: Run executes the workload on a
+// deterministic discrete-event simulation of the target platform, so results
+// are reproducible bit-for-bit for a given Config.Seed.
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the paper's
+// reproduced figures.
+package repro
+
+import (
+	"repro/internal/cm"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// Core system types.
+type (
+	// System is one simulated TM2C machine; see core.System.
+	System = core.System
+	// Config configures a System.
+	Config = core.Config
+	// Runtime is the per-application-core transactional runtime.
+	Runtime = core.Runtime
+	// Tx is one transaction attempt.
+	Tx = core.Tx
+	// Irrevocable is the handle of an irrevocable (pessimistic,
+	// side-effect-capable) transaction; see Runtime.RunIrrevocable.
+	Irrevocable = core.Irrevocable
+	// Stats are the counters collected by a run.
+	Stats = core.Stats
+	// CoreStats is the per-core breakdown inside Stats.
+	CoreStats = core.CoreStats
+	// Costs are the nominal software costs of the runtime.
+	Costs = core.Costs
+	// Deployment selects dedicated or multitasked service cores.
+	Deployment = core.Deployment
+	// AcquireMode selects lazy or eager write-lock acquisition.
+	AcquireMode = core.AcquireMode
+	// TxKind selects normal or elastic transactions.
+	TxKind = core.TxKind
+	// Policy is a contention-management policy.
+	Policy = cm.Policy
+	// Platform is a timing model (SCC setting or Opteron).
+	Platform = noc.Platform
+	// Addr is a word address in the simulated shared memory.
+	Addr = mem.Addr
+	// Time is a virtual timestamp (nanoseconds).
+	Time = sim.Time
+	// Proc is a simulated process (used by SpawnRaw baselines).
+	Proc = sim.Proc
+	// Rand is the deterministic per-core random source.
+	Rand = sim.Rand
+)
+
+// Deployment strategies (§3.1).
+const (
+	Dedicated = core.Dedicated
+	Multitask = core.Multitask
+)
+
+// Write-lock acquisition modes (§3.3).
+const (
+	Lazy  = core.Lazy
+	Eager = core.Eager
+)
+
+// Transaction kinds (§3.3, §6).
+const (
+	Normal       = core.Normal
+	ElasticEarly = core.ElasticEarly
+	ElasticRead  = core.ElasticRead
+)
+
+// Contention managers (§4).
+const (
+	NoCM         = cm.NoCM
+	BackoffRetry = cm.BackoffRetry
+	OffsetGreedy = cm.OffsetGreedy
+	Wholly       = cm.Wholly
+	FairCM       = cm.FairCM
+)
+
+// NewSystem builds a simulated TM2C machine from cfg. Zero-valued fields
+// take the paper's defaults: the SCC under performance setting 0, all 48
+// cores, half of them dedicated DTM service cores, lazy write-lock
+// acquisition with batching, and the NoCM policy.
+func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// SCC returns the Intel Single-chip Cloud Computer platform under
+// performance setting id (0..4, §5.1). Setting 0 is the paper's default;
+// setting 1 is the fast "SCC800" configuration of §7.
+func SCC(id int) Platform { return noc.SCC(id) }
+
+// Opteron returns the 48-core AMD Opteron multi-core of §7.
+func Opteron() Platform { return noc.Opteron() }
+
+// ParsePolicy parses a contention-manager name
+// (none|backoff|offset-greedy|wholly|faircm).
+func ParsePolicy(s string) (Policy, error) { return cm.Parse(s) }
+
+// NewRand returns a deterministic random source seeded from seed, suitable
+// for building workloads outside the simulated machine.
+func NewRand(seed uint64) Rand { return sim.NewRand(seed) }
+
+// Policies lists every contention manager in presentation order.
+func Policies() []Policy { return append([]Policy(nil), cm.Policies...) }

@@ -1,0 +1,119 @@
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func TestFacadeDefaultsMatchPaper(t *testing.T) {
+	sys, err := repro.NewSystem(repro.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sys.Config()
+	if cfg.Platform.Name != "SCC" {
+		t.Errorf("default platform = %q, want SCC", cfg.Platform.Name)
+	}
+	if cfg.TotalCores != 48 || sys.NumAppCores() != 24 || sys.NumServiceCores() != 24 {
+		t.Errorf("default partition: %d total, %d app, %d svc",
+			cfg.TotalCores, sys.NumAppCores(), sys.NumServiceCores())
+	}
+	if cfg.Deployment != repro.Dedicated || cfg.Acquire != repro.Lazy {
+		t.Error("defaults should be dedicated deployment with lazy acquisition")
+	}
+}
+
+func TestFacadePlatforms(t *testing.T) {
+	if repro.SCC(0).Name != "SCC" || repro.SCC(1).Name != "SCC800" {
+		t.Error("SCC setting names wrong")
+	}
+	if repro.Opteron().Name != "Opteron" {
+		t.Error("Opteron name wrong")
+	}
+	scc, opt := repro.SCC(0), repro.Opteron()
+	if scc.NumCores() != 48 || opt.NumCores() != 48 {
+		t.Error("both platforms have 48 cores in the paper")
+	}
+}
+
+func TestFacadePolicies(t *testing.T) {
+	ps := repro.Policies()
+	if len(ps) != 5 {
+		t.Fatalf("Policies() returned %d", len(ps))
+	}
+	for _, p := range ps {
+		got, err := repro.ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	free := 0
+	for _, p := range ps {
+		if p.StarvationFree() {
+			free++
+		}
+	}
+	if free != 2 {
+		t.Errorf("%d starvation-free policies, want 2 (Wholly, FairCM)", free)
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	sys, err := repro.NewSystem(repro.Config{
+		TotalCores: 8,
+		Policy:     repro.FairCM,
+		Seed:       11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := sys.Mem.Alloc(1, 0)
+	sys.SpawnWorkers(func(rt *repro.Runtime) {
+		for !rt.Stopped() {
+			rt.Run(func(tx *repro.Tx) {
+				tx.Write(counter, tx.Read(counter)+1)
+			})
+			rt.AddOps(1)
+		}
+	})
+	st := sys.Run(2 * time.Millisecond)
+	if st.Commits == 0 || st.Throughput() <= 0 {
+		t.Fatalf("no progress: %+v", st)
+	}
+	if got := sys.Mem.ReadRaw(counter); got != st.Commits {
+		t.Fatalf("counter %d != commits %d", got, st.Commits)
+	}
+}
+
+func TestFacadeIrrevocable(t *testing.T) {
+	sys, err := repro.NewSystem(repro.Config{TotalCores: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sys.Mem.Alloc(1, 0)
+	sideEffects := 0
+	sys.SpawnWorkers(func(rt *repro.Runtime) {
+		if rt.AppIndex() != 0 {
+			return
+		}
+		rt.RunIrrevocable(func(ir *repro.Irrevocable) {
+			sideEffects++
+			ir.Write(a, 7)
+		})
+	})
+	sys.RunToCompletion()
+	if sideEffects != 1 || sys.Mem.ReadRaw(a) != 7 {
+		t.Fatalf("irrevocable misbehaved: effects=%d a=%d", sideEffects, sys.Mem.ReadRaw(a))
+	}
+}
+
+func TestFacadeRandDeterminism(t *testing.T) {
+	a, b := repro.NewRand(5), repro.NewRand(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("facade Rand not deterministic")
+		}
+	}
+}
