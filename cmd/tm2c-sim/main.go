@@ -31,6 +31,7 @@ func main() {
 		cmName   = flag.String("cm", "faircm", "none | backoff | offset-greedy | wholly | faircm")
 		deploy   = flag.String("deployment", "dedicated", "dedicated | multitask")
 		acquire  = flag.String("acquire", "lazy", "lazy | eager")
+		serial   = flag.Bool("serialrpc", false, "serial commit lock acquisition instead of scatter-gather")
 		platform = flag.String("platform", "scc", "scc | scc800 | opteron | scc:N (setting N)")
 		duration = flag.Duration("duration", 20*time.Millisecond, "virtual run length")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
@@ -57,6 +58,7 @@ func main() {
 		TotalCores:   *cores,
 		ServiceCores: *svc,
 		Policy:       pol,
+		SerialRPC:    *serial,
 	}
 	switch *platform {
 	case "scc":
@@ -164,8 +166,15 @@ func report(sys *repro.System, st *repro.Stats) {
 	fmt.Printf("conflicts/revokes   %d / %d\n", st.Conflicts, st.Revocations)
 	fmt.Printf("messages            %d (%.1f KB), read-lock %d, write-lock %d, release %d, early %d\n",
 		st.Msgs, float64(st.MsgBytes)/1024, st.ReadLockReqs, st.WriteLockReqs, st.ReleaseMsgs, st.EarlyReleases)
+	if st.Commits > 0 {
+		fmt.Printf("commit round trips  %d (%.2f awaited/commit)\n",
+			st.CommitRoundTrips, float64(st.CommitRoundTrips)/float64(st.Commits))
+	}
 	if sys.TxLifespans.Count() > 0 {
 		fmt.Printf("tx lifespan         %s\n", sys.TxLifespans.String())
+	}
+	if sys.CommitLatency.Count() > 0 {
+		fmt.Printf("commit latency      %s\n", sys.CommitLatency.String())
 	}
 	fmt.Printf("kernel events       %d\n", sys.K.EventsRun())
 }

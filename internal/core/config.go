@@ -137,6 +137,13 @@ type Config struct {
 	// NoBatching disables write-lock batching (one message per object
 	// instead of one per DTM node) for the batching ablation.
 	NoBatching bool
+	// SerialRPC disables commit-time scatter-gather lock acquisition: the
+	// per-node write-lock batches of a lazy commit are sent one at a time,
+	// each awaiting its response before the next is sent (one round trip
+	// per responsible node, the pre-RPC-layer behavior), instead of all at
+	// once with a single gather phase. For the RPC ablation; releases stay
+	// fire-and-forget either way.
+	SerialRPC bool
 	// LockGranule is the number of words covered by one lock stripe; it
 	// must be a power of two (default 1). Objects larger than the granule
 	// are locked by their base address.
@@ -200,6 +207,13 @@ type Stats struct {
 	ReleaseMsgs   uint64
 	EarlyReleases uint64
 	Responses     uint64
+
+	// CommitRoundTrips counts the awaited round-trip phases of commit-time
+	// write-lock acquisition: under SerialRPC one per per-node batch, under
+	// scatter-gather one per commit attempt with a non-empty write set
+	// (however many batches are in flight). Eager acquisition pays its round
+	// trips inside the write wrappers and contributes zero here.
+	CommitRoundTrips uint64
 
 	// DTM activity.
 	Conflicts   uint64

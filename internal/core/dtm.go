@@ -79,7 +79,7 @@ func (n *dtmNode) handleReadLock(p *sim.Proc, r *reqReadLock) {
 	if n.excl.blocked() {
 		// An irrevocable transaction holds or awaits this node's
 		// exclusivity token: reject so the table drains (§2 extension).
-		n.respond(p, r.Reply, r.ReplyTo, &respLock{OK: false, Kind: cm.RAW})
+		n.respond(p, r.Reply, r.ReplyTo, &respLock{ReqID: r.ReqID, OK: false, Kind: cm.RAW})
 		return
 	}
 	meta := r.Meta
@@ -88,13 +88,13 @@ func (n *dtmNode) handleReadLock(p *sim.Proc, r *reqReadLock) {
 		conf := n.table.ReadConflict(r.Addr, meta)
 		if conf == nil {
 			n.table.AddReader(r.Addr, meta)
-			n.respond(p, r.Reply, r.ReplyTo, &respLock{OK: true})
+			n.respond(p, r.Reply, r.ReplyTo, &respLock{ReqID: r.ReqID, OK: true})
 			return
 		}
 		n.s.stats.Conflicts++
 		if n.s.cfg.Policy.Resolve(meta, conf.Enemies, conf.Kind) == cm.AbortRequester ||
 			!n.abortEnemies(p, r.Addr, conf.Enemies) {
-			n.respond(p, r.Reply, r.ReplyTo, &respLock{OK: false, Kind: conf.Kind})
+			n.respond(p, r.Reply, r.ReplyTo, &respLock{ReqID: r.ReqID, OK: false, Kind: conf.Kind})
 			return
 		}
 		// Enemies aborted and revoked; re-check (bounded: the conflict
@@ -110,7 +110,7 @@ func (n *dtmNode) handleWriteLock(p *sim.Proc, r *reqWriteLock) {
 	c := n.s.cfg.Costs
 	p.Advance(n.s.compute(c.SvcBase + c.SvcLock*time.Duration(len(r.Addrs))))
 	if n.excl.blocked() {
-		n.respond(p, r.Reply, r.ReplyTo, &respLock{OK: false, Kind: cm.WAW})
+		n.respond(p, r.Reply, r.ReplyTo, &respLock{ReqID: r.ReqID, OK: false, Kind: cm.WAW})
 		return
 	}
 	meta := r.Meta
@@ -130,12 +130,12 @@ func (n *dtmNode) handleWriteLock(p *sim.Proc, r *reqWriteLock) {
 				for _, a := range acquired {
 					n.table.ReleaseWrite(a, meta.Core, meta.TxID)
 				}
-				n.respond(p, r.Reply, r.ReplyTo, &respLock{OK: false, Kind: conf.Kind})
+				n.respond(p, r.Reply, r.ReplyTo, &respLock{ReqID: r.ReqID, OK: false, Kind: conf.Kind})
 				return
 			}
 		}
 	}
-	n.respond(p, r.Reply, r.ReplyTo, &respLock{OK: true})
+	n.respond(p, r.Reply, r.ReplyTo, &respLock{ReqID: r.ReqID, OK: true})
 }
 
 // abortEnemies tries to remotely abort every enemy transaction via its

@@ -30,6 +30,7 @@ type reqExclusive struct {
 }
 
 func (r *reqExclusive) bytes() int { return msgHeaderBytes + 16 }
+func (*reqExclusive) dtmRequest()  {}
 
 // respExclusive grants the token.
 type respExclusive struct{}
@@ -41,6 +42,7 @@ type relExclusive struct {
 }
 
 func (r *relExclusive) bytes() int { return msgHeaderBytes + 16 }
+func (*relExclusive) dtmRequest()  {}
 
 // exclState is a DTM node's exclusivity bookkeeping.
 type exclState struct {
@@ -128,14 +130,12 @@ func (rt *Runtime) RunIrrevocable(fn func(*Irrevocable)) {
 	// Acquire every node's token in ascending node order (global order =>
 	// no deadlock between two irrevocable transactions).
 	for ni := range rt.s.nodes {
-		req := &reqExclusive{Core: rt.core, TxID: id, Reply: rt.proc}
-		rt.s.send(rt.proc, rt.core, rt.s.nodeProcs[ni], rt.s.nodes[ni].core, req, req.bytes())
+		rt.sendToNode(ni, &reqExclusive{Core: rt.core, TxID: id, Reply: rt.proc})
 		rt.awaitExclusiveGrant()
 	}
 	fn(&Irrevocable{rt: rt, id: id})
 	for ni := range rt.s.nodes {
-		rel := &relExclusive{Core: rt.core, TxID: id}
-		rt.s.send(rt.proc, rt.core, rt.s.nodeProcs[ni], rt.s.nodes[ni].core, rel, rel.bytes())
+		rt.sendToNode(ni, &relExclusive{Core: rt.core, TxID: id})
 	}
 	rt.s.Regs.SetStatusLocal(rt.core, id, mem.TxCommitted)
 	rt.stats.Commits++

@@ -11,6 +11,13 @@ import (
 // sends a request to the responsible DTM node and blocks for the response.
 // Releases and early releases are fire-and-forget.
 //
+// Lock requests carry a correlation ID (ReqID) assigned by the requesting
+// core's RPC layer (rpc.go) and echoed verbatim in the response, so a core
+// may keep several requests to different DTM nodes outstanding at once
+// (commit-time scatter-gather) and still attribute every response to the
+// batch it answers. The ID is part of the modeled 8-byte header, so it does
+// not change any payload size.
+//
 // Payload sizes below approximate the on-wire encoding (for latency
 // accounting only): an 8-byte header, 8 bytes per address, and a 24-byte
 // transaction metadata block.
@@ -22,8 +29,21 @@ const (
 	msgRespBytes   = msgHeaderBytes + 16
 )
 
+// dtmRequest marks every message type a DTM node serves, i.e. exactly the
+// request arms of dtmNode.handle. The RPC await loop (rpc.go) uses the
+// marker to keep a multitasked core's co-located node live while the
+// application side awaits remote responses; handle panics are loud there,
+// so a type carrying the marker without a handle arm is caught immediately.
+type dtmRequest interface{ dtmRequest() }
+
+func (*reqReadLock) dtmRequest()  {}
+func (*reqWriteLock) dtmRequest() {}
+func (*relLocks) dtmRequest()     {}
+func (*earlyRelease) dtmRequest() {}
+
 // reqReadLock asks for the read lock of one object (Algorithm 1 trigger).
 type reqReadLock struct {
+	ReqID   uint64 // correlation ID, echoed in the response
 	Addr    mem.Addr
 	Meta    cm.Meta
 	Reply   *sim.Proc
@@ -35,6 +55,7 @@ func (r *reqReadLock) bytes() int { return msgHeaderBytes + msgMetaBytes + msgAd
 // reqWriteLock asks for the write locks of one or more objects owned by the
 // same DTM node (Algorithm 2 trigger; batching per §3.3).
 type reqWriteLock struct {
+	ReqID   uint64 // correlation ID, echoed in the response
 	Addrs   []mem.Addr
 	Meta    cm.Meta
 	Reply   *sim.Proc
@@ -46,10 +67,12 @@ func (r *reqWriteLock) bytes() int {
 }
 
 // respLock answers a read- or write-lock request. OK means NO_CONFLICT; on
-// failure Kind reports the conflict class that aborted the requester.
+// failure Kind reports the conflict class that aborted the requester. ReqID
+// echoes the request's correlation ID.
 type respLock struct {
-	OK   bool
-	Kind cm.Kind
+	ReqID uint64
+	OK    bool
+	Kind  cm.Kind
 }
 
 // relLocks releases the given read and write locks of attempt (Core, TxID).

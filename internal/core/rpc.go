@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// The application-side RPC layer of the DTM protocol. Every lock request
+// carries a correlation ID allocated here and echoed by the DTM node
+// (messages.go), which lets one application core keep several requests to
+// different DTM nodes outstanding at the same time. The commit path uses
+// that to scatter-gather its per-node write-lock batches: all batches are
+// sent in one burst and their responses awaited together, so a lazy commit
+// touching k DTM nodes pays one awaited round-trip phase instead of k
+// serial round trips (Config.SerialRPC restores the serial behavior for the
+// ablation).
+//
+// Determinism: requests are sent in a deterministic order (first-use order
+// of the write set), responses are matched by ID and processed in send
+// order regardless of arrival order, and the await loop's selective receive
+// scans the mailbox in delivery order — so identical seeds still produce
+// identical event schedules and audited histories.
+
+// wireMsg is any protocol message with a modeled on-wire size.
+type wireMsg interface{ bytes() int }
+
+// initRPC prepares the per-core RPC state. The selective-receive predicate
+// is built once and reads rt.awaitIDs, so the hot single-response path
+// (every read lock) performs no per-call heap allocation.
+func (rt *Runtime) initRPC() {
+	rt.awaitPred = func(m sim.Msg) bool {
+		if resp, ok := m.Payload.(*respLock); ok {
+			for _, id := range rt.awaitIDs {
+				if id == resp.ReqID {
+					return true
+				}
+			}
+			return false
+		}
+		if rt.node == nil {
+			return false
+		}
+		_, ok := m.Payload.(dtmRequest)
+		return ok
+	}
+}
+
+// nextReqID allocates a fresh correlation ID for an outbound lock request.
+// IDs are per-core and start at 1, so (core, ReqID) is globally unique and
+// 0 can serve as the consumed-slot sentinel in awaitIDs.
+func (rt *Runtime) nextReqID() uint64 {
+	rt.reqID++
+	return rt.reqID
+}
+
+// sendToNode transmits one protocol message to DTM node ni, charging the
+// platform's message latency. It does not block.
+func (rt *Runtime) sendToNode(ni int, msg wireMsg) {
+	rt.s.send(rt.proc, rt.core, rt.s.nodeProcs[ni], rt.s.nodes[ni].core, msg, msg.bytes())
+}
+
+// rpcReadLock sends a read-lock request and waits for the response.
+func (rt *Runtime) rpcReadLock(tx *Tx, key mem.Addr) *respLock {
+	id := rt.nextReqID()
+	req := &reqReadLock{
+		ReqID:   id,
+		Addr:    key,
+		Meta:    rt.local.RequestMeta(tx.id, rt.proc.Now()),
+		Reply:   rt.proc,
+		ReplyTo: rt.core,
+	}
+	rt.s.stats.ReadLockReqs++
+	rt.sendToNode(rt.s.nodeFor(key), req)
+	return rt.awaitOne(id)
+}
+
+// sendWriteLock sends one write-lock batch — all keys must share a
+// responsible DTM node — and returns its correlation ID without waiting.
+func (rt *Runtime) sendWriteLock(tx *Tx, keys []mem.Addr) uint64 {
+	id := rt.nextReqID()
+	req := &reqWriteLock{
+		ReqID:   id,
+		Addrs:   keys,
+		Meta:    rt.local.RequestMeta(tx.id, rt.proc.Now()),
+		Reply:   rt.proc,
+		ReplyTo: rt.core,
+	}
+	rt.s.stats.WriteLockReqs++
+	rt.sendToNode(rt.s.nodeFor(keys[0]), req)
+	return id
+}
+
+// rpcWriteLock sends one batched write-lock request and waits for its
+// response (a single round trip; the eager path and the SerialRPC ablation).
+func (rt *Runtime) rpcWriteLock(tx *Tx, keys []mem.Addr) *respLock {
+	return rt.awaitOne(rt.sendWriteLock(tx, keys))
+}
+
+// scatterWriteLocks sends every write-lock batch in one burst and gathers
+// all responses. Results are indexed by batch, in send order.
+func (rt *Runtime) scatterWriteLocks(tx *Tx, batches [][]mem.Addr) []*respLock {
+	ids := make([]uint64, len(batches))
+	for i, b := range batches {
+		ids[i] = rt.sendWriteLock(tx, b)
+	}
+	out := make([]*respLock, len(ids))
+	rt.awaitIDs = append(rt.awaitIDs[:0], ids...)
+	for remaining := len(ids); remaining > 0; {
+		resp := rt.recvRPC()
+		if resp == nil {
+			continue
+		}
+		for i, id := range ids {
+			if id == resp.ReqID && out[i] == nil {
+				out[i] = resp
+				rt.awaitIDs[i] = 0 // consumed: a duplicate would not match
+				remaining--
+				break
+			}
+		}
+	}
+	rt.awaitIDs = rt.awaitIDs[:0]
+	return out
+}
+
+// awaitOne blocks until the response with correlation ID id arrives — the
+// allocation-free fast path for the one-outstanding-request case (every
+// read lock, eager write locks, serial commits).
+func (rt *Runtime) awaitOne(id uint64) *respLock {
+	rt.awaitIDs = append(rt.awaitIDs[:0], id)
+	for {
+		if resp := rt.recvRPC(); resp != nil {
+			rt.awaitIDs = rt.awaitIDs[:0]
+			return resp
+		}
+	}
+}
+
+// recvRPC takes the next message the RPC layer can currently process: an
+// awaited lock response (returned) or, on a multitasked core, a request for
+// the co-located DTM node (served inline, nil returned). Serving while
+// awaiting is what keeps two cores gathering locks from each other's nodes
+// from deadlocking. Messages that are neither — e.g. barrier traffic —
+// stay queued for their own receive loops.
+func (rt *Runtime) recvRPC() *respLock {
+	m := rt.proc.RecvMatch(rt.awaitPred)
+	if resp, ok := m.Payload.(*respLock); ok {
+		return resp
+	}
+	if !rt.node.handle(rt.proc, m) {
+		panic(fmt.Sprintf("core: app%d matched unservable message %T", rt.core, m.Payload))
+	}
+	return nil
+}

@@ -27,6 +27,12 @@ type System struct {
 	// stays bounded even on conflict-heavy workloads.
 	TxLifespans hist.Histogram
 
+	// CommitLatency aggregates the commit-phase latency of every committed
+	// transaction: from commit entry through lock acquisition, persist and
+	// the release burst. The rpc ablation (ablrpc) reads it to compare
+	// serial against scatter-gather lock acquisition.
+	CommitLatency hist.Histogram
+
 	appCores []int // physical IDs of application cores
 	svcCores []int // physical IDs of DTM cores (== appCores under Multitask)
 	isSvc    map[int]bool

@@ -23,6 +23,12 @@ type Runtime struct {
 	nextTxID uint64
 	stats    CoreStats
 
+	// RPC-layer state (rpc.go): the correlation-ID generator, the IDs
+	// currently awaited, and the reusable selective-receive predicate.
+	reqID     uint64
+	awaitIDs  []uint64
+	awaitPred func(sim.Msg) bool
+
 	barrierEpoch uint64
 	barrierSeen  map[uint64]int
 }
@@ -30,6 +36,7 @@ type Runtime struct {
 func (rt *Runtime) initLocal() {
 	rt.local = cm.NewLocal(rt.s.cfg.Policy, rt.core, rt.proc.Rand())
 	rt.barrierSeen = make(map[uint64]int)
+	rt.initRPC()
 }
 
 // Core returns the physical core ID.
@@ -134,12 +141,18 @@ func (rt *Runtime) RunKind(kind TxKind, fn func(*Tx)) int {
 		if attempts == 1 {
 			lifeStart = rt.proc.Now()
 		}
-		// The begin cost carries a small random jitter (<= 256 ns nominal).
-		// Besides being physically plausible, it breaks the deterministic
-		// symmetric livelocks that policies without randomization or
-		// priorities (NoCM) would otherwise sustain forever in a perfectly
-		// deterministic simulator.
-		jitter := time.Duration(rt.proc.Rand().Intn(257)) * time.Nanosecond
+		// The begin cost carries a small random jitter (<= 256 ns nominal
+		// on a first attempt). Besides being physically plausible, it breaks
+		// the deterministic symmetric livelocks that policies without
+		// randomization or priorities (NoCM) would otherwise sustain forever
+		// in a perfectly deterministic simulator. The bound doubles with
+		// each consecutive abort of the lifespan (capped at ~16 µs): a
+		// scatter-gather commit sends every batch before observing any
+		// enemy, so two overlapping transactions can kill each other in
+		// lockstep, and a fixed 256 ns bound is too narrow to break that
+		// phase lock within a useful number of retries.
+		bound := 257 << uint(min(attempts-1, 6))
+		jitter := time.Duration(rt.proc.Rand().Intn(bound)) * time.Nanosecond
 		rt.proc.Advance(rt.s.compute(rt.s.cfg.Costs.TxBegin + jitter))
 		if rt.attempt(tx, fn) {
 			rt.local.OnCommit(rt.proc.Now())
@@ -314,10 +327,12 @@ func (tx *Tx) EarlyRelease(bases ...mem.Addr) {
 		delete(tx.reads, b)
 		keys = append(keys, rt.s.lockKey(b))
 	}
+	// Scatter: all per-node release messages go out in one burst (they are
+	// fire-and-forget, so there is nothing to gather).
 	for _, g := range rt.groupByNode(keys) {
 		msg := &earlyRelease{Addrs: g.addrs, Core: rt.core, TxID: tx.id}
 		rt.s.stats.EarlyReleases++
-		rt.s.send(rt.proc, rt.core, rt.s.nodeProcs[g.node], rt.s.nodes[g.node].core, msg, msg.bytes())
+		rt.sendToNode(g.node, msg)
 	}
 }
 
@@ -327,27 +342,11 @@ func (tx *Tx) EarlyRelease(bases ...mem.Addr) {
 func (tx *Tx) commit() {
 	rt := tx.rt
 	tx.checkAborted()
+	start := rt.proc.Now()
 	rt.proc.Advance(rt.s.compute(rt.s.cfg.Costs.Commit))
 
 	if len(tx.writeOrd) > 0 && rt.s.cfg.Acquire == Lazy {
-		groups := rt.groupByNode(tx.writeKeys())
-		for _, g := range groups {
-			tx.checkAborted()
-			batches := [][]mem.Addr{g.addrs}
-			if rt.s.cfg.NoBatching {
-				batches = batches[:0]
-				for _, a := range g.addrs {
-					batches = append(batches, []mem.Addr{a})
-				}
-			}
-			for _, b := range batches {
-				resp := rt.rpcWriteLock(tx, b)
-				if !resp.OK {
-					panic(abortSignal{kind: resp.Kind, hasKind: true})
-				}
-				tx.wlocked = append(tx.wlocked, b...)
-			}
-		}
+		tx.acquireCommitLocks()
 	}
 
 	if len(tx.writeOrd) > 0 {
@@ -389,6 +388,66 @@ func (tx *Tx) commit() {
 		rt.s.recordCommit(tx, instant)
 	}
 	rt.releaseAll(tx)
+	rt.s.CommitLatency.Observe(rt.proc.Now() - start)
+}
+
+// acquireCommitLocks performs the lazy commit's write-lock acquisition: the
+// write set is partitioned into per-node batches (one per object under the
+// NoBatching ablation) and acquired either serially, one awaited round trip
+// per batch (SerialRPC), or scatter-gather — every batch sent at once, all
+// responses awaited in a single round-trip phase.
+//
+// Scatter-gather needs a two-phase rollback: when any node rejects its
+// batch, the batches that other nodes already granted are recorded in
+// tx.wlocked before the abort unwinds, so abortCleanup's releaseAll revokes
+// them and no stale write lock survives the attempt.
+func (tx *Tx) acquireCommitLocks() {
+	rt := tx.rt
+	batches := tx.commitBatches()
+	if rt.s.cfg.SerialRPC {
+		for _, b := range batches {
+			tx.checkAborted()
+			rt.s.stats.CommitRoundTrips++
+			resp := rt.rpcWriteLock(tx, b)
+			if !resp.OK {
+				panic(abortSignal{kind: resp.Kind, hasKind: true})
+			}
+			tx.wlocked = append(tx.wlocked, b...)
+		}
+		return
+	}
+	tx.checkAborted()
+	rt.s.stats.CommitRoundTrips++
+	resps := rt.scatterWriteLocks(tx, batches)
+	var fail *respLock
+	for i, resp := range resps {
+		if resp.OK {
+			tx.wlocked = append(tx.wlocked, batches[i]...)
+		} else if fail == nil {
+			fail = resp // first rejection in send order, for determinism
+		}
+	}
+	if fail != nil {
+		panic(abortSignal{kind: fail.Kind, hasKind: true})
+	}
+}
+
+// commitBatches partitions the write set's lock keys into the batches the
+// commit acquires: one per responsible DTM node in first-write order, or one
+// per object under the NoBatching ablation.
+func (tx *Tx) commitBatches() [][]mem.Addr {
+	rt := tx.rt
+	var batches [][]mem.Addr
+	for _, g := range rt.groupByNode(tx.writeKeys()) {
+		if rt.s.cfg.NoBatching {
+			for _, a := range g.addrs {
+				batches = append(batches, []mem.Addr{a})
+			}
+		} else {
+			batches = append(batches, g.addrs)
+		}
+	}
+	return batches
 }
 
 // abortCleanup releases every lock held by the failed attempt and marks the
@@ -403,9 +462,10 @@ func (rt *Runtime) abortCleanup(tx *Tx, sig abortSignal) {
 }
 
 // releaseAll sends one release message per DTM node covering the attempt's
-// remaining read locks and acquired write locks. Nodes are visited in
-// first-use order (reads in read order, then write locks in acquisition
-// order) so identical runs schedule identical events.
+// remaining read locks and acquired write locks, all in one fire-and-forget
+// burst (scatter with nothing to gather). Nodes are visited in first-use
+// order (reads in read order, then write locks in acquisition order) so
+// identical runs schedule identical events.
 func (rt *Runtime) releaseAll(tx *Tx) {
 	type rel struct{ reads, writes []mem.Addr }
 	perNode := make(map[int]*rel)
@@ -437,7 +497,7 @@ func (rt *Runtime) releaseAll(tx *Tx) {
 		r := perNode[ni]
 		msg := &relLocks{ReadAddrs: r.reads, WriteAddrs: r.writes, Core: rt.core, TxID: tx.id}
 		rt.s.stats.ReleaseMsgs++
-		rt.s.send(rt.proc, rt.core, rt.s.nodeProcs[ni], rt.s.nodes[ni].core, msg, msg.bytes())
+		rt.sendToNode(ni, msg)
 	}
 }
 
@@ -477,54 +537,6 @@ func (rt *Runtime) groupByNode(keys []mem.Addr) []nodeGroup {
 		groups[gi].addrs = append(groups[gi].addrs, k)
 	}
 	return groups
-}
-
-// rpcReadLock sends a read-lock request and waits for the response.
-func (rt *Runtime) rpcReadLock(tx *Tx, key mem.Addr) *respLock {
-	ni := rt.s.nodeFor(key)
-	req := &reqReadLock{
-		Addr:    key,
-		Meta:    rt.local.RequestMeta(tx.id, rt.proc.Now()),
-		Reply:   rt.proc,
-		ReplyTo: rt.core,
-	}
-	rt.s.stats.ReadLockReqs++
-	rt.s.send(rt.proc, rt.core, rt.s.nodeProcs[ni], rt.s.nodes[ni].core, req, req.bytes())
-	return rt.awaitResp()
-}
-
-// rpcWriteLock sends a (batched) write-lock request and waits.
-func (rt *Runtime) rpcWriteLock(tx *Tx, keys []mem.Addr) *respLock {
-	ni := rt.s.nodeFor(keys[0])
-	req := &reqWriteLock{
-		Addrs:   keys,
-		Meta:    rt.local.RequestMeta(tx.id, rt.proc.Now()),
-		Reply:   rt.proc,
-		ReplyTo: rt.core,
-	}
-	rt.s.stats.WriteLockReqs++
-	rt.s.send(rt.proc, rt.core, rt.s.nodeProcs[ni], rt.s.nodes[ni].core, req, req.bytes())
-	return rt.awaitResp()
-}
-
-// awaitResp blocks until the outstanding request's response arrives. Under
-// Multitask deployment the co-located DTM node's requests are served while
-// waiting — the libtask-style interleaving of §3.1.
-func (rt *Runtime) awaitResp() *respLock {
-	for {
-		m := rt.proc.Recv()
-		switch pl := m.Payload.(type) {
-		case *respLock:
-			return pl
-		case barrierMsg:
-			rt.barrierSeen[pl.Epoch]++
-		default:
-			if rt.node != nil && rt.node.handle(rt.proc, m) {
-				continue
-			}
-			panic(fmt.Sprintf("core: app%d unexpected message %T", rt.core, m.Payload))
-		}
-	}
 }
 
 // drainRequests serves any queued DTM requests at a transaction boundary

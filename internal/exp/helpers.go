@@ -9,17 +9,25 @@ import (
 	"repro/internal/sim"
 )
 
+// ForceSerialRPC forces serial (non-scatter-gather) commit-time lock
+// acquisition on every system the experiments build — wired to the
+// -serialrpc flag of cmd/tm2c-bench for A/B-ing any figure against the
+// pre-RPC-layer behavior. The ablrpc ablation compares both modes itself;
+// under the flag its scatter rows degenerate to serial.
+var ForceSerialRPC bool
+
 // sysConfig carries the per-run knobs shared by the experiment helpers.
 type sysConfig struct {
-	pl    noc.Platform
-	total int
-	svc   int // 0 = default split, -1 = raw only
-	dep   core.Deployment
-	pol   cm.Policy
-	acq   core.AcquireMode
-	batch bool // false disables write-lock batching
-	gran  int
-	seed  uint64
+	pl        noc.Platform
+	total     int
+	svc       int // 0 = default split, -1 = raw only
+	dep       core.Deployment
+	pol       cm.Policy
+	acq       core.AcquireMode
+	batch     bool // false disables write-lock batching
+	serialRPC bool // true disables commit-time scatter-gather
+	gran      int
+	seed      uint64
 }
 
 func defaultSys(total int) sysConfig {
@@ -36,6 +44,7 @@ func (c sysConfig) build() *core.System {
 		Policy:       c.pol,
 		Acquire:      c.acq,
 		NoBatching:   !c.batch,
+		SerialRPC:    c.serialRPC || ForceSerialRPC,
 		LockGranule:  c.gran,
 	}
 	s, err := core.NewSystem(cfg)

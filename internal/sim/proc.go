@@ -183,6 +183,50 @@ func (p *Proc) TryRecv() (Msg, bool) {
 	return p.popMsg(), true
 }
 
+// RecvMatch blocks until a message satisfying pred is available and returns
+// the earliest-delivered one. Messages that do not satisfy pred stay queued
+// in delivery order for later Recv/RecvMatch calls, so a proc with several
+// outstanding request/response conversations can await exactly the replies
+// it can currently process and leave unrelated traffic untouched.
+//
+// pred must be a pure function of the message: it may be re-evaluated over
+// the same queued message any number of times.
+func (p *Proc) RecvMatch(pred func(Msg) bool) Msg {
+	for {
+		for i := p.mhead; i < len(p.mbox); i++ {
+			if pred(p.mbox[i]) {
+				return p.takeMsgAt(i)
+			}
+		}
+		p.waiting = true
+		p.park()
+	}
+}
+
+// TryRecvMatch returns the earliest queued message satisfying pred, if any,
+// without blocking. Non-matching messages stay queued.
+func (p *Proc) TryRecvMatch(pred func(Msg) bool) (Msg, bool) {
+	for i := p.mhead; i < len(p.mbox); i++ {
+		if pred(p.mbox[i]) {
+			return p.takeMsgAt(i), true
+		}
+	}
+	return Msg{}, false
+}
+
+// takeMsgAt removes and returns the message at mailbox index i (>= mhead),
+// preserving the delivery order of the remaining messages.
+func (p *Proc) takeMsgAt(i int) Msg {
+	if i == p.mhead {
+		return p.popMsg()
+	}
+	m := p.mbox[i]
+	copy(p.mbox[i:], p.mbox[i+1:])
+	p.mbox[len(p.mbox)-1] = Msg{} // drop payload reference
+	p.mbox = p.mbox[:len(p.mbox)-1]
+	return m
+}
+
 // RecvTimeout waits up to d for a message. ok is false on timeout.
 func (p *Proc) RecvTimeout(d time.Duration) (m Msg, ok bool) {
 	if p.Pending() > 0 {

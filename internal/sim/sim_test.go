@@ -407,3 +407,85 @@ func TestTimeString(t *testing.T) {
 		t.Fatal("Duration round-trip failed")
 	}
 }
+
+func TestRecvMatchSelectsAcrossQueue(t *testing.T) {
+	k := New(1)
+	var rx *Proc
+	got := make([]int, 0, 4)
+	rx = k.Spawn("rx", func(p *Proc) {
+		// Wait for all four messages to be queued.
+		for p.Pending() < 4 {
+			p.Advance(10 * time.Microsecond)
+		}
+		// Take the even payloads first, in delivery order, leaving the odd
+		// ones queued.
+		even := func(m Msg) bool { return m.Payload.(int)%2 == 0 }
+		got = append(got, p.RecvMatch(even).Payload.(int))
+		got = append(got, p.RecvMatch(even).Payload.(int))
+		// Plain Recv drains the remainder in delivery order.
+		got = append(got, p.Recv().Payload.(int))
+		got = append(got, p.Recv().Payload.(int))
+	})
+	k.Spawn("tx", func(p *Proc) {
+		for i, v := range []int{1, 2, 3, 4} {
+			p.Send(rx, v, time.Duration(i+1)*time.Microsecond)
+		}
+	})
+	k.Run(Infinity)
+	want := []int{2, 4, 1, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRecvMatchBlocksUntilMatchArrives(t *testing.T) {
+	k := New(1)
+	var rx *Proc
+	var matchedAt Time
+	rx = k.Spawn("rx", func(p *Proc) {
+		m := p.RecvMatch(func(m Msg) bool { return m.Payload.(string) == "yes" })
+		matchedAt = p.Now()
+		if m.Payload.(string) != "yes" {
+			t.Errorf("matched payload %v", m.Payload)
+		}
+		if p.Pending() != 2 {
+			t.Errorf("pending = %d, want 2 skipped messages", p.Pending())
+		}
+	})
+	k.Spawn("tx", func(p *Proc) {
+		p.Send(rx, "no", 1*time.Microsecond)
+		p.Send(rx, "nope", 2*time.Microsecond)
+		p.Send(rx, "yes", 5*time.Microsecond)
+	})
+	k.Run(Infinity)
+	if matchedAt != Time(5*time.Microsecond) {
+		t.Fatalf("matched at %v, want 5µs", matchedAt)
+	}
+}
+
+func TestTryRecvMatch(t *testing.T) {
+	k := New(1)
+	var rx *Proc
+	rx = k.Spawn("rx", func(p *Proc) {
+		for p.Pending() < 2 {
+			p.Advance(10 * time.Microsecond)
+		}
+		if _, ok := p.TryRecvMatch(func(m Msg) bool { return m.Payload.(int) > 10 }); ok {
+			t.Errorf("TryRecvMatch matched nothing-should-match")
+		}
+		m, ok := p.TryRecvMatch(func(m Msg) bool { return m.Payload.(int) == 2 })
+		if !ok || m.Payload.(int) != 2 {
+			t.Errorf("TryRecvMatch = %v, %v", m.Payload, ok)
+		}
+		if p.Pending() != 1 {
+			t.Errorf("pending = %d, want 1", p.Pending())
+		}
+	})
+	k.Spawn("tx", func(p *Proc) {
+		p.Send(rx, 1, time.Microsecond)
+		p.Send(rx, 2, 2*time.Microsecond)
+	})
+	k.Run(Infinity)
+}
