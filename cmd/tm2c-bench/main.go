@@ -8,12 +8,15 @@
 //	tm2c-bench -run all -scale quick
 //	tm2c-bench -run fig8a,fig8b -scale full -csv
 //	tm2c-bench -run fig5a -serialrpc
+//	tm2c-bench -run ablplace -placement adaptive
 //
 // Scales: quick (seconds), default (a few minutes), full (closest to the
 // paper's parameters; tens of minutes). Results print as aligned text
 // tables, or CSV with -csv. -serialrpc forces serial commit-time lock
 // acquisition (instead of scatter-gather) in every experiment, for A/B
 // comparisons; the ablrpc ablation compares the two modes directly.
+// -placement forces an object→DTM-node placement policy in every
+// experiment; the ablplace ablation compares the three policies directly.
 package main
 
 import (
@@ -24,20 +27,30 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/placement"
 )
 
 func main() {
 	var (
-		list      = flag.Bool("list", false, "list experiment IDs and exit")
-		run       = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
-		scale     = flag.String("scale", "default", "quick | default | full")
-		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
-		serialRPC = flag.Bool("serialrpc", false, "force serial (non-scatter-gather) commit lock acquisition in every experiment")
-		timings   = flag.Bool("timings", false, "print wall-clock time per experiment")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		run        = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		scale      = flag.String("scale", "default", "quick | default | full")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		serialRPC  = flag.Bool("serialrpc", false, "force serial (non-scatter-gather) commit lock acquisition in every experiment")
+		placementF = flag.String("placement", "", "force a placement policy (hash | range | adaptive) in every experiment")
+		timings    = flag.Bool("timings", false, "print wall-clock time per experiment")
 	)
 	flag.Parse()
 	exp.ForceSerialRPC = *serialRPC
+	if *placementF != "" {
+		k, err := placement.Parse(*placementF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tm2c-bench: %v\n", err)
+			os.Exit(2)
+		}
+		exp.ForcePlacement = &k
+	}
 
 	if *list {
 		for _, e := range exp.All {

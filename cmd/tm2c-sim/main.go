@@ -32,6 +32,8 @@ func main() {
 		deploy   = flag.String("deployment", "dedicated", "dedicated | multitask")
 		acquire  = flag.String("acquire", "lazy", "lazy | eager")
 		serial   = flag.Bool("serialrpc", false, "serial commit lock acquisition instead of scatter-gather")
+		place    = flag.String("placement", "hash", "hash | range | adaptive object→DTM-node placement")
+		epoch    = flag.Int("epoch", 0, "adaptive placement: lock accesses per repartition epoch (0 = default)")
 		platform = flag.String("platform", "scc", "scc | scc800 | opteron | scc:N (setting N)")
 		duration = flag.Duration("duration", 20*time.Millisecond, "virtual run length")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
@@ -39,6 +41,7 @@ func main() {
 		// workload knobs
 		update   = flag.Int("update", 20, "hashset/list: update percentage")
 		balances = flag.Int("balance", 20, "bank: balance percentage")
+		zipf     = flag.Float64("zipf", 0, "bank: Zipf skew exponent for account choice (0 = uniform)")
 		accounts = flag.Int("accounts", 1024, "bank: accounts")
 		buckets  = flag.Int("buckets", 128, "hashset: buckets")
 		load     = flag.Int("load", 4, "hashset: load factor")
@@ -53,12 +56,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	placeKind, err := repro.ParsePlacement(*place)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := repro.Config{
-		Seed:         *seed,
-		TotalCores:   *cores,
-		ServiceCores: *svc,
-		Policy:       pol,
-		SerialRPC:    *serial,
+		Seed:             *seed,
+		TotalCores:       *cores,
+		ServiceCores:     *svc,
+		Policy:           pol,
+		SerialRPC:        *serial,
+		Placement:        placeKind,
+		RepartitionEpoch: *epoch,
 	}
 	switch *platform {
 	case "scc":
@@ -100,7 +109,7 @@ func main() {
 	switch *app {
 	case "bank":
 		b := bank.New(sys, *accounts)
-		sys.SpawnWorkers(b.TransferWorker(*balances))
+		sys.SpawnWorkers(b.ZipfTransferWorker(*balances, *zipf))
 		verify = func() error {
 			if b.TotalRaw() != b.Total() {
 				return fmt.Errorf("money not conserved: %d != %d", b.TotalRaw(), b.Total())
@@ -164,6 +173,18 @@ func report(sys *repro.System, st *repro.Stats) {
 	fmt.Printf("aborts by kind      RAW=%d WAW=%d WAR=%d\n",
 		st.AbortsByKind[0], st.AbortsByKind[1], st.AbortsByKind[2])
 	fmt.Printf("conflicts/revokes   %d / %d\n", st.Conflicts, st.Revocations)
+	if dir := sys.Placement(); dir != nil {
+		fmt.Printf("placement           %s", dir.PolicyName())
+		if dir.Kind() == repro.PlacementAdaptive {
+			fmt.Printf(": epoch %d, %d migrations (%d completed), %d stale NACKs, %d placement aborts",
+				dir.Epoch(), st.Migrations, st.Handoffs, st.StaleNacks, st.PlacementAborts)
+		}
+		fmt.Println()
+	}
+	if len(st.NodeLoad) > 0 {
+		fmt.Printf("node load           imbalance %.2f (max/mean across %d DTM nodes)\n",
+			st.LoadImbalance(), len(st.NodeLoad))
+	}
 	fmt.Printf("messages            %d (%.1f KB), read-lock %d, write-lock %d, release %d, early %d\n",
 		st.Msgs, float64(st.MsgBytes)/1024, st.ReadLockReqs, st.WriteLockReqs, st.ReleaseMsgs, st.EarlyReleases)
 	if st.Commits > 0 {

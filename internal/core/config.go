@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cm"
 	"repro/internal/noc"
+	"repro/internal/placement"
 	"repro/internal/sim"
 )
 
@@ -148,6 +149,14 @@ type Config struct {
 	// must be a power of two (default 1). Objects larger than the granule
 	// are locked by their base address.
 	LockGranule int
+	// Placement selects the object→DTM-node placement policy: the static
+	// multiplicative hash of §3.2 (default), contiguous range striping, or
+	// the adaptive epoch-based repartitioner (internal/placement).
+	Placement placement.Kind
+	// RepartitionEpoch is the adaptive placement epoch length: the number
+	// of recorded lock-key accesses between repartition evaluations
+	// (default 2048). Static policies ignore it.
+	RepartitionEpoch int
 	// Costs overrides the nominal software costs (default DefaultCosts).
 	Costs *Costs
 }
@@ -184,6 +193,12 @@ func (c *Config) normalize() error {
 	if c.LockGranule&(c.LockGranule-1) != 0 {
 		return fmt.Errorf("core: lock granule %d is not a power of two", c.LockGranule)
 	}
+	if c.Placement > placement.Adaptive {
+		return fmt.Errorf("core: unknown placement policy %d", c.Placement)
+	}
+	if c.RepartitionEpoch < 0 {
+		return fmt.Errorf("core: negative repartition epoch %d", c.RepartitionEpoch)
+	}
 	if c.Costs == nil {
 		c.Costs = &DefaultCosts
 	}
@@ -219,6 +234,17 @@ type Stats struct {
 	Conflicts   uint64
 	Revocations uint64 // enemy aborts performed by CMs
 
+	// Placement activity (adaptive policy; see internal/placement).
+	StaleNacks      uint64 // lock requests NACKed for stale placement resolution
+	PlacementAborts uint64 // attempts aborted after chasing migrating ownership too long
+	Migrations      uint64 // stripe migrations initiated by the directory
+	Handoffs        uint64 // stripe handoffs completed by DTM nodes
+
+	// NodeLoad counts the requests served by each DTM node, by node index
+	// (lock requests, releases and exclusivity traffic, including NACKed
+	// ones). LoadImbalance summarizes it.
+	NodeLoad []uint64
+
 	// Irrevocables counts completed irrevocable transactions (§2
 	// extension).
 	Irrevocables uint64
@@ -243,6 +269,23 @@ func (s *Stats) Throughput() float64 {
 		return 0
 	}
 	return float64(s.Ops) / (float64(s.Duration) / 1e6)
+}
+
+// LoadImbalance returns the max/mean ratio of per-DTM-node served request
+// counts: 1 means perfectly balanced, len(NodeLoad) means one node served
+// everything. It returns 0 when no node served any request.
+func (s *Stats) LoadImbalance() float64 {
+	var max, total uint64
+	for _, v := range s.NodeLoad {
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(s.NodeLoad)) / float64(total)
 }
 
 // CommitRate returns the fraction of attempts that committed, in percent.

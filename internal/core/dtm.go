@@ -12,14 +12,15 @@ import (
 )
 
 // dtmNode is one DTM service node: it owns the lock table for the slice of
-// the address space that hashes to it and arbitrates conflicts through the
-// configured contention manager (§3.2).
+// the address space the placement directory maps to it and arbitrates
+// conflicts through the configured contention manager (§3.2).
 type dtmNode struct {
 	s     *System
 	idx   int
 	core  int // physical core hosting the node
 	table *dslock.Table
 	excl  exclState // irrevocable-transaction exclusivity token
+	reqs  uint64    // requests served (Stats.NodeLoad)
 }
 
 // serveLoop is the dedicated-deployment service loop: receive, handle,
@@ -59,6 +60,7 @@ func (n *dtmNode) handle(p *sim.Proc, m sim.Msg) bool {
 	default:
 		return false
 	}
+	n.reqs++
 	return true
 }
 
@@ -70,12 +72,64 @@ func (n *dtmNode) switchIn(p *sim.Proc) {
 	}
 }
 
+// placeOK validates a lock request's placement resolution against the
+// directory. Pending handoffs whose stripes have drained are completed
+// first, so a retried request observes the freshest ownership instead of
+// spinning on a frozen-but-empty stripe.
+//
+// The wire epoch is the fast path: a request stamped with the current
+// epoch was resolved against the current table — by a protocol-obeying
+// sender, to the node the directory named — so if this node also has no
+// handoff pending, none of the request's stripes can be frozen here (a
+// frozen stripe keeps its owner marked pending until completion) and the
+// per-key scan is skipped. That covers all traffic outside migration
+// windows.
+func (n *dtmNode) placeOK(epoch uint64, keys ...mem.Addr) bool {
+	dir := n.s.dir
+	if dir.HasPending(n.idx) {
+		n.tryHandoffs()
+	}
+	if epoch == dir.Epoch() && !dir.HasPending(n.idx) {
+		return true
+	}
+	return dir.ValidFor(n.idx, keys...)
+}
+
+// tryHandoffs completes every pending outgoing migration whose stripe holds
+// no live lock in this node's table, in one pass over the table: ownership
+// flips in the directory and subsequent resolutions return the new owner.
+// Nothing is copied — a drained stripe has no lock state to move.
+func (n *dtmNode) tryHandoffs() {
+	dir := n.s.dir
+	pending := dir.PendingFor(n.idx)
+	held := make(map[int]bool, len(pending))
+	n.table.ForEach(func(a mem.Addr) {
+		held[dir.StripeOf(a)] = true
+	})
+	for _, stripe := range pending {
+		if !held[stripe] {
+			dir.CompleteHandoff(stripe)
+		}
+	}
+}
+
+// nackStale rejects a lock request whose placement resolution went stale;
+// the requester re-resolves against the directory and retries.
+func (n *dtmNode) nackStale(p *sim.Proc, reply *sim.Proc, replyTo int, reqID uint64) {
+	n.s.stats.StaleNacks++
+	n.respond(p, reply, replyTo, &respLock{ReqID: reqID, Stale: true})
+}
+
 // handleReadLock implements Algorithm 1 (dsl_read_lock) plus the revocation
 // protocol: on a RAW conflict the contention manager either aborts the
 // requester or remotely aborts the writer and steals its lock.
 func (n *dtmNode) handleReadLock(p *sim.Proc, r *reqReadLock) {
 	c := n.s.cfg.Costs
 	p.Advance(n.s.compute(c.SvcBase + c.SvcLock))
+	if !n.placeOK(r.Epoch, r.Addr) {
+		n.nackStale(p, r.Reply, r.ReplyTo, r.ReqID)
+		return
+	}
 	if n.excl.blocked() {
 		// An irrevocable transaction holds or awaits this node's
 		// exclusivity token: reject so the table drains (§2 extension).
@@ -109,6 +163,10 @@ func (n *dtmNode) handleReadLock(p *sim.Proc, r *reqReadLock) {
 func (n *dtmNode) handleWriteLock(p *sim.Proc, r *reqWriteLock) {
 	c := n.s.cfg.Costs
 	p.Advance(n.s.compute(c.SvcBase + c.SvcLock*time.Duration(len(r.Addrs))))
+	if !n.placeOK(r.Epoch, r.Addrs...) {
+		n.nackStale(p, r.Reply, r.ReplyTo, r.ReqID)
+		return
+	}
 	if n.excl.blocked() {
 		n.respond(p, r.Reply, r.ReplyTo, &respLock{ReqID: r.ReqID, OK: false, Kind: cm.WAW})
 		return
@@ -176,6 +234,11 @@ func (n *dtmNode) handleRelease(p *sim.Proc, r *relLocks) {
 	for _, a := range r.WriteAddrs {
 		n.table.ReleaseWrite(a, r.Core, r.TxID)
 	}
+	if n.s.dir.HasPending(n.idx) {
+		// Releases are what drain a frozen stripe: try the handoff now so
+		// ownership flips as early as possible.
+		n.tryHandoffs()
+	}
 }
 
 func (n *dtmNode) handleEarlyRelease(p *sim.Proc, r *earlyRelease) {
@@ -183,6 +246,9 @@ func (n *dtmNode) handleEarlyRelease(p *sim.Proc, r *earlyRelease) {
 	p.Advance(n.s.compute(c.SvcBase + c.SvcRelease*time.Duration(len(r.Addrs))))
 	for _, a := range r.Addrs {
 		n.table.ReleaseRead(a, r.Core, r.TxID)
+	}
+	if n.s.dir.HasPending(n.idx) {
+		n.tryHandoffs()
 	}
 }
 

@@ -18,6 +18,14 @@ import (
 // batch it answers. The ID is part of the modeled 8-byte header, so it does
 // not change any payload size.
 //
+// Lock requests additionally carry the placement epoch (internal/placement)
+// at which the sender resolved its keys to the destination node. A request
+// that arrives after the resolution went stale — the stripe was handed off,
+// or is frozen for migration — is NACKed (respLock.Stale) back to the
+// requester for re-resolution, so a grant can only ever be issued by a
+// key's current owner. The epoch rides in the 24-byte metadata block and
+// changes no payload size.
+//
 // Payload sizes below approximate the on-wire encoding (for latency
 // accounting only): an 8-byte header, 8 bytes per address, and a 24-byte
 // transaction metadata block.
@@ -44,6 +52,7 @@ func (*earlyRelease) dtmRequest() {}
 // reqReadLock asks for the read lock of one object (Algorithm 1 trigger).
 type reqReadLock struct {
 	ReqID   uint64 // correlation ID, echoed in the response
+	Epoch   uint64 // placement epoch at resolution time
 	Addr    mem.Addr
 	Meta    cm.Meta
 	Reply   *sim.Proc
@@ -56,6 +65,7 @@ func (r *reqReadLock) bytes() int { return msgHeaderBytes + msgMetaBytes + msgAd
 // same DTM node (Algorithm 2 trigger; batching per §3.3).
 type reqWriteLock struct {
 	ReqID   uint64 // correlation ID, echoed in the response
+	Epoch   uint64 // placement epoch at resolution time
 	Addrs   []mem.Addr
 	Meta    cm.Meta
 	Reply   *sim.Proc
@@ -67,11 +77,15 @@ func (r *reqWriteLock) bytes() int {
 }
 
 // respLock answers a read- or write-lock request. OK means NO_CONFLICT; on
-// failure Kind reports the conflict class that aborted the requester. ReqID
-// echoes the request's correlation ID.
+// failure Kind reports the conflict class that aborted the requester,
+// unless Stale is set: then the request was NACKed because the node no
+// longer (or not yet) owns a requested key, or its stripe is frozen for
+// migration, and the requester must re-resolve and retry. ReqID echoes the
+// request's correlation ID.
 type respLock struct {
 	ReqID uint64
 	OK    bool
+	Stale bool
 	Kind  cm.Kind
 }
 

@@ -61,27 +61,57 @@ func (rt *Runtime) sendToNode(ni int, msg wireMsg) {
 	rt.s.send(rt.proc, rt.core, rt.s.nodeProcs[ni], rt.s.nodes[ni].core, msg, msg.bytes())
 }
 
-// rpcReadLock sends a read-lock request and waits for the response.
+// maxPlacementHops bounds how many times one logical lock request chases
+// migrating ownership (stale-epoch NACK → re-resolve → resend) before the
+// attempt aborts. The abort releases the attempt's locks, which is exactly
+// what lets a frozen stripe the requester itself holds locks on drain, so
+// the bound doubles as the protocol's deadlock breaker.
+const maxPlacementHops = 8
+
+// placementAbort aborts the attempt after exhausting the stale-NACK hop
+// budget.
+func (rt *Runtime) placementAbort() {
+	rt.s.stats.PlacementAborts++
+	panic(abortSignal{})
+}
+
+// rpcReadLock sends a read-lock request and waits for the response,
+// re-resolving the key and retrying when a migration NACKs the request.
+// The access is recorded once per logical acquisition — NACK-chasing
+// resends must not inflate the stripe heat the adaptive policy reads.
 func (rt *Runtime) rpcReadLock(tx *Tx, key mem.Addr) *respLock {
-	id := rt.nextReqID()
-	req := &reqReadLock{
-		ReqID:   id,
-		Addr:    key,
-		Meta:    rt.local.RequestMeta(tx.id, rt.proc.Now()),
-		Reply:   rt.proc,
-		ReplyTo: rt.core,
+	rt.s.dir.Record(key)
+	for hop := 0; ; hop++ {
+		id := rt.nextReqID()
+		req := &reqReadLock{
+			ReqID:   id,
+			Epoch:   rt.s.dir.Epoch(),
+			Addr:    key,
+			Meta:    rt.local.RequestMeta(tx.id, rt.proc.Now()),
+			Reply:   rt.proc,
+			ReplyTo: rt.core,
+		}
+		rt.s.stats.ReadLockReqs++
+		rt.sendToNode(rt.s.nodeFor(key), req)
+		resp := rt.awaitOne(id)
+		if !resp.Stale {
+			return resp
+		}
+		if hop >= maxPlacementHops {
+			rt.placementAbort()
+		}
 	}
-	rt.s.stats.ReadLockReqs++
-	rt.sendToNode(rt.s.nodeFor(key), req)
-	return rt.awaitOne(id)
 }
 
 // sendWriteLock sends one write-lock batch — all keys must share a
-// responsible DTM node — and returns its correlation ID without waiting.
+// responsible DTM node under the current placement resolution — and returns
+// its correlation ID without waiting. The caller has already recorded the
+// accesses (once per logical acquisition, not per resend).
 func (rt *Runtime) sendWriteLock(tx *Tx, keys []mem.Addr) uint64 {
 	id := rt.nextReqID()
 	req := &reqWriteLock{
 		ReqID:   id,
+		Epoch:   rt.s.dir.Epoch(),
 		Addrs:   keys,
 		Meta:    rt.local.RequestMeta(tx.id, rt.proc.Now()),
 		Reply:   rt.proc,
@@ -93,9 +123,26 @@ func (rt *Runtime) sendWriteLock(tx *Tx, keys []mem.Addr) uint64 {
 }
 
 // rpcWriteLock sends one batched write-lock request and waits for its
-// response (a single round trip; the eager path and the SerialRPC ablation).
+// response (a single round trip; the serial-commit path). The caller
+// handles Stale responses — a batch grouped under a stale resolution must
+// be re-partitioned, not just resent.
 func (rt *Runtime) rpcWriteLock(tx *Tx, keys []mem.Addr) *respLock {
 	return rt.awaitOne(rt.sendWriteLock(tx, keys))
+}
+
+// rpcWriteLockEager acquires the write lock of a single key (eager mode),
+// re-resolving and retrying when a migration NACKs the request.
+func (rt *Runtime) rpcWriteLockEager(tx *Tx, key mem.Addr) *respLock {
+	rt.s.dir.Record(key)
+	for hop := 0; ; hop++ {
+		resp := rt.rpcWriteLock(tx, []mem.Addr{key})
+		if !resp.Stale {
+			return resp
+		}
+		if hop >= maxPlacementHops {
+			rt.placementAbort()
+		}
+	}
 }
 
 // scatterWriteLocks sends every write-lock batch in one burst and gathers

@@ -8,6 +8,7 @@ import (
 	"repro/internal/hist"
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/placement"
 	"repro/internal/sim"
 )
 
@@ -40,6 +41,7 @@ type System struct {
 	nodes     []*dtmNode
 	nodeProcs []*sim.Proc
 	runtimes  []*Runtime
+	dir       *placement.Directory // key→DTM-node directory (nil on raw-only systems)
 
 	deadline sim.Time
 	stats    Stats
@@ -84,6 +86,17 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	for i, c := range s.svcCores {
 		s.nodes = append(s.nodes, &dtmNode{s: s, idx: i, core: c, table: dslock.NewTable()})
+	}
+	if len(s.nodes) > 0 {
+		dir, err := placement.New(placement.Config{
+			Nodes:     len(s.nodes),
+			Kind:      cfg.Placement,
+			EvalEvery: cfg.RepartitionEpoch,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.dir = dir
 	}
 	s.nodeProcs = make([]*sim.Proc, len(s.nodes))
 	if cfg.Deployment == Dedicated {
@@ -226,6 +239,13 @@ func (s *System) snapshot(d sim.Time) {
 		s.stats.Ops += rt.stats.Ops
 		s.stats.PerCore = append(s.stats.PerCore, rt.stats)
 	}
+	for _, n := range s.nodes {
+		s.stats.NodeLoad = append(s.stats.NodeLoad, n.reqs)
+	}
+	if s.dir != nil {
+		s.stats.Migrations = s.dir.Migrations
+		s.stats.Handoffs = s.dir.Handoffs
+	}
 }
 
 // Stats returns the snapshot taken by Run. Valid only after Run.
@@ -248,13 +268,13 @@ func (s *System) lockKey(addr mem.Addr) mem.Addr {
 	return addr &^ mem.Addr(s.cfg.LockGranule-1)
 }
 
-// nodeFor maps a lock key to the responsible DTM node by hashing (§3.2).
+// Placement returns the key→DTM-node directory (nil on raw-only systems).
+func (s *System) Placement() *placement.Directory { return s.dir }
+
+// nodeFor maps a lock key to the responsible DTM node under the current
+// placement resolution (§3.2's hash by default; see internal/placement).
 func (s *System) nodeFor(key mem.Addr) int {
-	x := uint64(key)
-	x ^= x >> 33
-	x *= 0xff51afd7ed558ccd
-	x ^= x >> 33
-	return int(x % uint64(len(s.nodes)))
+	return s.dir.Owner(key)
 }
 
 // recvPeers returns how many peers the receiving core polls for incoming

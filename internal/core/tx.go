@@ -298,7 +298,7 @@ func (tx *Tx) WriteN(base mem.Addr, vals []uint64) {
 		key := rt.s.lockKey(base)
 		if !containsAddr(tx.wlocked, key) {
 			tx.checkAborted()
-			resp := rt.rpcWriteLock(tx, []mem.Addr{key})
+			resp := rt.rpcWriteLockEager(tx, key)
 			if !resp.OK {
 				panic(abortSignal{kind: resp.Kind, hasKind: true})
 			}
@@ -401,44 +401,90 @@ func (tx *Tx) commit() {
 // batch, the batches that other nodes already granted are recorded in
 // tx.wlocked before the abort unwinds, so abortCleanup's releaseAll revokes
 // them and no stale write lock survives the attempt.
+//
+// A batch NACKed for stale placement (an adaptive migration moved or froze
+// a stripe between resolution and arrival) aborts nothing: its keys are
+// re-resolved against the directory, re-partitioned — migration may split
+// them across different nodes — and retried in a fresh phase, keeping
+// every lock already granted. The hop bound caps the chase; exceeding it
+// aborts the attempt, whose lock release is what lets a frozen stripe
+// drain when the requester itself is the holdout.
 func (tx *Tx) acquireCommitLocks() {
 	rt := tx.rt
-	batches := tx.commitBatches()
-	if rt.s.cfg.SerialRPC {
-		for _, b := range batches {
-			tx.checkAborted()
-			rt.s.stats.CommitRoundTrips++
-			resp := rt.rpcWriteLock(tx, b)
-			if !resp.OK {
-				panic(abortSignal{kind: resp.Kind, hasKind: true})
-			}
-			tx.wlocked = append(tx.wlocked, b...)
+	keys := tx.writeKeys()
+	rt.s.dir.Record(keys...) // once per attempt; stale retries resend, not re-record
+	for hop := 0; ; hop++ {
+		var stale []mem.Addr
+		if rt.s.cfg.SerialRPC {
+			stale = tx.serialAcquire(keys)
+		} else {
+			stale = tx.scatterAcquire(keys)
 		}
-		return
+		if len(stale) == 0 {
+			return
+		}
+		if hop >= maxPlacementHops {
+			rt.placementAbort()
+		}
+		keys = stale
 	}
+}
+
+// serialAcquire acquires the keys' write locks one awaited round trip per
+// batch (the SerialRPC ablation), returning the keys whose batches were
+// NACKed for stale placement. A conflict rejection aborts immediately.
+func (tx *Tx) serialAcquire(keys []mem.Addr) (stale []mem.Addr) {
+	rt := tx.rt
+	for _, b := range tx.commitBatches(keys) {
+		tx.checkAborted()
+		rt.s.stats.CommitRoundTrips++
+		resp := rt.rpcWriteLock(tx, b)
+		switch {
+		case resp.OK:
+			tx.wlocked = append(tx.wlocked, b...)
+		case resp.Stale:
+			stale = append(stale, b...)
+		default:
+			panic(abortSignal{kind: resp.Kind, hasKind: true})
+		}
+	}
+	return stale
+}
+
+// scatterAcquire sends every batch in one burst and gathers all responses
+// in a single awaited phase, returning the keys NACKed for stale placement.
+// Any conflict rejection aborts after the granted batches are recorded for
+// rollback.
+func (tx *Tx) scatterAcquire(keys []mem.Addr) (stale []mem.Addr) {
+	rt := tx.rt
+	batches := tx.commitBatches(keys)
 	tx.checkAborted()
 	rt.s.stats.CommitRoundTrips++
 	resps := rt.scatterWriteLocks(tx, batches)
 	var fail *respLock
 	for i, resp := range resps {
-		if resp.OK {
+		switch {
+		case resp.OK:
 			tx.wlocked = append(tx.wlocked, batches[i]...)
-		} else if fail == nil {
+		case resp.Stale:
+			stale = append(stale, batches[i]...)
+		case fail == nil:
 			fail = resp // first rejection in send order, for determinism
 		}
 	}
 	if fail != nil {
 		panic(abortSignal{kind: fail.Kind, hasKind: true})
 	}
+	return stale
 }
 
-// commitBatches partitions the write set's lock keys into the batches the
-// commit acquires: one per responsible DTM node in first-write order, or one
-// per object under the NoBatching ablation.
-func (tx *Tx) commitBatches() [][]mem.Addr {
+// commitBatches partitions lock keys into the batches the commit acquires:
+// one per responsible DTM node in first-write order, or one per object
+// under the NoBatching ablation.
+func (tx *Tx) commitBatches(keys []mem.Addr) [][]mem.Addr {
 	rt := tx.rt
 	var batches [][]mem.Addr
-	for _, g := range rt.groupByNode(tx.writeKeys()) {
+	for _, g := range rt.groupByNode(keys) {
 		if rt.s.cfg.NoBatching {
 			for _, a := range g.addrs {
 				batches = append(batches, []mem.Addr{a})

@@ -185,6 +185,17 @@ func (t *Table) Revoke(addr mem.Addr, core int, txID uint64) bool {
 	return removed
 }
 
+// ForEach calls fn for every address with at least one live lock, in one
+// pass. The DTM service uses it to decide which placement stripes have
+// drained and can be handed off to their new owners. Iteration order is
+// the map's (nondeterministic); callers must only accumulate
+// order-insensitive facts.
+func (t *Table) ForEach(fn func(mem.Addr)) {
+	for addr := range t.locks {
+		fn(addr)
+	}
+}
+
 func (t *Table) ensure(addr mem.Addr) *entry {
 	e := t.locks[addr]
 	if e == nil {

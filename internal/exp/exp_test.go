@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig5a", "fig5b", "fig5c", "fig5d",
 		"fig6a", "fig6b", "fig7a", "fig7b",
 		"fig8a", "fig8b", "fig8c", "fig8d",
-		"ablbatch", "ablpoll", "ablgran", "ablrpc",
+		"ablbatch", "ablpoll", "ablgran", "ablrpc", "ablplace",
 		"extskip", "extirrev",
 	}
 	ids := IDs()
@@ -156,6 +156,30 @@ func TestShapeScatterGatherCutsRoundTrips(t *testing.T) {
 		if scatterRT >= serialRT {
 			t.Errorf("%s dtm nodes: scatter rt/commit %v, serial %v: want strict reduction",
 				rows[i][0], scatterRT, serialRT)
+		}
+	}
+}
+
+// TestShapeAdaptivePlacementTracksHashUnderSkew checks the ablplace
+// headline on its skewed hot-read rows: range's contiguous placement piles
+// the Zipf heat onto one DTM node and pays for it, while adaptive stays at
+// least competitive with hash (generous margin — the two are typically
+// within a few percent, with adaptive ahead).
+func TestShapeAdaptivePlacementTracksHashUnderSkew(t *testing.T) {
+	sc := Scale{Duration: 4 * time.Millisecond, SizeDiv: 4, Cores: []int{48}, Seed: 5}
+	tabs := ablPlace(sc)
+	rows := tabs[0].Rows // triples: hash, range, adaptive per skew level
+	if len(rows)%3 != 0 {
+		t.Fatalf("ablplace produced %d rows, want policy triples", len(rows))
+	}
+	for i := 0; i+2 < len(rows); i += 3 {
+		skew := rows[i][0]
+		hash, rng, adaptive := parse(t, rows[i][2]), parse(t, rows[i+1][2]), parse(t, rows[i+2][2])
+		if adaptive < 0.9*hash {
+			t.Errorf("%s: adaptive %.1f ops/ms fell >10%% behind hash %.1f", skew, adaptive, hash)
+		}
+		if skew != "uniform" && rng > 0.85*hash {
+			t.Errorf("%s: range %.1f ops/ms should trail hash %.1f — skewed heat on one node", skew, rng, hash)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cm"
 	"repro/internal/core"
 	"repro/internal/noc"
+	"repro/internal/placement"
 	"repro/internal/sim"
 )
 
@@ -15,6 +16,13 @@ import (
 // pre-RPC-layer behavior. The ablrpc ablation compares both modes itself;
 // under the flag its scatter rows degenerate to serial.
 var ForceSerialRPC bool
+
+// ForcePlacement, when non-nil, overrides the placement policy of every
+// system the experiments build — wired to the -placement flag of
+// cmd/tm2c-bench for A/B-ing any figure across policies. The ablplace
+// ablation compares the policies itself; under the flag its rows all run
+// the forced policy.
+var ForcePlacement *placement.Kind
 
 // sysConfig carries the per-run knobs shared by the experiment helpers.
 type sysConfig struct {
@@ -27,6 +35,8 @@ type sysConfig struct {
 	batch     bool // false disables write-lock batching
 	serialRPC bool // true disables commit-time scatter-gather
 	gran      int
+	place     placement.Kind
+	repEpoch  int // adaptive placement epoch length (0 = default)
 	seed      uint64
 }
 
@@ -36,16 +46,21 @@ func defaultSys(total int) sysConfig {
 
 func (c sysConfig) build() *core.System {
 	cfg := core.Config{
-		Platform:     c.pl,
-		Seed:         c.seed,
-		TotalCores:   c.total,
-		ServiceCores: c.svc,
-		Deployment:   c.dep,
-		Policy:       c.pol,
-		Acquire:      c.acq,
-		NoBatching:   !c.batch,
-		SerialRPC:    c.serialRPC || ForceSerialRPC,
-		LockGranule:  c.gran,
+		Platform:         c.pl,
+		Seed:             c.seed,
+		TotalCores:       c.total,
+		ServiceCores:     c.svc,
+		Deployment:       c.dep,
+		Policy:           c.pol,
+		Acquire:          c.acq,
+		NoBatching:       !c.batch,
+		SerialRPC:        c.serialRPC || ForceSerialRPC,
+		LockGranule:      c.gran,
+		Placement:        c.place,
+		RepartitionEpoch: c.repEpoch,
+	}
+	if ForcePlacement != nil {
+		cfg.Placement = *ForcePlacement
 	}
 	s, err := core.NewSystem(cfg)
 	if err != nil {

@@ -1,0 +1,372 @@
+// Package placement implements TM2C-Go's object→DTM-node directory: the
+// pluggable subsystem deciding which DTM service node owns the lock for a
+// given shared-memory key.
+//
+// TM2C (§3.2) fixes this mapping to a static multiplicative hash, which
+// balances load only under uniform access. This package makes placement a
+// first-class subsystem behind a Policy interface with three strategies:
+//
+//   - Hash: the paper's static multiplicative hash (the default);
+//   - Range: contiguous striping, so neighbouring addresses share a DTM
+//     node (spatial locality for scans and block-structured data);
+//   - Adaptive: a per-stripe ownership table that tracks access counts per
+//     epoch and migrates hot stripes from overloaded to underloaded nodes.
+//
+// Adaptive migration is a consistency-critical distributed protocol. The
+// directory never moves ownership of a stripe while locks on it are live:
+//
+//  1. A repartition round freezes the chosen stripes (the pending target is
+//     recorded and the epoch bumps); the current owner keeps serving
+//     releases on a frozen stripe but NACKs new lock requests.
+//  2. The owner hands a stripe off only once its lock table holds no live
+//     lock on it (re-checked on every release and on every retried
+//     request), at which point ownership flips and the epoch bumps again.
+//     A drained stripe has no lock state, so nothing is copied.
+//  3. Lock requests carry the epoch at which the sender resolved the key;
+//     a request arriving at a node that no longer (or not yet) owns the
+//     key, or whose stripe is frozen, is NACKed back to the requester for
+//     re-resolution.
+//
+// Ownership is therefore never lost or duplicated: at every epoch each key
+// has exactly one owner, and only that owner can grant its locks. The
+// directory is plain bookkeeping driven by the simulator's event loop, so
+// it stays deterministic like everything else in the system.
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// Kind selects a placement policy.
+type Kind uint8
+
+const (
+	// Hash is the paper's static multiplicative hash of the lock key.
+	Hash Kind = iota
+	// Range stripes the address space contiguously across the nodes.
+	Range
+	// Adaptive starts from an interleaved stripe assignment and migrates
+	// hot stripes between nodes at epoch boundaries.
+	Adaptive
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Range:
+		return "range"
+	case Adaptive:
+		return "adaptive"
+	default:
+		return "hash"
+	}
+}
+
+// Parse parses a placement policy name (hash|range|adaptive).
+func Parse(s string) (Kind, error) {
+	switch s {
+	case "", "hash":
+		return Hash, nil
+	case "range":
+		return Range, nil
+	case "adaptive":
+		return Adaptive, nil
+	}
+	return Hash, fmt.Errorf("placement: unknown policy %q", s)
+}
+
+// Kinds lists every policy in presentation order.
+func Kinds() []Kind { return []Kind{Hash, Range, Adaptive} }
+
+// Config describes one directory.
+type Config struct {
+	// Nodes is the number of DTM nodes (required, > 0).
+	Nodes int
+	// Kind selects the policy (default Hash).
+	Kind Kind
+	// Stripes is the size of the stripe universe for stripe-based policies
+	// (default 4096). Addresses wrap modulo Span*Stripes, so two keys that
+	// far apart may alias to the same stripe; aliasing only coarsens
+	// migration, never correctness.
+	Stripes int
+	// Span is the number of contiguous words per stripe (default 1).
+	Span int
+	// EvalEvery is the adaptive epoch length: the number of recorded lock
+	// accesses between repartition evaluations (default 2048).
+	EvalEvery int
+	// MaxMoves caps the migrations initiated per repartition round
+	// (default 4).
+	MaxMoves int
+	// ImbalanceFactor is the max/mean node-load ratio above which a round
+	// migrates stripes (default 1.25).
+	ImbalanceFactor float64
+}
+
+func (c *Config) normalize() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("placement: need at least one node, got %d", c.Nodes)
+	}
+	if c.Stripes <= 0 {
+		c.Stripes = 4096
+	}
+	if c.Span <= 0 {
+		c.Span = 1
+	}
+	if c.EvalEvery <= 0 {
+		c.EvalEvery = 2048
+	}
+	if c.MaxMoves <= 0 {
+		c.MaxMoves = 4
+	}
+	if c.ImbalanceFactor <= 1 {
+		c.ImbalanceFactor = 1.25
+	}
+	return nil
+}
+
+// Move is one stripe migration proposed by a policy.
+type Move struct {
+	Stripe, From, To int
+}
+
+// Directory owns the key→node mapping and drives the epoch-numbered remap
+// protocol. All methods are called from simulator procs, which the kernel
+// runs one at a time, so no internal locking is needed (the same discipline
+// as the dslock tables).
+type Directory struct {
+	cfg Config
+	pol Policy
+
+	epoch    uint64
+	owner    []int32  // stripe -> owning node (adaptive only)
+	pending  []int32  // stripe -> migration target, -1 when none
+	frozen   [][]int  // node -> frozen stripes it still owns, ascending
+	counts   []uint64 // stripe -> accesses in the current epoch window
+	accesses uint64
+	nextEval uint64
+
+	// Counters, snapshotted into core.Stats after a run.
+	Epochs     uint64 // repartition rounds that initiated at least one move
+	Migrations uint64 // stripe migrations initiated
+	Handoffs   uint64 // stripe handoffs completed
+}
+
+// New builds a directory. The zero Kind is the paper's static hash.
+func New(cfg Config) (*Directory, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	d := &Directory{cfg: cfg, pol: policyFor(cfg.Kind), nextEval: uint64(cfg.EvalEvery)}
+	if cfg.Kind == Adaptive {
+		d.owner = make([]int32, cfg.Stripes)
+		d.pending = make([]int32, cfg.Stripes)
+		d.counts = make([]uint64, cfg.Stripes)
+		d.frozen = make([][]int, cfg.Nodes)
+		for s := range d.owner {
+			// Interleaved start: consecutive stripes round-robin across the
+			// nodes, balanced under uniform access; migration refines it.
+			d.owner[s] = int32(s % cfg.Nodes)
+			d.pending[s] = -1
+		}
+	}
+	return d, nil
+}
+
+// Kind returns the directory's policy kind.
+func (d *Directory) Kind() Kind { return d.cfg.Kind }
+
+// PolicyName returns the active policy's name.
+func (d *Directory) PolicyName() string { return d.pol.Name() }
+
+// Nodes returns the number of DTM nodes.
+func (d *Directory) Nodes() int { return d.cfg.Nodes }
+
+// NumStripes returns the size of the stripe universe.
+func (d *Directory) NumStripes() int { return d.cfg.Stripes }
+
+// Epoch returns the current remap epoch. Static policies stay at 0.
+func (d *Directory) Epoch() uint64 { return d.epoch }
+
+func (d *Directory) adaptive() bool { return d.owner != nil }
+
+// StripeOf maps a lock key to its stripe.
+func (d *Directory) StripeOf(key mem.Addr) int {
+	return int((uint64(key) / uint64(d.cfg.Span)) % uint64(d.cfg.Stripes))
+}
+
+// KeyInStripe reports whether key belongs to stripe s.
+func (d *Directory) KeyInStripe(key mem.Addr, s int) bool { return d.StripeOf(key) == s }
+
+// Owner resolves a lock key to its owning DTM node under the current
+// assignment. Resolution is pure lookup; use Record to account accesses.
+func (d *Directory) Owner(key mem.Addr) int { return d.pol.Owner(d, key) }
+
+// StripeOwner returns the current owner of stripe s (adaptive directories;
+// static policies resolve per key, not per stripe).
+func (d *Directory) StripeOwner(s int) int {
+	if !d.adaptive() {
+		return -1
+	}
+	return int(d.owner[s])
+}
+
+// PendingTarget returns the migration target of stripe s, if it is frozen.
+func (d *Directory) PendingTarget(s int) (int, bool) {
+	if !d.adaptive() || d.pending[s] < 0 {
+		return 0, false
+	}
+	return int(d.pending[s]), true
+}
+
+// Record accounts intended lock acquisitions on each key and, at epoch
+// boundaries, lets the policy initiate a repartition round. Static policies
+// ignore it.
+func (d *Directory) Record(keys ...mem.Addr) {
+	if !d.adaptive() {
+		return
+	}
+	for _, k := range keys {
+		d.counts[d.StripeOf(k)]++
+	}
+	d.accesses += uint64(len(keys))
+	if d.accesses >= d.nextEval {
+		d.nextEval = d.accesses + uint64(d.cfg.EvalEvery)
+		d.evaluate()
+	}
+}
+
+// evaluate closes an epoch window: the policy proposes migrations, the
+// directory freezes the chosen stripes, and the access counts decay so old
+// heat fades across windows.
+func (d *Directory) evaluate() {
+	moved := false
+	for _, m := range d.pol.Repartition(d) {
+		if d.InitiateMove(m.Stripe, m.To) {
+			moved = true
+		}
+	}
+	if moved {
+		d.Epochs++
+	}
+	for i := range d.counts {
+		d.counts[i] >>= 1
+	}
+}
+
+// InitiateMove freezes stripe s for migration to node to: the current owner
+// keeps serving releases on s but NACKs new lock requests until the stripe
+// drains and the handoff completes. It reports whether the move was
+// initiated (false when s is already frozen, already owned by to, the
+// directory is not adaptive, or an argument is out of range).
+func (d *Directory) InitiateMove(s, to int) bool {
+	if !d.adaptive() || s < 0 || s >= d.cfg.Stripes || to < 0 || to >= d.cfg.Nodes {
+		return false
+	}
+	if d.pending[s] >= 0 || int(d.owner[s]) == to {
+		return false
+	}
+	d.pending[s] = int32(to)
+	owner := int(d.owner[s])
+	list := d.frozen[owner]
+	at := sort.SearchInts(list, s)
+	list = append(list, 0)
+	copy(list[at+1:], list[at:])
+	list[at] = s
+	d.frozen[owner] = list
+	d.epoch++
+	d.Migrations++
+	return true
+}
+
+// CompleteHandoff transfers frozen stripe s to its pending target and bumps
+// the epoch. The caller — the owning DTM node — must have verified that its
+// lock table holds no live lock on the stripe.
+func (d *Directory) CompleteHandoff(s int) {
+	if !d.adaptive() || d.pending[s] < 0 {
+		panic(fmt.Sprintf("placement: CompleteHandoff(%d) without a pending migration", s))
+	}
+	owner := int(d.owner[s])
+	list := d.frozen[owner]
+	at := sort.SearchInts(list, s)
+	d.frozen[owner] = append(list[:at], list[at+1:]...)
+	d.owner[s] = d.pending[s]
+	d.pending[s] = -1
+	d.epoch++
+	d.Handoffs++
+}
+
+// HasPending reports whether node still has frozen stripes to hand off.
+func (d *Directory) HasPending(node int) bool {
+	return d.adaptive() && len(d.frozen[node]) > 0
+}
+
+// PendingFor returns the frozen stripes node still owns, in ascending
+// stripe order (deterministic handoff order). The returned slice is a
+// copy: callers complete handoffs while iterating it.
+func (d *Directory) PendingFor(node int) []int {
+	if !d.HasPending(node) {
+		return nil
+	}
+	return append([]int(nil), d.frozen[node]...)
+}
+
+// ValidFor reports whether a lock request for keys sent to node is
+// serviceable by that node: every key must currently map to node and none
+// of their stripes may be frozen for migration. The check is authoritative
+// per key — a request whose resolution happens to still be correct is
+// accepted even if it was resolved epochs ago, and a mis-addressed request
+// is rejected regardless of its stamp. (The wire epoch's job is the
+// receiver's fast path: a current-epoch request from a protocol-obeying
+// sender needs no per-key scan; see dtmNode.placeOK.) Static policies
+// never invalidate a resolution.
+func (d *Directory) ValidFor(node int, keys ...mem.Addr) bool {
+	if !d.adaptive() {
+		return true
+	}
+	for _, k := range keys {
+		s := d.StripeOf(k)
+		if int(d.owner[s]) != node || d.pending[s] >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckInvariants validates the directory's structural invariants; tests
+// call it after random migration schedules. The invariants are: every
+// stripe has exactly one owner in range, frozen-stripe bookkeeping matches
+// the pending table, and a pending target never equals the current owner.
+func (d *Directory) CheckInvariants() error {
+	if !d.adaptive() {
+		return nil
+	}
+	wantFrozen := make([][]int, d.cfg.Nodes)
+	for s, o := range d.owner {
+		if o < 0 || int(o) >= d.cfg.Nodes {
+			return fmt.Errorf("stripe %d owned by out-of-range node %d", s, o)
+		}
+		if t := d.pending[s]; t >= 0 {
+			if int(t) >= d.cfg.Nodes {
+				return fmt.Errorf("stripe %d pending to out-of-range node %d", s, t)
+			}
+			if t == o {
+				return fmt.Errorf("stripe %d pending to its own owner %d", s, o)
+			}
+			wantFrozen[o] = append(wantFrozen[o], s)
+		}
+	}
+	for n, want := range wantFrozen {
+		got := d.frozen[n]
+		if len(got) != len(want) {
+			return fmt.Errorf("node %d frozen list has %d stripes, table says %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] { // both ascending
+				return fmt.Errorf("node %d frozen list %v, table says %v", n, got, want)
+			}
+		}
+	}
+	return nil
+}

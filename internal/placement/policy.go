@@ -1,0 +1,133 @@
+package placement
+
+import "repro/internal/mem"
+
+// Policy is one pluggable mapping strategy behind a Directory. Implementations
+// must be deterministic pure functions of the directory state: the same
+// directory always resolves the same key to the same node, and Repartition
+// proposes the same moves for the same counts.
+type Policy interface {
+	// Name is the policy's flag-friendly name.
+	Name() string
+	// Owner resolves a lock key under the directory's current assignment.
+	Owner(d *Directory, key mem.Addr) int
+	// Repartition inspects the closing epoch's per-stripe access counts and
+	// returns the migrations to initiate. Static policies return nil.
+	Repartition(d *Directory) []Move
+}
+
+func policyFor(k Kind) Policy {
+	switch k {
+	case Range:
+		return rangePolicy{}
+	case Adaptive:
+		return adaptivePolicy{}
+	default:
+		return hashPolicy{}
+	}
+}
+
+// hashPolicy is §3.2's static placement: a multiplicative (Murmur3
+// finalizer) hash of the lock key, bit-identical to the pre-directory
+// System.nodeFor.
+type hashPolicy struct{}
+
+func (hashPolicy) Name() string { return "hash" }
+
+func (hashPolicy) Owner(d *Directory, key mem.Addr) int {
+	x := uint64(key)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x % uint64(d.cfg.Nodes))
+}
+
+func (hashPolicy) Repartition(*Directory) []Move { return nil }
+
+// rangePolicy stripes the address space contiguously: each node owns one
+// contiguous block of stripes, so neighbouring addresses resolve to the
+// same node (spatial locality; the wrap at Span*Stripes words restarts the
+// blocks).
+type rangePolicy struct{}
+
+func (rangePolicy) Name() string { return "range" }
+
+func (rangePolicy) Owner(d *Directory, key mem.Addr) int {
+	return d.StripeOf(key) * d.cfg.Nodes / d.cfg.Stripes
+}
+
+func (rangePolicy) Repartition(*Directory) []Move { return nil }
+
+// adaptivePolicy resolves through the directory's stripe-ownership table
+// and rebalances it at epoch boundaries: while the hottest node carries
+// more than ImbalanceFactor times the mean load, its hottest migratable
+// stripe moves to the coolest node — greedy, capped at MaxMoves per round,
+// and only when the move strictly narrows the donor/recipient gap.
+//
+// A stripe hotter than the donor's excess over the mean never moves:
+// migrating it would only relocate the hotspot while freezing the most
+// contended keys (every in-flight transaction on them aborts during the
+// drain). Instead the donor sheds its cooler stripes until the mega-stripe
+// is all it owns — the best balance a stripe-granular directory can reach.
+type adaptivePolicy struct{}
+
+func (adaptivePolicy) Name() string { return "adaptive" }
+
+func (adaptivePolicy) Owner(d *Directory, key mem.Addr) int {
+	return int(d.owner[d.StripeOf(key)])
+}
+
+func (adaptivePolicy) Repartition(d *Directory) []Move {
+	n := d.cfg.Nodes
+	if n < 2 {
+		return nil
+	}
+	load := make([]uint64, n)
+	var total uint64
+	for s, c := range d.counts {
+		load[d.owner[s]] += c
+		total += c
+	}
+	if total == 0 {
+		return nil
+	}
+	mean := float64(total) / float64(n)
+	var moves []Move
+	planned := make(map[int]bool)
+	for len(moves) < d.cfg.MaxMoves {
+		donor, recip := 0, 0
+		for i := 1; i < n; i++ {
+			if load[i] > load[donor] {
+				donor = i
+			}
+			if load[i] < load[recip] {
+				recip = i
+			}
+		}
+		if donor == recip || float64(load[donor]) <= d.cfg.ImbalanceFactor*mean {
+			break
+		}
+		// Hottest unfrozen stripe of the donor that fits in its excess over
+		// the mean and strictly improves the pair; ties break to the lowest
+		// stripe index (determinism).
+		excess := float64(load[donor]) - mean
+		best, bestCount := -1, uint64(0)
+		for s := range d.counts {
+			if int(d.owner[s]) != donor || d.pending[s] >= 0 || planned[s] {
+				continue
+			}
+			c := d.counts[s]
+			if c > bestCount && float64(c) <= excess && load[recip]+c < load[donor] {
+				best, bestCount = s, c
+			}
+		}
+		if best < 0 {
+			break
+		}
+		moves = append(moves, Move{Stripe: best, From: donor, To: recip})
+		planned[best] = true
+		load[donor] -= bestCount
+		load[recip] += bestCount
+	}
+	return moves
+}

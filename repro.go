@@ -43,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/placement"
 	"repro/internal/sim"
 )
 
@@ -73,6 +74,10 @@ type (
 	TxKind = core.TxKind
 	// Policy is a contention-management policy.
 	Policy = cm.Policy
+	// PlacementKind selects the object→DTM-node placement policy.
+	PlacementKind = placement.Kind
+	// PlacementDirectory is the key→DTM-node directory of a System.
+	PlacementDirectory = placement.Directory
 	// Platform is a timing model (SCC setting or Opteron).
 	Platform = noc.Platform
 	// Addr is a word address in the simulated shared memory.
@@ -113,6 +118,15 @@ const (
 	FairCM       = cm.FairCM
 )
 
+// Placement policies (internal/placement): the paper's static hash
+// (default), contiguous range striping, and epoch-based adaptive
+// repartitioning.
+const (
+	PlacementHash     = placement.Hash
+	PlacementRange    = placement.Range
+	PlacementAdaptive = placement.Adaptive
+)
+
 // NewSystem builds a simulated TM2C machine from cfg. Zero-valued fields
 // take the paper's defaults: the SCC under performance setting 0, all 48
 // cores, half of them dedicated DTM service cores, lazy write-lock
@@ -130,6 +144,9 @@ func Opteron() Platform { return noc.Opteron() }
 // ParsePolicy parses a contention-manager name
 // (none|backoff|offset-greedy|wholly|faircm).
 func ParsePolicy(s string) (Policy, error) { return cm.Parse(s) }
+
+// ParsePlacement parses a placement policy name (hash|range|adaptive).
+func ParsePlacement(s string) (PlacementKind, error) { return placement.Parse(s) }
 
 // NewRand returns a deterministic random source seeded from seed, suitable
 // for building workloads outside the simulated machine.
