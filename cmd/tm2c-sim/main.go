@@ -108,6 +108,12 @@ func main() {
 	var verify func() error
 	switch *app {
 	case "bank":
+		if *accounts < 2 {
+			fatal(fmt.Errorf("bank needs at least 2 accounts, got %d", *accounts))
+		}
+		if !(*zipf >= 0) { // rejects negatives and NaN
+			fatal(fmt.Errorf("invalid zipf exponent %v", *zipf))
+		}
 		b := bank.New(sys, *accounts)
 		sys.SpawnWorkers(b.ZipfTransferWorker(*balances, *zipf))
 		verify = func() error {
@@ -176,8 +182,8 @@ func report(sys *repro.System, st *repro.Stats) {
 	if dir := sys.Placement(); dir != nil {
 		fmt.Printf("placement           %s", dir.PolicyName())
 		if dir.Kind() == repro.PlacementAdaptive {
-			fmt.Printf(": epoch %d, %d migrations (%d completed), %d stale NACKs, %d placement aborts",
-				dir.Epoch(), st.Migrations, st.Handoffs, st.StaleNacks, st.PlacementAborts)
+			fmt.Printf(": epoch %d, %d rounds, %d migrations (%d completed), %d stale NACKs, %d placement aborts",
+				dir.Epoch(), st.RepartitionRounds, st.Migrations, st.Handoffs, st.StaleNacks, st.PlacementAborts)
 		}
 		fmt.Println()
 	}

@@ -1,6 +1,7 @@
 package bank
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -18,8 +19,16 @@ type Zipf struct {
 
 // NewZipf builds a Zipf sampler over n ranks with skew exponent theta.
 // theta = 0 degenerates to uniform; theta around 1 matches classic web/OLTP
-// skew ("80/20"); larger values concentrate harder on the low ranks.
+// skew ("80/20"); larger values concentrate harder on the low ranks. It
+// panics on an empty rank space or a negative exponent — callers with
+// user-supplied sizes (flag parsing) must validate first.
 func NewZipf(n int, theta float64) *Zipf {
+	if n < 1 {
+		panic(fmt.Sprintf("bank: Zipf sampler over %d ranks, need at least 1", n))
+	}
+	if math.IsNaN(theta) || theta < 0 {
+		panic(fmt.Sprintf("bank: invalid Zipf exponent %v", theta))
+	}
 	cdf := make([]float64, n)
 	sum := 0.0
 	for i := 0; i < n; i++ {

@@ -235,10 +235,11 @@ type Stats struct {
 	Revocations uint64 // enemy aborts performed by CMs
 
 	// Placement activity (adaptive policy; see internal/placement).
-	StaleNacks      uint64 // lock requests NACKed for stale placement resolution
-	PlacementAborts uint64 // attempts aborted after chasing migrating ownership too long
-	Migrations      uint64 // stripe migrations initiated by the directory
-	Handoffs        uint64 // stripe handoffs completed by DTM nodes
+	StaleNacks        uint64 // lock requests NACKed for stale placement resolution
+	PlacementAborts   uint64 // attempts aborted after chasing migrating ownership too long
+	RepartitionRounds uint64 // repartition rounds that initiated at least one migration
+	Migrations        uint64 // stripe migrations initiated by the directory
+	Handoffs          uint64 // stripe handoffs completed by DTM nodes
 
 	// NodeLoad counts the requests served by each DTM node, by node index
 	// (lock requests, releases and exclusivity traffic, including NACKed

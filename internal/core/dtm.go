@@ -21,6 +21,12 @@ type dtmNode struct {
 	table *dslock.Table
 	excl  exclState // irrevocable-transaction exclusivity token
 	reqs  uint64    // requests served (Stats.NodeLoad)
+
+	// Drained-stripe scan gate (maybeHandoffs): the directory freeze
+	// generation covered by the last tryHandoffs scan, and whether the lock
+	// table has shrunk since (release, early release, or revocation).
+	handoffGen uint64
+	shrunk     bool
 }
 
 // serveLoop is the dedicated-deployment service loop: receive, handle,
@@ -86,13 +92,32 @@ func (n *dtmNode) switchIn(p *sim.Proc) {
 // windows.
 func (n *dtmNode) placeOK(epoch uint64, keys ...mem.Addr) bool {
 	dir := n.s.dir
-	if dir.HasPending(n.idx) {
-		n.tryHandoffs()
-	}
+	n.maybeHandoffs()
 	if epoch == dir.Epoch() && !dir.HasPending(n.idx) {
 		return true
 	}
 	return dir.ValidFor(n.idx, keys...)
+}
+
+// maybeHandoffs runs the drained-stripe scan only when a frozen stripe
+// could actually have drained since the last scan: the table shrank, or the
+// directory froze another of this node's stripes (a fresh freeze may
+// already be lock-free and would otherwise never hand off). Without the
+// gate, every request arriving during a migration window would pay a full
+// O(lock-table) scan.
+func (n *dtmNode) maybeHandoffs() {
+	dir := n.s.dir
+	if !dir.HasPending(n.idx) {
+		n.shrunk = false
+		return
+	}
+	gen := dir.FreezeGen(n.idx)
+	if !n.shrunk && gen == n.handoffGen {
+		return
+	}
+	n.handoffGen = gen
+	n.shrunk = false
+	n.tryHandoffs()
 }
 
 // tryHandoffs completes every pending outgoing migration whose stripe holds
@@ -208,6 +233,7 @@ func (n *dtmNode) abortEnemies(p *sim.Proc, addr mem.Addr, enemies []cm.Meta) bo
 		if swapped {
 			n.s.stats.Revocations++
 			n.table.Revoke(addr, e.Core, e.TxID)
+			n.shrunk = true
 			continue
 		}
 		if obsID == e.TxID && obsState == mem.TxCommitting {
@@ -220,6 +246,7 @@ func (n *dtmNode) abortEnemies(p *sim.Proc, addr mem.Addr, enemies []cm.Meta) bo
 		// (persist happens before release, so revoking is safe), or the
 		// core has moved on to a newer attempt.
 		n.table.Revoke(addr, e.Core, e.TxID)
+		n.shrunk = true
 	}
 	return true
 }
@@ -234,11 +261,10 @@ func (n *dtmNode) handleRelease(p *sim.Proc, r *relLocks) {
 	for _, a := range r.WriteAddrs {
 		n.table.ReleaseWrite(a, r.Core, r.TxID)
 	}
-	if n.s.dir.HasPending(n.idx) {
-		// Releases are what drain a frozen stripe: try the handoff now so
-		// ownership flips as early as possible.
-		n.tryHandoffs()
-	}
+	// Releases are what drain a frozen stripe: try the handoff now so
+	// ownership flips as early as possible.
+	n.shrunk = true
+	n.maybeHandoffs()
 }
 
 func (n *dtmNode) handleEarlyRelease(p *sim.Proc, r *earlyRelease) {
@@ -247,9 +273,8 @@ func (n *dtmNode) handleEarlyRelease(p *sim.Proc, r *earlyRelease) {
 	for _, a := range r.Addrs {
 		n.table.ReleaseRead(a, r.Core, r.TxID)
 	}
-	if n.s.dir.HasPending(n.idx) {
-		n.tryHandoffs()
-	}
+	n.shrunk = true
+	n.maybeHandoffs()
 }
 
 func (n *dtmNode) respond(p *sim.Proc, reply *sim.Proc, replyCore int, resp *respLock) {

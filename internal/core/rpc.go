@@ -103,22 +103,29 @@ func (rt *Runtime) rpcReadLock(tx *Tx, key mem.Addr) *respLock {
 	}
 }
 
-// sendWriteLock sends one write-lock batch — all keys must share a
-// responsible DTM node under the current placement resolution — and returns
-// its correlation ID without waiting. The caller has already recorded the
-// accesses (once per logical acquisition, not per resend).
-func (rt *Runtime) sendWriteLock(tx *Tx, keys []mem.Addr) uint64 {
+// sendWriteLock sends one write-lock batch to node — all keys must map to
+// node under the resolution the batch was grouped with — and returns its
+// correlation ID without waiting. The request carries the directory epoch
+// captured when the batch was grouped, NOT the epoch at send time: a serial
+// commit awaits a full round trip between sends, so a migration can
+// complete after grouping, and a send-time stamp would let a stale batch
+// pass the receiver's current-epoch fast path at a node that no longer owns
+// all of its keys. The grouping-time stamp forces the authoritative per-key
+// ValidFor check whenever the directory changed since the batch was formed.
+// The caller has already recorded the accesses (once per logical
+// acquisition, not per resend).
+func (rt *Runtime) sendWriteLock(tx *Tx, node int, epoch uint64, keys []mem.Addr) uint64 {
 	id := rt.nextReqID()
 	req := &reqWriteLock{
 		ReqID:   id,
-		Epoch:   rt.s.dir.Epoch(),
+		Epoch:   epoch,
 		Addrs:   keys,
 		Meta:    rt.local.RequestMeta(tx.id, rt.proc.Now()),
 		Reply:   rt.proc,
 		ReplyTo: rt.core,
 	}
 	rt.s.stats.WriteLockReqs++
-	rt.sendToNode(rt.s.nodeFor(keys[0]), req)
+	rt.sendToNode(node, req)
 	return id
 }
 
@@ -126,8 +133,8 @@ func (rt *Runtime) sendWriteLock(tx *Tx, keys []mem.Addr) uint64 {
 // response (a single round trip; the serial-commit path). The caller
 // handles Stale responses — a batch grouped under a stale resolution must
 // be re-partitioned, not just resent.
-func (rt *Runtime) rpcWriteLock(tx *Tx, keys []mem.Addr) *respLock {
-	return rt.awaitOne(rt.sendWriteLock(tx, keys))
+func (rt *Runtime) rpcWriteLock(tx *Tx, node int, epoch uint64, keys []mem.Addr) *respLock {
+	return rt.awaitOne(rt.sendWriteLock(tx, node, epoch, keys))
 }
 
 // rpcWriteLockEager acquires the write lock of a single key (eager mode),
@@ -135,7 +142,8 @@ func (rt *Runtime) rpcWriteLock(tx *Tx, keys []mem.Addr) *respLock {
 func (rt *Runtime) rpcWriteLockEager(tx *Tx, key mem.Addr) *respLock {
 	rt.s.dir.Record(key)
 	for hop := 0; ; hop++ {
-		resp := rt.rpcWriteLock(tx, []mem.Addr{key})
+		epoch := rt.s.dir.Epoch()
+		resp := rt.rpcWriteLock(tx, rt.s.nodeFor(key), epoch, []mem.Addr{key})
 		if !resp.Stale {
 			return resp
 		}
@@ -146,11 +154,12 @@ func (rt *Runtime) rpcWriteLockEager(tx *Tx, key mem.Addr) *respLock {
 }
 
 // scatterWriteLocks sends every write-lock batch in one burst and gathers
-// all responses. Results are indexed by batch, in send order.
-func (rt *Runtime) scatterWriteLocks(tx *Tx, batches [][]mem.Addr) []*respLock {
+// all responses, stamping every request with the batches' shared grouping
+// epoch. Results are indexed by batch, in send order.
+func (rt *Runtime) scatterWriteLocks(tx *Tx, epoch uint64, batches []nodeGroup) []*respLock {
 	ids := make([]uint64, len(batches))
 	for i, b := range batches {
-		ids[i] = rt.sendWriteLock(tx, b)
+		ids[i] = rt.sendWriteLock(tx, b.node, epoch, b.addrs)
 	}
 	out := make([]*respLock, len(ids))
 	rt.awaitIDs = append(rt.awaitIDs[:0], ids...)

@@ -243,6 +243,7 @@ func (s *System) snapshot(d sim.Time) {
 		s.stats.NodeLoad = append(s.stats.NodeLoad, n.reqs)
 	}
 	if s.dir != nil {
+		s.stats.RepartitionRounds = s.dir.Epochs
 		s.stats.Migrations = s.dir.Migrations
 		s.stats.Handoffs = s.dir.Handoffs
 	}

@@ -433,17 +433,23 @@ func (tx *Tx) acquireCommitLocks() {
 // serialAcquire acquires the keys' write locks one awaited round trip per
 // batch (the SerialRPC ablation), returning the keys whose batches were
 // NACKed for stale placement. A conflict rejection aborts immediately.
+// Every batch is stamped with the grouping-time epoch: a migration that
+// completes during an earlier batch's awaited round trip bumps the
+// directory epoch, so the later batches fail the receiver's fast path and
+// get the authoritative per-key check instead of a blind grant at a node
+// that no longer owns some of their keys.
 func (tx *Tx) serialAcquire(keys []mem.Addr) (stale []mem.Addr) {
 	rt := tx.rt
-	for _, b := range tx.commitBatches(keys) {
+	batches, epoch := tx.commitBatches(keys)
+	for _, b := range batches {
 		tx.checkAborted()
 		rt.s.stats.CommitRoundTrips++
-		resp := rt.rpcWriteLock(tx, b)
+		resp := rt.rpcWriteLock(tx, b.node, epoch, b.addrs)
 		switch {
 		case resp.OK:
-			tx.wlocked = append(tx.wlocked, b...)
+			tx.wlocked = append(tx.wlocked, b.addrs...)
 		case resp.Stale:
-			stale = append(stale, b...)
+			stale = append(stale, b.addrs...)
 		default:
 			panic(abortSignal{kind: resp.Kind, hasKind: true})
 		}
@@ -457,17 +463,17 @@ func (tx *Tx) serialAcquire(keys []mem.Addr) (stale []mem.Addr) {
 // rollback.
 func (tx *Tx) scatterAcquire(keys []mem.Addr) (stale []mem.Addr) {
 	rt := tx.rt
-	batches := tx.commitBatches(keys)
+	batches, epoch := tx.commitBatches(keys)
 	tx.checkAborted()
 	rt.s.stats.CommitRoundTrips++
-	resps := rt.scatterWriteLocks(tx, batches)
+	resps := rt.scatterWriteLocks(tx, epoch, batches)
 	var fail *respLock
 	for i, resp := range resps {
 		switch {
 		case resp.OK:
-			tx.wlocked = append(tx.wlocked, batches[i]...)
+			tx.wlocked = append(tx.wlocked, batches[i].addrs...)
 		case resp.Stale:
-			stale = append(stale, batches[i]...)
+			stale = append(stale, batches[i].addrs...)
 		case fail == nil:
 			fail = resp // first rejection in send order, for determinism
 		}
@@ -478,22 +484,26 @@ func (tx *Tx) scatterAcquire(keys []mem.Addr) (stale []mem.Addr) {
 	return stale
 }
 
-// commitBatches partitions lock keys into the batches the commit acquires:
+// commitBatches partitions lock keys into the batches the commit acquires —
 // one per responsible DTM node in first-write order, or one per object
-// under the NoBatching ablation.
-func (tx *Tx) commitBatches(keys []mem.Addr) [][]mem.Addr {
+// under the NoBatching ablation — and returns the directory epoch the
+// grouping was resolved at. Requests built from these batches must go to
+// the batch's node and carry that epoch, so a directory change between
+// grouping and send (or between serial sends) is always visible to the
+// receiver (see sendWriteLock).
+func (tx *Tx) commitBatches(keys []mem.Addr) ([]nodeGroup, uint64) {
 	rt := tx.rt
-	var batches [][]mem.Addr
+	var batches []nodeGroup
 	for _, g := range rt.groupByNode(keys) {
 		if rt.s.cfg.NoBatching {
 			for _, a := range g.addrs {
-				batches = append(batches, []mem.Addr{a})
+				batches = append(batches, nodeGroup{node: g.node, addrs: []mem.Addr{a}})
 			}
 		} else {
-			batches = append(batches, g.addrs)
+			batches = append(batches, g)
 		}
 	}
-	return batches
+	return batches, rt.s.dir.Epoch()
 }
 
 // abortCleanup releases every lock held by the failed attempt and marks the

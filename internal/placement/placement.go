@@ -139,13 +139,14 @@ type Directory struct {
 	cfg Config
 	pol Policy
 
-	epoch    uint64
-	owner    []int32  // stripe -> owning node (adaptive only)
-	pending  []int32  // stripe -> migration target, -1 when none
-	frozen   [][]int  // node -> frozen stripes it still owns, ascending
-	counts   []uint64 // stripe -> accesses in the current epoch window
-	accesses uint64
-	nextEval uint64
+	epoch     uint64
+	owner     []int32  // stripe -> owning node (adaptive only)
+	pending   []int32  // stripe -> migration target, -1 when none
+	frozen    [][]int  // node -> frozen stripes it still owns, ascending
+	freezeGen []uint64 // node -> freezes ever initiated on its stripes
+	counts    []uint64 // stripe -> accesses in the current epoch window
+	accesses  uint64
+	nextEval  uint64
 
 	// Counters, snapshotted into core.Stats after a run.
 	Epochs     uint64 // repartition rounds that initiated at least one move
@@ -164,6 +165,7 @@ func New(cfg Config) (*Directory, error) {
 		d.pending = make([]int32, cfg.Stripes)
 		d.counts = make([]uint64, cfg.Stripes)
 		d.frozen = make([][]int, cfg.Nodes)
+		d.freezeGen = make([]uint64, cfg.Nodes)
 		for s := range d.owner {
 			// Interleaved start: consecutive stripes round-robin across the
 			// nodes, balanced under uniform access; migration refines it.
@@ -275,6 +277,7 @@ func (d *Directory) InitiateMove(s, to int) bool {
 	copy(list[at+1:], list[at:])
 	list[at] = s
 	d.frozen[owner] = list
+	d.freezeGen[owner]++
 	d.epoch++
 	d.Migrations++
 	return true
@@ -300,6 +303,18 @@ func (d *Directory) CompleteHandoff(s int) {
 // HasPending reports whether node still has frozen stripes to hand off.
 func (d *Directory) HasPending(node int) bool {
 	return d.adaptive() && len(d.frozen[node]) > 0
+}
+
+// FreezeGen returns how many freezes have ever been initiated on stripes
+// node owned — a monotonic cursor DTM nodes use to gate their drained-stripe
+// scans: a frozen stripe can only become drainable when the owner's lock
+// table shrinks or a new freeze appears, so an unchanged generation plus an
+// unchanged table means the scan can be skipped (see core's dtmNode).
+func (d *Directory) FreezeGen(node int) uint64 {
+	if !d.adaptive() {
+		return 0
+	}
+	return d.freezeGen[node]
 }
 
 // PendingFor returns the frozen stripes node still owns, in ascending
