@@ -9,6 +9,7 @@
 //	tm2c-bench -run fig8a,fig8b -scale full -csv
 //	tm2c-bench -run fig5a -serialrpc
 //	tm2c-bench -run ablplace -placement adaptive
+//	tm2c-bench -run ablro -readonly
 //
 // Scales: quick (seconds), default (a few minutes), full (closest to the
 // paper's parameters; tens of minutes). Results print as aligned text
@@ -17,6 +18,8 @@
 // comparisons; the ablrpc ablation compares the two modes directly.
 // -placement forces an object→DTM-node placement policy in every
 // experiment; the ablplace ablation compares the three policies directly.
+// -readonly runs every bank balance scan as a declared read-only
+// transaction; the ablro ablation compares the two kinds directly.
 package main
 
 import (
@@ -39,10 +42,12 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		serialRPC  = flag.Bool("serialrpc", false, "force serial (non-scatter-gather) commit lock acquisition in every experiment")
 		placementF = flag.String("placement", "", "force a placement policy (hash | range | adaptive) in every experiment")
+		readonly   = flag.Bool("readonly", false, "run every bank balance scan as a declared read-only transaction")
 		timings    = flag.Bool("timings", false, "print wall-clock time per experiment")
 	)
 	flag.Parse()
 	exp.ForceSerialRPC = *serialRPC
+	exp.ForceReadOnly = *readonly
 	if *placementF != "" {
 		k, err := placement.Parse(*placementF)
 		if err != nil {

@@ -41,6 +41,7 @@ func main() {
 		// workload knobs
 		update   = flag.Int("update", 20, "hashset/list: update percentage")
 		balances = flag.Int("balance", 20, "bank: balance percentage")
+		readonly = flag.Bool("readonly", false, "bank: run balance scans as declared read-only transactions")
 		zipf     = flag.Float64("zipf", 0, "bank: Zipf skew exponent for account choice (0 = uniform)")
 		accounts = flag.Int("accounts", 1024, "bank: accounts")
 		buckets  = flag.Int("buckets", 128, "hashset: buckets")
@@ -115,6 +116,7 @@ func main() {
 			fatal(fmt.Errorf("invalid zipf exponent %v", *zipf))
 		}
 		b := bank.New(sys, *accounts)
+		b.UseReadOnlyBalance(*readonly)
 		sys.SpawnWorkers(b.ZipfTransferWorker(*balances, *zipf))
 		verify = func() error {
 			if b.TotalRaw() != b.Total() {
@@ -176,6 +178,8 @@ func report(sys *repro.System, st *repro.Stats) {
 	fmt.Printf("virtual duration    %v\n", st.Duration)
 	fmt.Printf("throughput          %.2f ops/ms\n", st.Throughput())
 	fmt.Printf("commits / aborts    %d / %d (commit rate %.1f%%)\n", st.Commits, st.Aborts, st.CommitRate())
+	fmt.Printf("read-only commits   %d (declared read-only transactions; zero write-lock traffic)\n", st.ReadOnlyCommits)
+	fmt.Printf("user aborts         %d (withdrawn via Tx.Abort; not retried)\n", st.UserAborts)
 	fmt.Printf("aborts by kind      RAW=%d WAW=%d WAR=%d\n",
 		st.AbortsByKind[0], st.AbortsByKind[1], st.AbortsByKind[2])
 	fmt.Printf("conflicts/revokes   %d / %d\n", st.Conflicts, st.Revocations)

@@ -20,29 +20,38 @@ import (
 	"repro"
 )
 
-// node layout: [key, next]; Addr 0 is nil.
-const (
-	fKey  = 0
-	fNext = 1
+// node is one list cell, stored as a two-word object through a FuncCodec;
+// repro.Addr 0 is nil.
+type node struct {
+	Key  uint64
+	Next repro.Addr
+}
+
+var nodeCodec = repro.FuncCodec(2,
+	func(n node, dst []uint64) { dst[0], dst[1] = n.Key, uint64(n.Next) },
+	func(src []uint64) node { return node{Key: src[0], Next: repro.Addr(src[1])} },
 )
 
 type list struct {
 	sys  *repro.System
-	head repro.Addr
+	head repro.TVar[repro.Addr]
+}
+
+func (l *list) nodeAt(base repro.Addr) repro.TVar[node] {
+	return repro.TVarAt(l.sys, nodeCodec, base)
 }
 
 func (l *list) seed(keys ...uint64) {
 	// Build the initial list with raw (outside-the-machine) writes.
-	var prev repro.Addr
-	for _, k := range keys {
-		n := l.sys.Mem.Alloc(2, 0)
-		l.sys.Mem.WriteRaw(n+fKey, k)
-		if prev == 0 {
-			l.sys.Mem.WriteRaw(l.head, uint64(n))
+	var prev repro.TVar[node]
+	for i, k := range keys {
+		nv := repro.NewTVar(l.sys, nodeCodec, node{Key: k})
+		if i == 0 {
+			l.head.SetRaw(nv.Addr())
 		} else {
-			l.sys.Mem.WriteRaw(prev+fNext, uint64(n))
+			prev.SetRaw(node{Key: prev.GetRaw().Key, Next: nv.Addr()})
 		}
-		prev = n
+		prev = nv
 	}
 }
 
@@ -51,17 +60,17 @@ func (l *list) contains(rt *repro.Runtime, kind repro.TxKind, key uint64) bool {
 	var found bool
 	rt.RunKind(kind, func(tx *repro.Tx) {
 		var prev, prevPrev repro.Addr
-		cur := repro.Addr(tx.Read(l.head))
+		cur := l.head.Get(tx)
 		for cur != 0 {
-			n := tx.ReadN(cur, 2)
+			n := l.nodeAt(cur).Get(tx)
 			if kind == repro.ElasticEarly && prevPrev != 0 {
-				tx.EarlyRelease(prevPrev) // §6: older nodes are irrelevant
+				l.nodeAt(prevPrev).EarlyRelease(tx) // §6: older nodes are irrelevant
 			}
-			if n[fKey] >= key {
-				found = n[fKey] == key
+			if n.Key >= key {
+				found = n.Key == key
 				return
 			}
-			prevPrev, prev, cur = prev, cur, repro.Addr(n[fNext])
+			prevPrev, prev, cur = prev, cur, n.Next
 		}
 		_ = prev
 		found = false
@@ -74,7 +83,7 @@ func run(kind repro.TxKind) *repro.Stats {
 	if err != nil {
 		log.Fatal(err)
 	}
-	l := &list{sys: sys, head: sys.Mem.Alloc(1, 0)}
+	l := &list{sys: sys, head: repro.NewTVar(sys, repro.AddrCodec(), 0)}
 	keys := make([]uint64, 128)
 	for i := range keys {
 		keys[i] = uint64(i*3 + 1)

@@ -22,25 +22,24 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Allocate shared data: one hot counter and two accounts, funded
-	// outside the simulation with raw writes.
-	counter := sys.Mem.Alloc(1, 0)
-	accounts := sys.Mem.Alloc(2, 0)
-	sys.Mem.WriteRaw(accounts, 1000)
-	sys.Mem.WriteRaw(accounts+1, 1000)
+	// Allocate shared data through the typed API: one hot counter and two
+	// accounts, funded outside the simulation (the initial values are
+	// raw-written at construction).
+	counter := repro.NewTVar(sys, repro.Uint64Codec(), 0)
+	accounts := repro.NewTArray(sys, repro.Uint64Codec(), 2, 1000)
 
 	// Every application core increments the counter and bounces money
 	// between the two accounts until the virtual deadline.
 	sys.SpawnWorkers(func(rt *repro.Runtime) {
 		for !rt.Stopped() {
 			rt.Run(func(tx *repro.Tx) {
-				tx.Write(counter, tx.Read(counter)+1)
+				counter.Set(tx, counter.Get(tx)+1)
 			})
 			rt.Run(func(tx *repro.Tx) {
-				a := tx.Read(accounts)
-				b := tx.Read(accounts + 1)
-				tx.Write(accounts, a-1)
-				tx.Write(accounts+1, b+1)
+				a := accounts.Get(tx, 0)
+				b := accounts.Get(tx, 1)
+				accounts.Set(tx, 0, a-1)
+				accounts.Set(tx, 1, b+1)
 			})
 			rt.AddOps(2)
 		}
@@ -57,8 +56,8 @@ func main() {
 
 	// Despite every transaction conflicting on the counter, no increment
 	// was lost and no money was created or destroyed.
-	total := sys.Mem.ReadRaw(accounts) + sys.Mem.ReadRaw(accounts+1)
-	fmt.Printf("counter          %d (== half the commits)\n", sys.Mem.ReadRaw(counter))
+	total := accounts.GetRaw(0) + accounts.GetRaw(1)
+	fmt.Printf("counter          %d (== half the commits)\n", counter.GetRaw())
 	fmt.Printf("account total    %d (invariant: 2000)\n", total)
 	if total != 2000 {
 		log.Fatal("invariant violated!")

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -21,6 +22,20 @@ const (
 	letters    = 26
 )
 
+// histogram is the shared letter-count vector: one 26-word object under a
+// single lock, translated through a FuncCodec.
+type histogram [letters]uint64
+
+var histCodec = repro.FuncCodec(letters,
+	func(h histogram, dst []uint64) { copy(dst, h[:]) },
+	func(src []uint64) (h histogram) { copy(h[:], src); return h },
+)
+
+// errDone withdraws the chunk-grab transaction once the input is exhausted:
+// a user abort through tx.Abort — the attempt's locks are released, nothing
+// commits, and Atomic returns the error instead of retrying.
+var errDone = errors.New("input exhausted")
+
 // letterAt deterministically generates the input text.
 func letterAt(i int) byte { return byte((uint64(i)*2654435761 + 12345) % letters) }
 
@@ -33,27 +48,29 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cursor := sys.Mem.Alloc(1, 0)
-	hist := sys.Mem.Alloc(letters, 0)
+	cursor := repro.NewTVar(sys, repro.Uint64Codec(), 0)
+	hist := repro.NewTVar(sys, histCodec, histogram{})
 
 	sys.SpawnWorkers(func(rt *repro.Runtime) {
 		for {
-			// Map: grab the next chunk atomically.
+			// Map: grab the next chunk atomically; withdraw when done.
 			var off int
-			rt.Run(func(tx *repro.Tx) {
-				off = int(tx.Read(cursor))
-				if off < inputBytes {
-					tx.Write(cursor, uint64(off+chunkBytes))
+			err := rt.Atomic(func(tx *repro.Tx) error {
+				off = int(cursor.Get(tx))
+				if off >= inputBytes {
+					tx.Abort(errDone)
 				}
+				cursor.Set(tx, uint64(off+chunkBytes))
+				return nil
 			})
-			if off >= inputBytes {
-				return
+			if err != nil {
+				return // errDone: every byte has been claimed
 			}
 			end := off + chunkBytes
 			if end > inputBytes {
 				end = inputBytes
 			}
-			var counts [letters]uint64
+			var counts histogram
 			for i := off; i < end; i++ {
 				counts[letterAt(i)]++
 			}
@@ -63,11 +80,11 @@ func main() {
 			// Reduce: merge into the shared histogram atomically. The
 			// histogram is a single 26-word object: one lock, one write.
 			rt.Run(func(tx *repro.Tx) {
-				cur := tx.ReadN(hist, letters)
+				cur := hist.Get(tx)
 				for l := 0; l < letters; l++ {
 					cur[l] += counts[l]
 				}
-				tx.WriteN(hist, cur)
+				hist.Set(tx, cur)
 			})
 			rt.AddOps(1)
 		}
@@ -75,8 +92,8 @@ func main() {
 
 	stats := sys.Run(2 * time.Second) // generous deadline; workers exit early
 	var total uint64
-	for l := 0; l < letters; l++ {
-		total += sys.Mem.ReadRaw(hist + repro.Addr(l))
+	for _, c := range hist.GetRaw() {
+		total += c
 	}
 	fmt.Printf("counted %d letters across %d chunks on %d worker cores\n",
 		total, stats.Ops, sys.NumAppCores())

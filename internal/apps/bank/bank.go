@@ -24,28 +24,46 @@ import (
 // InitialPerAccount is the starting balance of every account.
 const InitialPerAccount = 1000
 
-// Bank is a shared-memory account array.
+// Bank is a shared-memory account array, held as a typed transactional
+// array of uint64 balances.
 type Bank struct {
-	sys  *core.System
-	base mem.Addr
-	n    int
+	sys   *core.System
+	accts core.TArray[uint64]
+	n     int
+
+	// roBalance runs balance scans (and the zipf hot-read audits) as
+	// declared ReadOnly transactions instead of Normal ones.
+	roBalance bool
 }
 
 // New allocates n accounts, funded with InitialPerAccount each. Like the
 // paper's benchmark state, the initial array lives behind one memory
 // controller.
 func New(sys *core.System, n int) *Bank {
-	b := &Bank{sys: sys, base: sys.Mem.Alloc(n, 0), n: n}
-	for i := 0; i < n; i++ {
-		sys.Mem.WriteRaw(b.addr(i), InitialPerAccount)
+	return &Bank{
+		sys:   sys,
+		accts: core.NewTArray(sys, core.Uint64Codec(), n, uint64(InitialPerAccount)),
+		n:     n,
 	}
-	return b
 }
 
 // Accounts returns the number of accounts.
 func (b *Bank) Accounts() int { return b.n }
 
-func (b *Bank) addr(i int) mem.Addr { return b.base + mem.Addr(i) }
+func (b *Bank) addr(i int) mem.Addr { return b.accts.Addr(i) }
+
+// UseReadOnlyBalance switches balance scans (and the hot-read audits of
+// HotReadWorker) onto the declared read-only transaction kind, which skips
+// the commit-time write machinery entirely. Call before spawning workers.
+func (b *Bank) UseReadOnlyBalance(on bool) { b.roBalance = on }
+
+// readKind is the transaction kind of the bank's read-only operations.
+func (b *Bank) readKind() core.TxKind {
+	if b.roBalance {
+		return core.ReadOnly
+	}
+	return core.Normal
+}
 
 // Total is the invariant sum of the bank.
 func (b *Bank) Total() uint64 { return uint64(b.n) * InitialPerAccount }
@@ -54,7 +72,7 @@ func (b *Bank) Total() uint64 { return uint64(b.n) * InitialPerAccount }
 func (b *Bank) TotalRaw() uint64 {
 	var sum uint64
 	for i := 0; i < b.n; i++ {
-		sum += b.sys.Mem.ReadRaw(b.addr(i))
+		sum += b.accts.GetRaw(i)
 	}
 	return sum
 }
@@ -64,20 +82,21 @@ func (b *Bank) TotalRaw() uint64 {
 // shared memory", §5.3).
 func (b *Bank) Transfer(rt *core.Runtime, from, to int, amount uint64) {
 	rt.Run(func(tx *core.Tx) {
-		f := tx.Read(b.addr(from))
-		t := tx.Read(b.addr(to))
-		tx.Write(b.addr(from), f-amount)
-		tx.Write(b.addr(to), t+amount)
+		f := b.accts.Get(tx, from)
+		t := b.accts.Get(tx, to)
+		b.accts.Set(tx, from, f-amount)
+		b.accts.Set(tx, to, t+amount)
 	})
 }
 
-// Balance atomically sums every account.
+// Balance atomically sums every account (a declared read-only transaction
+// when UseReadOnlyBalance is set).
 func (b *Bank) Balance(rt *core.Runtime) uint64 {
 	var sum uint64
-	rt.Run(func(tx *core.Tx) {
+	rt.RunKind(b.readKind(), func(tx *core.Tx) {
 		sum = 0
 		for i := 0; i < b.n; i++ {
-			sum += tx.Read(b.addr(i))
+			sum += b.accts.Get(tx, i)
 		}
 	})
 	return sum
@@ -115,10 +134,10 @@ func (l *GlobalLock) Release(p *sim.Proc, coreID int) {
 // the global lock.
 func (b *Bank) LockTransfer(l *GlobalLock, p *sim.Proc, coreID, from, to int, amount uint64) {
 	l.Acquire(p, coreID)
-	f := b.sys.Mem.Read(p, coreID, b.addr(from))
-	t := b.sys.Mem.Read(p, coreID, b.addr(to))
-	b.sys.Mem.Write(p, coreID, b.addr(from), f-amount)
-	b.sys.Mem.Write(p, coreID, b.addr(to), t+amount)
+	f := b.accts.At(from).GetDirect(p, coreID)
+	t := b.accts.At(to).GetDirect(p, coreID)
+	b.accts.At(from).SetDirect(p, coreID, f-amount)
+	b.accts.At(to).SetDirect(p, coreID, t+amount)
 	l.Release(p, coreID)
 }
 
@@ -127,7 +146,7 @@ func (b *Bank) LockBalance(l *GlobalLock, p *sim.Proc, coreID int) uint64 {
 	l.Acquire(p, coreID)
 	var sum uint64
 	for i := 0; i < b.n; i++ {
-		sum += b.sys.Mem.Read(p, coreID, b.addr(i))
+		sum += b.accts.At(i).GetDirect(p, coreID)
 	}
 	l.Release(p, coreID)
 	return sum
@@ -136,17 +155,17 @@ func (b *Bank) LockBalance(l *GlobalLock, p *sim.Proc, coreID int) uint64 {
 // SeqTransfer is the bare sequential transfer (no synchronization; valid
 // only single-core).
 func (b *Bank) SeqTransfer(p *sim.Proc, coreID, from, to int, amount uint64) {
-	f := b.sys.Mem.Read(p, coreID, b.addr(from))
-	t := b.sys.Mem.Read(p, coreID, b.addr(to))
-	b.sys.Mem.Write(p, coreID, b.addr(from), f-amount)
-	b.sys.Mem.Write(p, coreID, b.addr(to), t+amount)
+	f := b.accts.At(from).GetDirect(p, coreID)
+	t := b.accts.At(to).GetDirect(p, coreID)
+	b.accts.At(from).SetDirect(p, coreID, f-amount)
+	b.accts.At(to).SetDirect(p, coreID, t+amount)
 }
 
 // SeqBalance is the bare sequential balance scan.
 func (b *Bank) SeqBalance(p *sim.Proc, coreID int) uint64 {
 	var sum uint64
 	for i := 0; i < b.n; i++ {
-		sum += b.sys.Mem.Read(p, coreID, b.addr(i))
+		sum += b.accts.At(i).GetDirect(p, coreID)
 	}
 	return sum
 }

@@ -1,6 +1,7 @@
 package bank
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 	"time"
@@ -165,5 +166,136 @@ func TestGlobalLockSerializes(t *testing.T) {
 	want := uint64(perCore * s.NumAppCores())
 	if got := s.Mem.ReadRaw(ctr); got != want {
 		t.Fatalf("counter = %d, want %d (lost updates)", got, want)
+	}
+}
+
+// bankStats runs one fixed bank workload (deterministic mixed
+// transfer/balance mix) with worker logic supplied by op, and returns the
+// run's Stats. Both callers below must produce the exact same virtual
+// schedule for the exact same seed.
+func bankStats(t *testing.T, op func(b *Bank, rt *core.Runtime, r *sim.Rand)) *core.Stats {
+	t.Helper()
+	s := newSys(t, nil)
+	b := New(s, 12)
+	s.SpawnWorkers(func(rt *core.Runtime) {
+		r := rt.Rand()
+		for i := 0; i < 20; i++ {
+			op(b, rt, r)
+		}
+	})
+	st := s.RunToCompletion()
+	if b.TotalRaw() != b.Total() {
+		t.Fatalf("money not conserved: %d != %d", b.TotalRaw(), b.Total())
+	}
+	return st
+}
+
+// TestTypedBankMatchesLegacyWordPath is the typed-API determinism witness:
+// the same bank workload expressed through the legacy word-level API
+// (tx.Read/tx.Write over raw addresses) and through the typed TArray
+// methods produces bit-identical Stats for the same Config.Seed — the
+// typed layer is a zero-cost veneer and the word path is unchanged.
+func TestTypedBankMatchesLegacyWordPath(t *testing.T) {
+	legacy := bankStats(t, func(b *Bank, rt *core.Runtime, r *sim.Rand) {
+		if r.Intn(100) < 20 {
+			// Word-level balance scan.
+			rt.Run(func(tx *core.Tx) {
+				var sum uint64
+				for i := 0; i < b.Accounts(); i++ {
+					sum += tx.Read(b.addr(i))
+				}
+				if sum != b.Total() {
+					t.Errorf("legacy balance %d != %d", sum, b.Total())
+				}
+			})
+		} else {
+			from, to := PickTransfer(r, b.Accounts())
+			// Word-level transfer.
+			rt.Run(func(tx *core.Tx) {
+				f := tx.Read(b.addr(from))
+				tv := tx.Read(b.addr(to))
+				tx.Write(b.addr(from), f-1)
+				tx.Write(b.addr(to), tv+1)
+			})
+		}
+		rt.AddOps(1)
+	})
+	typed := bankStats(t, func(b *Bank, rt *core.Runtime, r *sim.Rand) {
+		if r.Intn(100) < 20 {
+			if got := b.Balance(rt); got != b.Total() {
+				t.Errorf("typed balance %d != %d", got, b.Total())
+			}
+		} else {
+			from, to := PickTransfer(r, b.Accounts())
+			b.Transfer(rt, from, to, 1)
+		}
+		rt.AddOps(1)
+	})
+	// PerCore and NodeLoad ride along in the struct compare; Stats contains
+	// only comparable fields plus slices, so compare the formatted dump.
+	if fmt.Sprintf("%+v", legacy) != fmt.Sprintf("%+v", typed) {
+		t.Fatalf("typed bank diverged from the legacy word path:\nlegacy: %+v\ntyped:  %+v", legacy, typed)
+	}
+}
+
+// TestReadOnlyBalanceScan: with UseReadOnlyBalance, balance scans commit as
+// declared read-only transactions — zero write-lock requests and zero
+// commit round trips from a balance-only workload — and still observe the
+// invariant total.
+func TestReadOnlyBalanceScan(t *testing.T) {
+	s := newSys(t, nil)
+	b := New(s, 12)
+	b.UseReadOnlyBalance(true)
+	s.SpawnWorkers(func(rt *core.Runtime) {
+		for i := 0; i < 5; i++ {
+			if got := b.Balance(rt); got != b.Total() {
+				t.Errorf("balance %d != %d", got, b.Total())
+			}
+		}
+	})
+	st := s.RunToCompletion()
+	if st.Commits == 0 || st.ReadOnlyCommits != st.Commits {
+		t.Fatalf("ReadOnlyCommits = %d of %d commits, want all", st.ReadOnlyCommits, st.Commits)
+	}
+	if st.WriteLockReqs != 0 || st.CommitRoundTrips != 0 {
+		t.Fatalf("read-only balances sent write traffic: %d write-lock reqs, %d commit round trips",
+			st.WriteLockReqs, st.CommitRoundTrips)
+	}
+}
+
+// TestReadOnlyBalanceMixedWithTransfers: read-only scans interleaved with
+// transfers keep CommitRoundTrips attributable to the transfers alone —
+// the scans add none — and conserve money.
+func TestReadOnlyBalanceMixedWithTransfers(t *testing.T) {
+	s := newSys(t, nil)
+	b := New(s, 12)
+	b.UseReadOnlyBalance(true)
+	s.SpawnWorkers(func(rt *core.Runtime) {
+		r := rt.Rand()
+		for i := 0; i < 15; i++ {
+			if rt.AppIndex() == 0 {
+				if got := b.Balance(rt); got != b.Total() {
+					t.Errorf("balance %d != %d", got, b.Total())
+				}
+			} else {
+				from, to := PickTransfer(r, b.Accounts())
+				b.Transfer(rt, from, to, 1)
+			}
+		}
+	})
+	st := s.RunToCompletion()
+	if st.ReadOnlyCommits == 0 {
+		t.Fatal("no read-only commits recorded")
+	}
+	transferCommits := st.Commits - st.ReadOnlyCommits
+	if st.CommitRoundTrips == 0 && transferCommits > 0 {
+		t.Fatal("transfers must pay commit round trips")
+	}
+	// Every commit round trip belongs to a transfer attempt: scans add none.
+	if st.CommitRoundTrips < transferCommits {
+		t.Fatalf("CommitRoundTrips %d < transfer commits %d", st.CommitRoundTrips, transferCommits)
+	}
+	if b.TotalRaw() != b.Total() {
+		t.Fatalf("money not conserved: %d != %d", b.TotalRaw(), b.Total())
 	}
 }

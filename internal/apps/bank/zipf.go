@@ -66,9 +66,9 @@ func (b *Bank) HotReadWorker(writePct, readSet int, theta float64) func(rt *core
 				from, to := PickTransfer(r, b.n)
 				b.Transfer(rt, from, to, 1)
 			} else {
-				rt.Run(func(tx *core.Tx) {
+				rt.RunKind(b.readKind(), func(tx *core.Tx) {
 					for i := 0; i < readSet; i++ {
-						tx.Read(b.addr(z.Pick(r)))
+						b.accts.Get(tx, z.Pick(r))
 					}
 				})
 			}

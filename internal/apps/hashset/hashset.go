@@ -28,10 +28,30 @@ const (
 	PerNodeCompute = 1 * time.Microsecond
 )
 
+// node is one list cell: the key and the next pointer, stored as a single
+// two-word object under one lock.
+type node struct {
+	Key  uint64
+	Next mem.Addr
+}
+
+// nodeW is the node object size in words; nodeNextOff is the word offset
+// of the Next field, used by the word-granular sequential baselines.
+const (
+	nodeW       = 2
+	nodeNextOff = 1
+)
+
+// nodeCodec translates node structs to and from their two-word layout.
+var nodeCodec = core.FuncCodec(nodeW,
+	func(n node, dst []uint64) { dst[0], dst[1] = n.Key, uint64(n.Next) },
+	func(src []uint64) node { return node{Key: src[0], Next: mem.Addr(src[1])} },
+)
+
 // Set is the shared-memory hash table.
 type Set struct {
 	sys      *core.System
-	buckets  mem.Addr // bucket head pointers, one word each
+	buckets  core.TArray[mem.Addr] // bucket head pointers, one word each
 	nbuckets int
 }
 
@@ -42,7 +62,7 @@ type Set struct {
 func New(sys *core.System, nbuckets int) *Set {
 	return &Set{
 		sys:      sys,
-		buckets:  sys.Mem.Alloc(nbuckets, 0),
+		buckets:  core.NewTArray(sys, core.AddrCodec(), nbuckets, mem.Nil),
 		nbuckets: nbuckets,
 	}
 }
@@ -57,16 +77,15 @@ func hashKey(key uint64) uint64 {
 	return key
 }
 
-func (s *Set) bucketAddr(key uint64) mem.Addr {
-	return s.buckets + mem.Addr(hashKey(key)%uint64(s.nbuckets))
+// bucketVar returns the head-pointer variable of key's bucket.
+func (s *Set) bucketVar(key uint64) core.TVar[mem.Addr] {
+	return s.buckets.At(int(hashKey(key) % uint64(s.nbuckets)))
 }
 
-// node field offsets.
-const (
-	fKey  = 0
-	fNext = 1
-	nodeW = 2
-)
+// nodeAt views the node object at base.
+func (s *Set) nodeAt(base mem.Addr) core.TVar[node] {
+	return core.TVarAt(s.sys, nodeCodec, base)
+}
 
 // InitFill populates the set with n distinct keys drawn from [1, keyRange]
 // using raw accesses (setup code outside the simulation). It returns the
@@ -84,22 +103,20 @@ func (s *Set) InitFill(n int, keyRange uint64, r *sim.Rand) []uint64 {
 
 // rawInsert inserts without latency accounting; false if present.
 func (s *Set) rawInsert(key uint64) bool {
-	m := s.sys.Mem
-	b := s.bucketAddr(key)
-	prev, cur := mem.Addr(0), mem.Addr(m.ReadRaw(b))
-	for cur != 0 && m.ReadRaw(cur+fKey) < key {
-		prev, cur = cur, mem.Addr(m.ReadRaw(cur+fNext))
+	b := s.bucketVar(key)
+	prev, cur := mem.Nil, b.GetRaw()
+	for cur != 0 && s.nodeAt(cur).GetRaw().Key < key {
+		prev, cur = cur, s.nodeAt(cur).GetRaw().Next
 	}
-	if cur != 0 && m.ReadRaw(cur+fKey) == key {
+	if cur != 0 && s.nodeAt(cur).GetRaw().Key == key {
 		return false
 	}
-	n := m.Alloc(nodeW, 0)
-	m.WriteRaw(n+fKey, key)
-	m.WriteRaw(n+fNext, uint64(cur))
+	nv := core.NewTVar(s.sys, nodeCodec, node{Key: key, Next: cur})
 	if prev == 0 {
-		m.WriteRaw(b, uint64(n))
+		b.SetRaw(nv.Addr())
 	} else {
-		m.WriteRaw(prev+fNext, uint64(n))
+		pv := s.nodeAt(prev)
+		pv.SetRaw(node{Key: pv.GetRaw().Key, Next: nv.Addr()})
 	}
 	return true
 }
@@ -107,13 +124,13 @@ func (s *Set) rawInsert(key uint64) bool {
 // RawKeys walks the whole table without latency and returns every key, for
 // invariant checking (sortedness and uniqueness are verified by tests).
 func (s *Set) RawKeys() []uint64 {
-	m := s.sys.Mem
 	var keys []uint64
 	for i := 0; i < s.nbuckets; i++ {
-		cur := mem.Addr(m.ReadRaw(s.buckets + mem.Addr(i)))
+		cur := s.buckets.GetRaw(i)
 		for cur != 0 {
-			keys = append(keys, m.ReadRaw(cur+fKey))
-			cur = mem.Addr(m.ReadRaw(cur + fNext))
+			n := s.nodeAt(cur).GetRaw()
+			keys = append(keys, n.Key)
+			cur = n.Next
 		}
 	}
 	return keys
@@ -122,17 +139,17 @@ func (s *Set) RawKeys() []uint64 {
 // locate walks one bucket inside tx, returning the predecessor node (0 if
 // the head pointer) and the current node (0 if past the end), such that
 // cur.key >= key.
-func (s *Set) locate(tx *core.Tx, rt *core.Runtime, key uint64) (bucket, prev, cur mem.Addr, curKey uint64) {
-	bucket = s.bucketAddr(key)
-	cur = mem.Addr(tx.Read(bucket))
+func (s *Set) locate(tx *core.Tx, rt *core.Runtime, key uint64) (bucket core.TVar[mem.Addr], prev, cur mem.Addr, curKey uint64) {
+	bucket = s.bucketVar(key)
+	cur = bucket.Get(tx)
 	for cur != 0 {
 		rt.Compute(PerNodeCompute)
-		n := tx.ReadN(cur, nodeW)
-		curKey = n[fKey]
+		n := s.nodeAt(cur).Get(tx)
+		curKey = n.Key
 		if curKey >= key {
 			return bucket, prev, cur, curKey
 		}
-		prev, cur = cur, mem.Addr(n[fNext])
+		prev, cur = cur, n.Next
 	}
 	return bucket, prev, 0, 0
 }
@@ -165,16 +182,19 @@ func (s *Set) addInTx(tx *core.Tx, rt *core.Runtime, key uint64) bool {
 	if cur != 0 && curKey == key {
 		return false
 	}
-	n := s.sys.Mem.AllocNear(nodeW, rt.Core())
-	tx.WriteN(n, []uint64{key, uint64(cur)})
+	// Allocate near the inserting core (§5.2); the zero init is free and the
+	// object is populated transactionally before the pointer publishes it.
+	nv := core.NewTVarNear(s.sys, nodeCodec, rt.Core(), node{})
+	nv.Set(tx, node{Key: key, Next: cur})
 	if prev == 0 {
-		tx.Write(bucket, uint64(n))
+		bucket.Set(tx, nv.Addr())
 	} else {
 		// Whole-object write: the lock unit is the object, so updating a
 		// node rewrites [key, next] under the node's base lock — the same
 		// lock its readers hold (txwrite(obj) in the paper).
-		pkey := tx.ReadN(prev, nodeW)[fKey] // served from the tx cache
-		tx.WriteN(prev, []uint64{pkey, uint64(n)})
+		pv := s.nodeAt(prev)
+		pkey := pv.Get(tx).Key // served from the tx cache
+		pv.Set(tx, node{Key: pkey, Next: nv.Addr()})
 	}
 	return true
 }
@@ -194,12 +214,13 @@ func (s *Set) removeInTx(tx *core.Tx, rt *core.Runtime, key uint64) bool {
 	if cur == 0 || curKey != key {
 		return false
 	}
-	next := tx.ReadN(cur, nodeW)[fNext]
+	next := s.nodeAt(cur).Get(tx).Next
 	if prev == 0 {
-		tx.Write(bucket, next)
+		bucket.Set(tx, next)
 	} else {
-		pkey := tx.ReadN(prev, nodeW)[fKey]
-		tx.WriteN(prev, []uint64{pkey, next})
+		pv := s.nodeAt(prev)
+		pkey := pv.Get(tx).Key
+		pv.Set(tx, node{Key: pkey, Next: next})
 	}
 	return true
 }
@@ -226,18 +247,17 @@ func (s *Set) Move(rt *core.Runtime, from, to uint64) bool {
 // Sequential variants: identical logic over raw memory with latency charged
 // through mem.Read/ReadBatch, without any locking.
 
-func (s *Set) seqLocate(p *sim.Proc, coreID int, key uint64) (bucket, prev, cur mem.Addr, curKey uint64) {
-	m := s.sys.Mem
-	bucket = s.bucketAddr(key)
-	cur = mem.Addr(m.Read(p, coreID, bucket))
+func (s *Set) seqLocate(p *sim.Proc, coreID int, key uint64) (bucket core.TVar[mem.Addr], prev, cur mem.Addr, curKey uint64) {
+	bucket = s.bucketVar(key)
+	cur = bucket.GetDirect(p, coreID)
 	for cur != 0 {
 		p.Advance(s.sys.Platform().Compute(PerNodeCompute))
-		n := m.ReadBatch(p, coreID, cur, nodeW)
-		curKey = n[fKey]
+		n := s.nodeAt(cur).GetDirect(p, coreID)
+		curKey = n.Key
 		if curKey >= key {
 			return bucket, prev, cur, curKey
 		}
-		prev, cur = cur, mem.Addr(n[fNext])
+		prev, cur = cur, n.Next
 	}
 	return bucket, prev, 0, 0
 }
@@ -252,17 +272,20 @@ func (s *Set) SeqContains(p *sim.Proc, coreID int, key uint64) bool {
 // SeqAdd is the bare sequential add.
 func (s *Set) SeqAdd(p *sim.Proc, coreID int, key uint64) bool {
 	p.Advance(s.sys.Platform().Compute(OpBaseCompute))
-	m := s.sys.Mem
 	bucket, prev, cur, curKey := s.seqLocate(p, coreID, key)
 	if cur != 0 && curKey == key {
 		return false
 	}
-	n := m.AllocNear(nodeW, coreID)
-	m.WriteBatch(p, coreID, []mem.Addr{n + fKey, n + fNext}, []uint64{key, uint64(cur)})
+	nv := core.NewTVarNear(s.sys, nodeCodec, coreID, node{})
+	nv.SetDirect(p, coreID, node{Key: key, Next: cur})
 	if prev == 0 {
-		m.Write(p, coreID, bucket, uint64(n))
+		bucket.SetDirect(p, coreID, nv.Addr())
 	} else {
-		m.Write(p, coreID, prev+fNext, uint64(n))
+		// The bare-sequential baseline needs no locking and therefore no
+		// whole-object write: splice by storing the single next-pointer
+		// word, exactly the charge the fig4 speedup denominators have
+		// always paid.
+		s.sys.Mem.Write(p, coreID, prev+nodeNextOff, uint64(nv.Addr()))
 	}
 	return true
 }
@@ -270,16 +293,17 @@ func (s *Set) SeqAdd(p *sim.Proc, coreID int, key uint64) bool {
 // SeqRemove is the bare sequential remove.
 func (s *Set) SeqRemove(p *sim.Proc, coreID int, key uint64) bool {
 	p.Advance(s.sys.Platform().Compute(OpBaseCompute))
-	m := s.sys.Mem
 	bucket, prev, cur, curKey := s.seqLocate(p, coreID, key)
 	if cur == 0 || curKey != key {
 		return false
 	}
-	next := m.Read(p, coreID, cur+fNext)
+	next := s.sys.Mem.Read(p, coreID, cur+nodeNextOff)
 	if prev == 0 {
-		m.Write(p, coreID, bucket, next)
+		bucket.SetDirect(p, coreID, mem.Addr(next))
 	} else {
-		m.Write(p, coreID, prev+fNext, next)
+		// Word-granular splice, matching the baseline's historic charge
+		// (one 1-word read of cur.next, one 1-word write of prev.next).
+		s.sys.Mem.Write(p, coreID, prev+nodeNextOff, next)
 	}
 	return true
 }

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/cm"
 	"repro/internal/core"
-	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/sim"
 )
@@ -24,20 +23,19 @@ func newSys(t *testing.T, cores int) *core.System {
 
 func checkIntegrity(t *testing.T, s *Set) []uint64 {
 	t.Helper()
-	m := s.sys.Mem
 	for i := 0; i < s.nbuckets; i++ {
 		var prev uint64
-		cur := mem.Addr(m.ReadRaw(s.buckets + mem.Addr(i)))
+		cur := s.buckets.GetRaw(i)
 		for cur != 0 {
-			key := m.ReadRaw(cur + fKey)
-			if key <= prev {
-				t.Fatalf("bucket %d not strictly sorted: %d after %d", i, key, prev)
+			n := s.nodeAt(cur).GetRaw()
+			if n.Key <= prev {
+				t.Fatalf("bucket %d not strictly sorted: %d after %d", i, n.Key, prev)
 			}
-			if int(hashKey(key)%uint64(s.nbuckets)) != i {
-				t.Fatalf("key %d in wrong bucket %d", key, i)
+			if int(hashKey(n.Key)%uint64(s.nbuckets)) != i {
+				t.Fatalf("key %d in wrong bucket %d", n.Key, i)
 			}
-			prev = key
-			cur = mem.Addr(m.ReadRaw(cur + fNext))
+			prev = n.Key
+			cur = n.Next
 		}
 	}
 	all := s.RawKeys()

@@ -58,21 +58,36 @@ func (m Mode) TxKind() core.TxKind {
 	}
 }
 
-const (
-	fKey  = 0
-	fNext = 1
-	nodeW = 2
+// node is one list cell: the key and the next pointer, one two-word object
+// under a single lock.
+type node struct {
+	Key  uint64
+	Next mem.Addr
+}
+
+// nodeW is the node object size in words.
+const nodeW = 2
+
+// nodeCodec translates node structs to and from their two-word layout.
+var nodeCodec = core.FuncCodec(nodeW,
+	func(n node, dst []uint64) { dst[0], dst[1] = n.Key, uint64(n.Next) },
+	func(src []uint64) node { return node{Key: src[0], Next: mem.Addr(src[1])} },
 )
 
 // List is the shared-memory sorted list.
 type List struct {
 	sys  *core.System
-	head mem.Addr // one-word head pointer
+	head core.TVar[mem.Addr] // head pointer
 }
 
 // New allocates an empty list (head pointer behind controller 0).
 func New(sys *core.System) *List {
-	return &List{sys: sys, head: sys.Mem.Alloc(1, 0)}
+	return &List{sys: sys, head: core.NewTVar(sys, core.AddrCodec(), mem.Nil)}
+}
+
+// nodeAt views the node object at base.
+func (l *List) nodeAt(base mem.Addr) core.TVar[node] {
+	return core.TVarAt(l.sys, nodeCodec, base)
 }
 
 // InitFill inserts n distinct keys from [1, keyRange] with raw accesses.
@@ -88,33 +103,31 @@ func (l *List) InitFill(n int, keyRange uint64, r *sim.Rand) []uint64 {
 }
 
 func (l *List) rawInsert(key uint64) bool {
-	m := l.sys.Mem
-	prev, cur := mem.Addr(0), mem.Addr(m.ReadRaw(l.head))
-	for cur != 0 && m.ReadRaw(cur+fKey) < key {
-		prev, cur = cur, mem.Addr(m.ReadRaw(cur+fNext))
+	prev, cur := mem.Nil, l.head.GetRaw()
+	for cur != 0 && l.nodeAt(cur).GetRaw().Key < key {
+		prev, cur = cur, l.nodeAt(cur).GetRaw().Next
 	}
-	if cur != 0 && m.ReadRaw(cur+fKey) == key {
+	if cur != 0 && l.nodeAt(cur).GetRaw().Key == key {
 		return false
 	}
-	n := m.Alloc(nodeW, 0)
-	m.WriteRaw(n+fKey, key)
-	m.WriteRaw(n+fNext, uint64(cur))
+	nv := core.NewTVar(l.sys, nodeCodec, node{Key: key, Next: cur})
 	if prev == 0 {
-		m.WriteRaw(l.head, uint64(n))
+		l.head.SetRaw(nv.Addr())
 	} else {
-		m.WriteRaw(prev+fNext, uint64(n))
+		pv := l.nodeAt(prev)
+		pv.SetRaw(node{Key: pv.GetRaw().Key, Next: nv.Addr()})
 	}
 	return true
 }
 
 // RawKeys returns the current keys in list order (verification only).
 func (l *List) RawKeys() []uint64 {
-	m := l.sys.Mem
 	var keys []uint64
-	cur := mem.Addr(m.ReadRaw(l.head))
+	cur := l.head.GetRaw()
 	for cur != 0 {
-		keys = append(keys, m.ReadRaw(cur+fKey))
-		cur = mem.Addr(m.ReadRaw(cur + fNext))
+		n := l.nodeAt(cur).GetRaw()
+		keys = append(keys, n.Key)
+		cur = n.Next
 	}
 	return keys
 }
@@ -125,25 +138,25 @@ func (l *List) RawKeys() []uint64 {
 func (l *List) locate(tx *core.Tx, rt *core.Runtime, mode Mode, key uint64) (prev, cur mem.Addr, curKey uint64) {
 	var prevPrev mem.Addr
 	headReleased := false
-	cur = mem.Addr(tx.Read(l.head))
+	cur = l.head.Get(tx)
 	for cur != 0 {
 		rt.Compute(PerNodeCompute)
-		n := tx.ReadN(cur, nodeW)
-		curKey = n[fKey]
+		n := l.nodeAt(cur).Get(tx)
+		curKey = n.Key
 		if mode == ElasticEarly {
 			// The traversal window is {prev, cur}; anything older is no
 			// longer semantically relevant to the search (§6).
 			if prevPrev != 0 {
-				tx.EarlyRelease(prevPrev)
+				l.nodeAt(prevPrev).EarlyRelease(tx)
 			} else if prev != 0 && !headReleased {
-				tx.EarlyRelease(l.head)
+				l.head.EarlyRelease(tx)
 				headReleased = true
 			}
 		}
 		if curKey >= key {
 			return prev, cur, curKey
 		}
-		prevPrev, prev, cur = prev, cur, mem.Addr(n[fNext])
+		prevPrev, prev, cur = prev, cur, n.Next
 	}
 	return prev, 0, 0
 }
@@ -167,16 +180,17 @@ func (l *List) Add(rt *core.Runtime, mode Mode, key uint64) bool {
 		if cur != 0 && curKey == key {
 			return
 		}
-		n := l.sys.Mem.AllocNear(nodeW, rt.Core())
-		tx.WriteN(n, []uint64{key, uint64(cur)})
+		nv := core.NewTVarNear(l.sys, nodeCodec, rt.Core(), node{})
+		nv.Set(tx, node{Key: key, Next: cur})
 		if prev == 0 {
-			tx.Write(l.head, uint64(n))
+			l.head.Set(tx, nv.Addr())
 		} else {
 			// Whole-object write: the lock unit is the object, so the
 			// update conflicts with the node's readers (and, for
 			// elastic-read, sits in their validation windows).
-			pkey := tx.ReadN(prev, nodeW)[fKey]
-			tx.WriteN(prev, []uint64{pkey, uint64(n)})
+			pv := l.nodeAt(prev)
+			pkey := pv.Get(tx).Key
+			pv.Set(tx, node{Key: pkey, Next: nv.Addr()})
 		}
 		added = true
 	})
@@ -192,12 +206,13 @@ func (l *List) Remove(rt *core.Runtime, mode Mode, key uint64) bool {
 		if cur == 0 || curKey != key {
 			return
 		}
-		next := tx.ReadN(cur, nodeW)[fNext]
+		next := l.nodeAt(cur).Get(tx).Next
 		if prev == 0 {
-			tx.Write(l.head, next)
+			l.head.Set(tx, next)
 		} else {
-			pkey := tx.ReadN(prev, nodeW)[fKey]
-			tx.WriteN(prev, []uint64{pkey, next})
+			pv := l.nodeAt(prev)
+			pkey := pv.Get(tx).Key
+			pv.Set(tx, node{Key: pkey, Next: next})
 		}
 		if mode != Normal {
 			// Elastic modes do not hold read locks on the whole traversal,
@@ -208,7 +223,7 @@ func (l *List) Remove(rt *core.Runtime, mode Mode, key uint64) bool {
 			// validation relies on committed updates writing *different*
 			// values — makes the removal visible to elastic-read windows:
 			// the key field becomes 0, which no live node carries.
-			tx.WriteN(cur, []uint64{0, next})
+			l.nodeAt(cur).Set(tx, node{Key: 0, Next: next})
 		}
 		removed = true
 	})

@@ -16,7 +16,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/mem"
 	"repro/internal/sim"
 )
 
@@ -41,6 +40,16 @@ const (
 	smallOverhead = 2 * time.Microsecond // per-chunk dispatch bookkeeping
 )
 
+// Histogram is the per-letter count vector, stored in shared memory as one
+// Letters-word object under a single lock.
+type Histogram [Letters]uint64
+
+// histCodec translates a Histogram to and from its Letters-word layout.
+var histCodec = core.FuncCodec(Letters,
+	func(h Histogram, dst []uint64) { copy(dst, h[:]) },
+	func(src []uint64) (h Histogram) { copy(h[:], src); return h },
+)
+
 // Job is one letter-count run over a synthetic input.
 type Job struct {
 	sys   *core.System
@@ -48,8 +57,8 @@ type Job struct {
 	size  int // input bytes
 	chunk int // chunk bytes
 
-	cursor mem.Addr // next unprocessed offset
-	hist   mem.Addr // Letters words
+	cursor core.TVar[uint64]    // next unprocessed offset
+	hist   core.TVar[Histogram] // global letter counts
 }
 
 // NewJob allocates the shared cursor and histogram for an input of size
@@ -63,16 +72,16 @@ func NewJob(sys *core.System, seed uint64, size, chunk int) *Job {
 		seed:   seed,
 		size:   size,
 		chunk:  chunk,
-		cursor: sys.Mem.Alloc(1, 0),
-		hist:   sys.Mem.Alloc(Letters, 0),
+		cursor: core.NewTVar(sys, core.Uint64Codec(), 0),
+		hist:   core.NewTVar(sys, histCodec, Histogram{}),
 	}
 }
 
 // countChunk deterministically generates the chunk at offset and counts its
 // letters. The same bytes are produced no matter which core processes the
 // chunk, so the final histogram is verifiable.
-func (j *Job) countChunk(offset, n int) [Letters]uint64 {
-	var counts [Letters]uint64
+func (j *Job) countChunk(offset, n int) Histogram {
+	var counts Histogram
 	r := sim.NewRand(j.seed ^ uint64(offset)*0x9e3779b97f4a7c15)
 	// Generate 8 letters per PRNG draw.
 	for i := 0; i < n; i += 8 {
@@ -103,11 +112,11 @@ func (j *Job) Worker(rt *core.Runtime) int {
 		// (this is what removes the master node, §5.4).
 		var off int
 		rt.Run(func(tx *core.Tx) {
-			off = int(tx.Read(j.cursor))
+			off = int(j.cursor.Get(tx))
 			if off >= j.size {
 				return
 			}
-			tx.Write(j.cursor, uint64(off+j.chunk))
+			j.cursor.Set(tx, uint64(off+j.chunk))
 		})
 		if off >= j.size {
 			return processed
@@ -124,12 +133,11 @@ func (j *Job) Worker(rt *core.Runtime) int {
 		// a single persisted write, so merges expose their locks only
 		// briefly and the transactional load stays low (§5.4).
 		rt.Run(func(tx *core.Tx) {
-			cur := tx.ReadN(j.hist, Letters)
-			upd := make([]uint64, Letters)
+			upd := j.hist.Get(tx)
 			for l := 0; l < Letters; l++ {
-				upd[l] = cur[l] + counts[l]
+				upd[l] += counts[l]
 			}
-			tx.WriteN(j.hist, upd)
+			j.hist.Set(tx, upd)
 		})
 		rt.AddOps(1) // one chunk processed
 		processed += n
@@ -145,7 +153,7 @@ func (j *Job) Worker(rt *core.Runtime) int {
 // shows up in the speedups, as in the paper.
 func (j *Job) Sequential(p *sim.Proc, coreID int) sim.Time {
 	start := p.Now()
-	var total [Letters]uint64
+	var total Histogram
 	for off := 0; off < j.size; off += j.chunk {
 		n := j.chunk
 		if off+n > j.size {
@@ -158,23 +166,17 @@ func (j *Job) Sequential(p *sim.Proc, coreID int) sim.Time {
 	}
 	p.Advance(j.sys.Platform().Compute(time.Duration(j.size) * PerByteCompute))
 	// One final histogram store, no locking.
-	addrs := make([]mem.Addr, Letters)
-	vals := make([]uint64, Letters)
+	upd := j.hist.GetRaw()
 	for l := 0; l < Letters; l++ {
-		addrs[l] = j.hist + mem.Addr(l)
-		vals[l] = j.sys.Mem.ReadRaw(j.hist+mem.Addr(l)) + total[l]
+		upd[l] += total[l]
 	}
-	j.sys.Mem.WriteBatch(p, coreID, addrs, vals)
+	j.hist.SetDirect(p, coreID, upd)
 	return p.Now() - start
 }
 
 // HistogramRaw returns the current histogram (verification).
-func (j *Job) HistogramRaw() [Letters]uint64 {
-	var h [Letters]uint64
-	for l := 0; l < Letters; l++ {
-		h[l] = j.sys.Mem.ReadRaw(j.hist + mem.Addr(l))
-	}
-	return h
+func (j *Job) HistogramRaw() Histogram {
+	return j.hist.GetRaw()
 }
 
 // HistogramTotal sums the histogram (must equal the processed bytes).
@@ -187,8 +189,8 @@ func (j *Job) HistogramTotal() uint64 {
 }
 
 // Expected recomputes the ground-truth histogram off-line.
-func (j *Job) Expected() [Letters]uint64 {
-	var total [Letters]uint64
+func (j *Job) Expected() Histogram {
+	var total Histogram
 	for off := 0; off < j.size; off += j.chunk {
 		n := j.chunk
 		if off+n > j.size {

@@ -26,11 +26,33 @@ import (
 // sizes used here.
 const MaxLevel = 8
 
-const (
-	fKey   = 0
-	fLevel = 1
-	fNext  = 2 // first of MaxLevel next pointers
-	nodeW  = 2 + MaxLevel
+// nodeW is the node object size in words.
+const nodeW = 2 + MaxLevel
+
+// node is one tower: the key, the tower height, and MaxLevel next pointers
+// (unused levels hold mem.Nil) — a single fixed-size object under one lock.
+type node struct {
+	Key   uint64
+	Level int
+	Next  [MaxLevel]mem.Addr
+}
+
+// nodeCodec translates node structs to and from their fixed layout:
+// [key, level, next_0 .. next_{MaxLevel-1}].
+var nodeCodec = core.FuncCodec(nodeW,
+	func(n node, dst []uint64) {
+		dst[0], dst[1] = n.Key, uint64(n.Level)
+		for i, a := range n.Next {
+			dst[2+i] = uint64(a)
+		}
+	},
+	func(src []uint64) node {
+		n := node{Key: src[0], Level: int(src[1])}
+		for i := range n.Next {
+			n.Next[i] = mem.Addr(src[2+i])
+		}
+		return n
+	},
 )
 
 // PerNodeCompute is the nominal traversal cost per visited node.
@@ -39,14 +61,17 @@ const PerNodeCompute = 700 * time.Nanosecond
 // List is the shared-memory skip list.
 type List struct {
 	sys  *core.System
-	head mem.Addr
+	head core.TVar[node]
 }
 
 // New allocates an empty skip list (head tower behind controller 0).
 func New(sys *core.System) *List {
-	head := sys.Mem.Alloc(nodeW, 0)
-	sys.Mem.WriteRaw(head+fLevel, MaxLevel)
-	return &List{sys: sys, head: head}
+	return &List{sys: sys, head: core.NewTVar(sys, nodeCodec, node{Level: MaxLevel})}
+}
+
+// nodeAt views the tower object at base.
+func (l *List) nodeAt(base mem.Addr) core.TVar[node] {
+	return core.TVarAt(l.sys, nodeCodec, base)
 }
 
 // randomLevel draws a geometric tower height in [1, MaxLevel].
@@ -71,42 +96,43 @@ func (l *List) InitFill(n int, keyRange uint64, r *sim.Rand) []uint64 {
 }
 
 func (l *List) rawInsert(key uint64, level int) bool {
-	m := l.sys.Mem
-	var preds [MaxLevel]mem.Addr
+	var preds [MaxLevel]core.TVar[node]
 	cur := l.head
 	for lv := MaxLevel - 1; lv >= 0; lv-- {
 		for {
-			next := mem.Addr(m.ReadRaw(cur + fNext + mem.Addr(lv)))
-			if next == 0 || m.ReadRaw(next+fKey) >= key {
+			next := cur.GetRaw().Next[lv]
+			if next == 0 || l.nodeAt(next).GetRaw().Key >= key {
 				break
 			}
-			cur = next
+			cur = l.nodeAt(next)
 		}
 		preds[lv] = cur
 	}
-	at := mem.Addr(m.ReadRaw(preds[0] + fNext))
-	if at != 0 && m.ReadRaw(at+fKey) == key {
+	at := preds[0].GetRaw().Next[0]
+	if at != 0 && l.nodeAt(at).GetRaw().Key == key {
 		return false
 	}
-	n := m.Alloc(nodeW, 0)
-	m.WriteRaw(n+fKey, key)
-	m.WriteRaw(n+fLevel, uint64(level))
+	n := node{Key: key, Level: level}
 	for lv := 0; lv < level; lv++ {
-		next := m.ReadRaw(preds[lv] + fNext + mem.Addr(lv))
-		m.WriteRaw(n+fNext+mem.Addr(lv), next)
-		m.WriteRaw(preds[lv]+fNext+mem.Addr(lv), uint64(n))
+		n.Next[lv] = preds[lv].GetRaw().Next[lv]
+	}
+	nv := core.NewTVar(l.sys, nodeCodec, n)
+	for lv := 0; lv < level; lv++ {
+		p := preds[lv].GetRaw()
+		p.Next[lv] = nv.Addr()
+		preds[lv].SetRaw(p)
 	}
 	return true
 }
 
 // RawKeys returns the bottom-level keys in order (verification).
 func (l *List) RawKeys() []uint64 {
-	m := l.sys.Mem
 	var keys []uint64
-	cur := mem.Addr(m.ReadRaw(l.head + fNext))
+	cur := l.head.GetRaw().Next[0]
 	for cur != 0 {
-		keys = append(keys, m.ReadRaw(cur+fKey))
-		cur = mem.Addr(m.ReadRaw(cur + fNext))
+		n := l.nodeAt(cur).GetRaw()
+		keys = append(keys, n.Key)
+		cur = n.Next[0]
 	}
 	return keys
 }
@@ -115,20 +141,19 @@ func (l *List) RawKeys() []uint64 {
 // is sorted and every tower is reachable at each of its levels. It returns
 // the bottom-level size.
 func (l *List) CheckTowers() (int, error) {
-	m := l.sys.Mem
 	for lv := 0; lv < MaxLevel; lv++ {
 		var prev uint64
-		cur := mem.Addr(m.ReadRaw(l.head + fNext + mem.Addr(lv)))
+		cur := l.head.GetRaw().Next[lv]
 		for cur != 0 {
-			key := m.ReadRaw(cur + fKey)
-			if key <= prev {
-				return 0, errUnsorted(lv, prev, key)
+			n := l.nodeAt(cur).GetRaw()
+			if n.Key <= prev {
+				return 0, errUnsorted(lv, prev, n.Key)
 			}
-			if int(m.ReadRaw(cur+fLevel)) <= lv {
-				return 0, errLowTower(lv, key)
+			if n.Level <= lv {
+				return 0, errLowTower(lv, n.Key)
 			}
-			prev = key
-			cur = mem.Addr(m.ReadRaw(cur + fNext + mem.Addr(lv)))
+			prev = n.Key
+			cur = n.Next[lv]
 		}
 	}
 	return len(l.RawKeys()), nil
@@ -145,26 +170,26 @@ func errLowTower(lv int, key uint64) error {
 // locate returns the predecessors at every level and the candidate node
 // (the bottom-level successor of preds[0]).
 func (l *List) locate(tx *core.Tx, rt *core.Runtime, key uint64) (preds [MaxLevel]mem.Addr, cand mem.Addr, candKey uint64) {
-	cur := l.head
-	curObj := tx.ReadN(cur, nodeW)
+	cur := l.head.Addr()
+	curObj := l.head.Get(tx)
 	for lv := MaxLevel - 1; lv >= 0; lv-- {
 		for {
-			next := mem.Addr(curObj[fNext+lv])
+			next := curObj.Next[lv]
 			if next == 0 {
 				break
 			}
 			rt.Compute(PerNodeCompute)
-			nextObj := tx.ReadN(next, nodeW)
-			if nextObj[fKey] >= key {
+			nextObj := l.nodeAt(next).Get(tx)
+			if nextObj.Key >= key {
 				break
 			}
 			cur, curObj = next, nextObj
 		}
 		preds[lv] = cur
 	}
-	cand = mem.Addr(curObj[fNext])
+	cand = curObj.Next[0]
 	if cand != 0 {
-		candKey = tx.ReadN(cand, nodeW)[fKey]
+		candKey = l.nodeAt(cand).Get(tx).Key
 	}
 	return preds, cand, candKey
 }
@@ -190,20 +215,17 @@ func (l *List) Add(rt *core.Runtime, key uint64) bool {
 		if cand != 0 && candKey == key {
 			return
 		}
-		n := l.sys.Mem.AllocNear(nodeW, rt.Core())
-		obj := make([]uint64, nodeW)
-		obj[fKey] = key
-		obj[fLevel] = uint64(level)
+		nv := core.NewTVarNear(l.sys, nodeCodec, rt.Core(), node{})
+		obj := node{Key: key, Level: level}
 		for lv := 0; lv < level; lv++ {
-			pred := tx.ReadN(preds[lv], nodeW)
-			obj[fNext+lv] = pred[fNext+lv]
+			obj.Next[lv] = l.nodeAt(preds[lv]).Get(tx).Next[lv] // tx cache
 		}
-		tx.WriteN(n, obj)
+		nv.Set(tx, obj)
 		for lv := 0; lv < level; lv++ {
-			pred := tx.ReadN(preds[lv], nodeW)
-			upd := cloneSlice(pred)
-			upd[fNext+lv] = uint64(n)
-			tx.WriteN(preds[lv], upd)
+			pv := l.nodeAt(preds[lv])
+			upd := pv.Get(tx)
+			upd.Next[lv] = nv.Addr()
+			pv.Set(tx, upd)
 		}
 		added = true
 	})
@@ -219,16 +241,15 @@ func (l *List) Remove(rt *core.Runtime, key uint64) bool {
 		if cand == 0 || candKey != key {
 			return
 		}
-		victim := tx.ReadN(cand, nodeW)
-		level := int(victim[fLevel])
-		for lv := 0; lv < level; lv++ {
-			pred := tx.ReadN(preds[lv], nodeW)
-			if mem.Addr(pred[fNext+lv]) != cand {
+		victim := l.nodeAt(cand).Get(tx)
+		for lv := 0; lv < victim.Level; lv++ {
+			pv := l.nodeAt(preds[lv])
+			upd := pv.Get(tx)
+			if upd.Next[lv] != cand {
 				continue // taller predecessor bypasses the victim here
 			}
-			upd := cloneSlice(pred)
-			upd[fNext+lv] = victim[fNext+lv]
-			tx.WriteN(preds[lv], upd)
+			upd.Next[lv] = victim.Next[lv]
+			pv.Set(tx, upd)
 		}
 		removed = true
 	})
@@ -259,10 +280,4 @@ func (l *List) Worker(w Workload) func(rt *core.Runtime) {
 			rt.AddOps(1)
 		}
 	}
-}
-
-func cloneSlice(v []uint64) []uint64 {
-	out := make([]uint64, len(v))
-	copy(out, v)
-	return out
 }

@@ -129,7 +129,13 @@ func (s *System) CheckAudit(initial map[mem.Addr]uint64) error {
 		model[k] = v
 	}
 	for _, rec := range recs {
-		if rec.kind == Normal {
+		// Declared ReadOnly transactions hold visible read locks exactly
+		// like Normal ones, so they get the same read check; their recorded
+		// instant is the last read (the one moment every lock is provably
+		// held — the same instant a Normal transaction with an empty write
+		// set records). Only the elastic kinds are exempt: their reads are
+		// deliberately not atomic at any single instant.
+		if rec.kind == Normal || rec.kind == ReadOnly {
 			for _, rd := range rec.reads {
 				for i, got := range rd.vals {
 					addr := rd.base + mem.Addr(i)

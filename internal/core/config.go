@@ -74,6 +74,13 @@ const (
 	// atomicity is enforced by re-reading a small validation window from
 	// shared memory.
 	ElasticRead
+	// ReadOnly transactions declare up front that they will not write:
+	// reads follow the normal visible read-lock protocol, writes panic, and
+	// the attempt path skips write-set allocation and the entire commit-time
+	// lock machinery — a declared read-only commit only fires its release
+	// burst (no commit bookkeeping, no status CAS, no persist). Committed
+	// ones are counted in Stats.ReadOnlyCommits.
+	ReadOnly
 )
 
 func (k TxKind) String() string {
@@ -82,6 +89,8 @@ func (k TxKind) String() string {
 		return "elastic-early"
 	case ElasticRead:
 		return "elastic-read"
+	case ReadOnly:
+		return "read-only"
 	default:
 		return "normal"
 	}
@@ -211,6 +220,17 @@ type Stats struct {
 	Commits uint64 // committed transactions
 	Aborts  uint64 // aborted transaction attempts
 	Ops     uint64 // application-level operations completed
+
+	// ReadOnlyCommits counts the committed transactions that ran as the
+	// declared ReadOnly kind (a subset of Commits). They take read locks but
+	// never contribute write-lock requests or commit round trips.
+	ReadOnlyCommits uint64
+
+	// UserAborts counts transactions withdrawn by the application through
+	// Tx.Abort or a non-retry error returned from an Atomic body. They are
+	// not retried and are counted separately from Aborts (which tracks
+	// aborted attempts that go back around the retry loop).
+	UserAborts uint64
 
 	AbortsByKind [3]uint64 // indexed by cm.Kind
 

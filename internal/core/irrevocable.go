@@ -113,6 +113,16 @@ func (ir *Irrevocable) Write(addr mem.Addr, v uint64) {
 	ir.rt.s.Mem.Write(ir.rt.proc, ir.rt.core, addr, v)
 }
 
+// WriteN stores the n-word object vals at base immediately (one batched
+// write-through access; there is no abort).
+func (ir *Irrevocable) WriteN(base mem.Addr, vals []uint64) {
+	addrs := make([]mem.Addr, len(vals))
+	for i := range addrs {
+		addrs[i] = base + mem.Addr(i)
+	}
+	ir.rt.s.Mem.WriteBatch(ir.rt.proc, ir.rt.core, addrs, vals)
+}
+
 // Compute charges local computation time.
 func (ir *Irrevocable) Compute(d sim.Time) { ir.rt.proc.Advance(d.Duration()) }
 

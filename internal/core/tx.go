@@ -91,6 +91,12 @@ type Tx struct {
 	window [2]winEntry // elastic-read validation window (last two reads)
 	nwin   int
 
+	// Deferred side effects (atomic.go): onCommit runs after this attempt
+	// commits, onAbort after it aborts. Each attempt gets a fresh Tx, so
+	// hooks registered by an aborted attempt never leak into the retry.
+	onCommit []func()
+	onAbort  []func()
+
 	// lastGrant is the completion time of the latest successful read,
 	// used by the auditor: a read-only transaction serializes at its last
 	// read, the only instant all of its locks are provably held.
@@ -115,27 +121,52 @@ func (tx *Tx) ReadSetSize() int { return len(tx.reads) }
 func (tx *Tx) WriteSetSize() int { return len(tx.writes) }
 
 // Run executes fn as a Normal transaction, retrying on aborts until it
-// commits. It returns the number of attempts used.
+// commits. It returns the number of attempts the transaction used: 1 when
+// the first attempt committed, 1 + the number of aborted attempts
+// otherwise. Error-based control flow (user aborts, explicit retry) needs
+// Atomic instead; a Tx.Abort inside a Run body panics.
 func (rt *Runtime) Run(fn func(*Tx)) int { return rt.RunKind(Normal, fn) }
 
 // RunKind executes fn as a transaction of the given kind, retrying until
-// commit. Inside fn, transactional reads and writes may abort the attempt by
-// unwinding the stack; fn must therefore be side-effect free apart from Tx
-// accesses and local computation (§2: no side effects in transactions).
+// commit, and returns the attempt count exactly like Run. Inside fn,
+// transactional reads and writes may abort the attempt by unwinding the
+// stack; fn must therefore be side-effect free apart from Tx accesses and
+// local computation (§2: no side effects in transactions) — deferred side
+// effects go through Tx.OnCommit/Tx.OnAbort.
 func (rt *Runtime) RunKind(kind TxKind, fn func(*Tx)) int {
+	attempts, err := rt.runLoop(kind, func(tx *Tx) error {
+		fn(tx)
+		return nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("core: Tx.Abort(%v) inside Run/RunKind; use Atomic for error-based control flow", err))
+	}
+	return attempts
+}
+
+// runLoop is the shared retry loop behind Run, RunKind, and the Atomic
+// family. It executes fn as one transaction of the given kind, retrying
+// conflict aborts (and ErrRetry) until the transaction commits or fn
+// withdraws it with a terminal error. The word-level Run path wraps fn with
+// a nil-returning adapter and performs the exact same sequence of virtual-
+// time advances and random draws it always has.
+func (rt *Runtime) runLoop(kind TxKind, fn func(*Tx) error) (attempts int, userErr error) {
 	rt.local.StartLifespan(rt.proc.Now())
-	attempts := 0
 	var lifeStart sim.Time
 	for {
 		attempts++
 		rt.drainRequests()
 		rt.nextTxID++
 		tx := &Tx{
-			rt:     rt,
-			id:     rt.nextTxID,
-			kind:   kind,
-			reads:  make(map[mem.Addr][]uint64),
-			writes: make(map[mem.Addr][]uint64),
+			rt:    rt,
+			id:    rt.nextTxID,
+			kind:  kind,
+			reads: make(map[mem.Addr][]uint64),
+		}
+		if kind != ReadOnly {
+			// The declared read-only fast path never buffers writes, so it
+			// skips the write-set allocation entirely.
+			tx.writes = make(map[mem.Addr][]uint64)
 		}
 		rt.s.Regs.SetStatusLocal(rt.core, tx.id, mem.TxPending)
 		if attempts == 1 {
@@ -154,13 +185,20 @@ func (rt *Runtime) RunKind(kind TxKind, fn func(*Tx)) int {
 		bound := 257 << uint(min(attempts-1, 6))
 		jitter := time.Duration(rt.proc.Rand().Intn(bound)) * time.Nanosecond
 		rt.proc.Advance(rt.s.compute(rt.s.cfg.Costs.TxBegin + jitter))
-		if rt.attempt(tx, fn) {
+		switch outcome, err := rt.attempt(tx, fn); outcome {
+		case attemptCommitted:
 			rt.local.OnCommit(rt.proc.Now())
 			rt.stats.Commits++
+			if kind == ReadOnly {
+				rt.s.stats.ReadOnlyCommits++
+			}
 			// Lifespan = start of the first attempt to commit, across
 			// aborts — the paper's §4.1 definition.
 			rt.s.TxLifespans.Observe(rt.proc.Now() - lifeStart)
-			return attempts
+			tx.runHooks(tx.onCommit)
+			return attempts, nil
+		case attemptUserAborted:
+			return attempts, err
 		}
 		if backoff := rt.local.OnAbort(); backoff > 0 {
 			rt.proc.Advance(rt.s.compute(backoff))
@@ -169,20 +207,34 @@ func (rt *Runtime) RunKind(kind TxKind, fn func(*Tx)) int {
 	}
 }
 
-func (rt *Runtime) attempt(tx *Tx, fn func(*Tx)) (ok bool) {
+// attemptOutcome classifies one transaction attempt.
+type attemptOutcome uint8
+
+const (
+	attemptCommitted   attemptOutcome = iota // committed; hooks pending
+	attemptAborted                           // conflict abort or ErrRetry: go around the loop
+	attemptUserAborted                       // withdrawn by the user: return the error, no retry
+)
+
+func (rt *Runtime) attempt(tx *Tx, fn func(*Tx) error) (outcome attemptOutcome, userErr error) {
 	defer func() {
 		if r := recover(); r != nil {
-			sig, isAbort := r.(abortSignal)
-			if !isAbort {
+			switch sig := r.(type) {
+			case abortSignal:
+				rt.abortCleanup(tx, sig)
+				outcome, userErr = attemptAborted, nil
+			case userAbortSignal:
+				outcome, userErr = rt.finishUserAbort(tx, sig.err)
+			default:
 				panic(r)
 			}
-			rt.abortCleanup(tx, sig)
-			ok = false
 		}
 	}()
-	fn(tx)
+	if err := fn(tx); err != nil {
+		return rt.finishUserAbort(tx, err)
+	}
 	tx.commit()
-	return true
+	return attemptCommitted, nil
 }
 
 // checkAborted aborts the attempt if a contention manager remotely switched
@@ -290,8 +342,12 @@ func (tx *Tx) Write(addr mem.Addr, v uint64) { tx.WriteN(addr, []uint64{v}) }
 
 // WriteN buffers a write of the n-word object at base (deferred writes,
 // §3.3). Under Eager acquisition the write lock is requested immediately;
-// under Lazy it is deferred to commit.
+// under Lazy it is deferred to commit. Writes are forbidden inside a
+// declared ReadOnly transaction and panic.
 func (tx *Tx) WriteN(base mem.Addr, vals []uint64) {
+	if tx.kind == ReadOnly {
+		panic(fmt.Sprintf("core: write to %#x inside a read-only transaction", uint64(base)))
+	}
 	rt := tx.rt
 	rt.proc.Advance(rt.s.compute(rt.s.cfg.Costs.Wrapper))
 	if rt.s.cfg.Acquire == Eager {
@@ -338,8 +394,13 @@ func (tx *Tx) EarlyRelease(bases ...mem.Addr) {
 
 // commit implements Algorithm 3 (txcommit): acquire the write locks (batched
 // per responsible node unless disabled), switch to the non-abortable
-// committing state, persist the write set, release every lock.
+// committing state, persist the write set, release every lock. Declared
+// read-only transactions branch into the leaner commitReadOnly instead.
 func (tx *Tx) commit() {
+	if tx.kind == ReadOnly {
+		tx.commitReadOnly()
+		return
+	}
 	rt := tx.rt
 	tx.checkAborted()
 	start := rt.proc.Now()
@@ -386,6 +447,24 @@ func (tx *Tx) commit() {
 			instant = tx.lastGrant // read-only: the last read's instant
 		}
 		rt.s.recordCommit(tx, instant)
+	}
+	rt.releaseAll(tx)
+	rt.s.CommitLatency.Observe(rt.proc.Now() - start)
+}
+
+// commitReadOnly is the declared read-only commit: there is no write set to
+// scan, no committing-state CAS, no persist, and no commit-lock machinery —
+// only the fire-and-forget release burst for the read locks, whose validity
+// the read-lock protocol already established. It therefore charges no
+// commit bookkeeping cost: the transaction serializes at its last read, the
+// one instant all of its read locks are provably held.
+func (tx *Tx) commitReadOnly() {
+	rt := tx.rt
+	tx.checkAborted()
+	start := rt.proc.Now()
+	rt.s.Regs.SetStatusLocal(rt.core, tx.id, mem.TxCommitted)
+	if rt.s.audit != nil {
+		rt.s.recordCommit(tx, tx.lastGrant)
 	}
 	rt.releaseAll(tx)
 	rt.s.CommitLatency.Observe(rt.proc.Now() - start)
@@ -515,6 +594,7 @@ func (rt *Runtime) abortCleanup(tx *Tx, sig abortSignal) {
 	if sig.hasKind {
 		rt.s.stats.AbortsByKind[sig.kind]++
 	}
+	tx.runHooks(tx.onAbort)
 }
 
 // releaseAll sends one release message per DTM node covering the attempt's

@@ -7,7 +7,6 @@ import (
 	"repro/internal/apps/bank"
 	"repro/internal/apps/hashset"
 	"repro/internal/core"
-	"repro/internal/mem"
 	"repro/internal/placement"
 )
 
@@ -34,14 +33,13 @@ func ablBatch(sc Scale) []*Table {
 		c.seed = sc.Seed
 		s := c.build()
 		const words = 4096
-		base := s.Mem.Alloc(words, 0)
+		arr := core.NewTArray(s, core.Uint64Codec(), words, 0)
 		s.SpawnWorkers(func(rt *core.Runtime) {
 			r := rt.Rand()
 			for !rt.Stopped() {
 				rt.Run(func(tx *core.Tx) {
 					for i := 0; i < 16; i++ {
-						a := base + mem.Addr(r.Intn(words))
-						tx.Write(a, uint64(i))
+						arr.Set(tx, r.Intn(words), uint64(i))
 					}
 				})
 				rt.AddOps(1)
@@ -103,14 +101,13 @@ func ablRPC(sc Scale) []*Table {
 			c.serialRPC = serial
 			c.seed = sc.Seed
 			s := c.build()
-			base := s.Mem.Alloc(words, 0)
+			arr := core.NewTArray(s, core.Uint64Codec(), words, 0)
 			s.SpawnWorkers(func(rt *core.Runtime) {
 				r := rt.Rand()
 				for !rt.Stopped() {
 					rt.Run(func(tx *core.Tx) {
 						for i := 0; i < 8; i++ {
-							a := base + mem.Addr(r.Intn(words))
-							tx.Write(a, uint64(i))
+							arr.Set(tx, r.Intn(words), uint64(i))
 						}
 					})
 					rt.AddOps(1)

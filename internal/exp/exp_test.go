@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig5a", "fig5b", "fig5c", "fig5d",
 		"fig6a", "fig6b", "fig7a", "fig7b",
 		"fig8a", "fig8b", "fig8c", "fig8d",
-		"ablbatch", "ablpoll", "ablgran", "ablrpc", "ablplace",
+		"ablbatch", "ablpoll", "ablgran", "ablrpc", "ablplace", "ablro",
 		"extskip", "extirrev",
 	}
 	ids := IDs()

@@ -5,7 +5,6 @@ import (
 	"repro/internal/apps/intset"
 	"repro/internal/apps/skiplist"
 	"repro/internal/core"
-	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/sim"
 )
@@ -71,10 +70,7 @@ func extIrrev(sc Scale) []*Table {
 		c := defaultSys(48)
 		c.seed = sc.Seed
 		s := c.build()
-		base := s.Mem.Alloc(accounts, 0)
-		for i := 0; i < accounts; i++ {
-			s.Mem.WriteRaw(base+mem.Addr(i), 1000)
-		}
+		accts := core.NewTArray(s, core.Uint64Codec(), accounts, 1000)
 		s.SpawnWorkers(func(rt *core.Runtime) {
 			r := rt.Rand()
 			for !rt.Stopped() {
@@ -82,17 +78,17 @@ func extIrrev(sc Scale) []*Table {
 				to := (from + 1 + r.Intn(accounts-1)) % accounts
 				if pct > 0 && r.Intn(100) < pct {
 					rt.RunIrrevocable(func(ir *core.Irrevocable) {
-						f := ir.Read(base + mem.Addr(from))
-						tv := ir.Read(base + mem.Addr(to))
-						ir.Write(base+mem.Addr(from), f-1)
-						ir.Write(base+mem.Addr(to), tv+1)
+						f := accts.At(from).GetIr(ir)
+						tv := accts.At(to).GetIr(ir)
+						accts.At(from).SetIr(ir, f-1)
+						accts.At(to).SetIr(ir, tv+1)
 					})
 				} else {
 					rt.Run(func(tx *core.Tx) {
-						f := tx.Read(base + mem.Addr(from))
-						tv := tx.Read(base + mem.Addr(to))
-						tx.Write(base+mem.Addr(from), f-1)
-						tx.Write(base+mem.Addr(to), tv+1)
+						f := accts.Get(tx, from)
+						tv := accts.Get(tx, to)
+						accts.Set(tx, from, f-1)
+						accts.Set(tx, to, tv+1)
 					})
 				}
 				rt.AddOps(1)

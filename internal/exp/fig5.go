@@ -17,9 +17,12 @@ func init() {
 }
 
 // bankRun runs the transactional bank with the given worker assignment.
+// The worker factory runs after the ForceReadOnly default is applied, so an
+// ablation can still pick the balance-scan kind per row.
 func bankRun(sc Scale, c sysConfig, accounts int, worker func(*bank.Bank) func(*core.Runtime)) (*core.Stats, *bank.Bank) {
 	s := c.build()
 	b := bank.New(s, accounts)
+	b.UseReadOnlyBalance(ForceReadOnly)
 	s.SpawnWorkers(worker(b))
 	st := s.Run(sc.Duration)
 	return st, b

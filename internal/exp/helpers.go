@@ -24,6 +24,13 @@ var ForceSerialRPC bool
 // the forced policy.
 var ForcePlacement *placement.Kind
 
+// ForceReadOnly runs every bank balance scan (and zipf hot-read audit) as a
+// declared ReadOnly transaction instead of a Normal one — wired to the
+// -readonly flag of cmd/tm2c-bench for A/B-ing the bank figures against the
+// read-only fast path. The ablro ablation compares both modes itself; under
+// the flag its normal rows degenerate to read-only.
+var ForceReadOnly bool
+
 // sysConfig carries the per-run knobs shared by the experiment helpers.
 type sysConfig struct {
 	pl        noc.Platform

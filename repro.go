@@ -11,24 +11,35 @@
 // models (SCC under its five performance settings, and a 48-core Opteron
 // multi-core).
 //
-// A minimal program:
+// A minimal program, on the typed API (generic TVar/TArray over a word
+// codec, error-based Atomic control flow):
 //
 //	sys, err := repro.NewSystem(repro.Config{Policy: repro.FairCM})
 //	if err != nil { ... }
-//	acct := sys.Mem.Alloc(2, 0)
-//	sys.Mem.WriteRaw(acct, 100)
+//	accts := repro.NewTArray(sys, repro.Uint64Codec(), 2, 100)
 //	sys.SpawnWorkers(func(rt *repro.Runtime) {
 //		for !rt.Stopped() {
-//			rt.Run(func(tx *repro.Tx) {
-//				v := tx.Read(acct)
-//				tx.Write(acct, v+1)
+//			err := rt.Atomic(func(tx *repro.Tx) error {
+//				from := accts.Get(tx, 0)
+//				if from == 0 {
+//					tx.Abort(errors.New("insufficient funds")) // no retry
+//				}
+//				accts.Set(tx, 0, from-1)
+//				accts.Set(tx, 1, accts.Get(tx, 1)+1)
+//				return nil
 //			})
+//			_ = err
 //			rt.AddOps(1)
 //		}
 //	})
 //	stats := sys.Run(10 * time.Millisecond)
 //	fmt.Printf("%.1f ops/ms, %.1f%% commit rate\n",
 //		stats.Throughput(), stats.CommitRate())
+//
+// The word-level API (Tx.Read/Write over raw Addr, Runtime.Run) remains
+// fully supported as the low-level substrate underneath the typed layer.
+// Declared read-only transactions (Runtime.RunReadOnly/AtomicReadOnly) skip
+// the whole commit-time write machinery and serialize at their last read.
 //
 // Time inside a System is virtual: Run executes the workload on a
 // deterministic discrete-event simulation of the target platform, so results
@@ -102,12 +113,92 @@ const (
 	Eager = core.Eager
 )
 
-// Transaction kinds (§3.3, §6).
+// Transaction kinds (§3.3, §6). ReadOnly is the declared read-only kind:
+// writes panic, the commit-time lock machinery is skipped entirely, and
+// commits are counted in Stats.ReadOnlyCommits.
 const (
 	Normal       = core.Normal
 	ElasticEarly = core.ElasticEarly
 	ElasticRead  = core.ElasticRead
+	ReadOnly     = core.ReadOnly
 )
+
+// Typed transactional layer: generic typed variables and arrays over the
+// word-level substrate. See core.TVar for the full semantics.
+type (
+	// TVar is a typed transactional variable over one fixed-size object.
+	TVar[T any] = core.TVar[T]
+	// TArray is a typed transactional array of independently locked
+	// elements.
+	TArray[T any] = core.TArray[T]
+	// WordCodec translates T to and from a fixed number of 64-bit words.
+	WordCodec[T any] = core.WordCodec[T]
+)
+
+// Atomic control-flow errors (see Runtime.Atomic and Tx.Abort).
+var (
+	// ErrRetry, returned from an Atomic body, aborts the attempt and
+	// retries it after the contention manager's backoff.
+	ErrRetry = core.ErrRetry
+	// ErrAborted is returned by Atomic for a Tx.Abort(nil).
+	ErrAborted = core.ErrAborted
+)
+
+// Built-in word codecs.
+func Uint64Codec() WordCodec[uint64] { return core.Uint64Codec() }
+
+// Int64Codec returns the codec for a single int64.
+func Int64Codec() WordCodec[int64] { return core.Int64Codec() }
+
+// BoolCodec returns the codec for a bool.
+func BoolCodec() WordCodec[bool] { return core.BoolCodec() }
+
+// AddrCodec returns the codec for a shared-memory address (pointer field).
+func AddrCodec() WordCodec[Addr] { return core.AddrCodec() }
+
+// FuncCodec builds a WordCodec from explicit encode/decode functions — for
+// fixed-size application structs.
+func FuncCodec[T any](words int, enc func(v T, dst []uint64), dec func(src []uint64) T) WordCodec[T] {
+	return core.FuncCodec(words, enc, dec)
+}
+
+// NewTVar allocates a typed transactional variable behind memory
+// controller 0 and raw-writes init.
+func NewTVar[T any](sys *System, c WordCodec[T], init T) TVar[T] {
+	return core.NewTVar(sys, c, init)
+}
+
+// NewTVarAt allocates a TVar behind an explicit memory controller.
+func NewTVarAt[T any](sys *System, c WordCodec[T], mc int, init T) TVar[T] {
+	return core.NewTVarAt(sys, c, mc, init)
+}
+
+// NewTVarNear allocates a TVar behind the memory controller closest to
+// core — the §5.2 data-placement hint, expressed in the allocation API.
+func NewTVarNear[T any](sys *System, c WordCodec[T], coreID int, init T) TVar[T] {
+	return core.NewTVarNear(sys, c, coreID, init)
+}
+
+// TVarAt views an existing allocation at base as a TVar.
+func TVarAt[T any](sys *System, c WordCodec[T], base Addr) TVar[T] {
+	return core.TVarAt(sys, c, base)
+}
+
+// NewTArray allocates a typed transactional array behind memory
+// controller 0, raw-writing init into every element.
+func NewTArray[T any](sys *System, c WordCodec[T], n int, init T) TArray[T] {
+	return core.NewTArray(sys, c, n, init)
+}
+
+// NewTArrayAt allocates the array behind an explicit memory controller.
+func NewTArrayAt[T any](sys *System, c WordCodec[T], n, mc int, init T) TArray[T] {
+	return core.NewTArrayAt(sys, c, n, mc, init)
+}
+
+// NewTArrayNear allocates the array behind the controller closest to core.
+func NewTArrayNear[T any](sys *System, c WordCodec[T], n, coreID int, init T) TArray[T] {
+	return core.NewTArrayNear(sys, c, n, coreID, init)
+}
 
 // Contention managers (§4).
 const (
