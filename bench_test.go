@@ -35,7 +35,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	var firstVal float64
 	for i := 0; i < b.N; i++ {
-		tables := e.Run(benchScale)
+		tables := e.Run(benchScale, exp.Overrides{})
 		if len(tables) == 0 || len(tables[0].Rows) == 0 {
 			b.Fatalf("%s produced no data", id)
 		}

@@ -10,6 +10,8 @@
 //	tm2c-bench -run fig5a -serialrpc
 //	tm2c-bench -run ablplace -placement adaptive
 //	tm2c-bench -run ablro -readonly
+//	tm2c-bench -run fig5a -scale quick -backend live
+//	tm2c-bench -run fig5a -json results/
 //
 // Scales: quick (seconds), default (a few minutes), full (closest to the
 // paper's parameters; tens of minutes). Results print as aligned text
@@ -20,18 +22,39 @@
 // experiment; the ablplace ablation compares the three policies directly.
 // -readonly runs every bank balance scan as a declared read-only
 // transaction; the ablro ablation compares the two kinds directly.
+// -backend selects the execution backend: the deterministic simulator
+// (sim, the default; durations are virtual and reproducible) or the
+// real-concurrency goroutine backend (live; durations are wall-clock and
+// throughput columns read operations per wall millisecond). -json writes
+// one machine-readable BENCH_<id>.json per experiment into the given
+// directory, seeding the bench trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/placement"
 )
+
+// benchResult is the schema of one BENCH_<id>.json file.
+type benchResult struct {
+	ID             string       `json:"id"`
+	Title          string       `json:"title"`
+	Backend        string       `json:"backend"`
+	Scale          string       `json:"scale"`
+	Seed           uint64       `json:"seed"`
+	ThroughputUnit string       `json:"throughput_unit"`
+	ElapsedMS      int64        `json:"elapsed_ms"`
+	Tables         []*exp.Table `json:"tables"`
+}
 
 func main() {
 	var (
@@ -43,19 +66,29 @@ func main() {
 		serialRPC  = flag.Bool("serialrpc", false, "force serial (non-scatter-gather) commit lock acquisition in every experiment")
 		placementF = flag.String("placement", "", "force a placement policy (hash | range | adaptive) in every experiment")
 		readonly   = flag.Bool("readonly", false, "run every bank balance scan as a declared read-only transaction")
+		backendF   = flag.String("backend", "sim", "execution backend: sim (deterministic simulator) | live (real goroutines, wall-clock)")
+		jsonDir    = flag.String("json", "", "directory to write one BENCH_<id>.json per experiment into")
 		timings    = flag.Bool("timings", false, "print wall-clock time per experiment")
 	)
 	flag.Parse()
-	exp.ForceSerialRPC = *serialRPC
-	exp.ForceReadOnly = *readonly
+
+	var ov exp.Overrides
+	ov.SerialRPC = *serialRPC
+	ov.ReadOnly = *readonly
 	if *placementF != "" {
 		k, err := placement.Parse(*placementF)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tm2c-bench: %v\n", err)
 			os.Exit(2)
 		}
-		exp.ForcePlacement = &k
+		ov.Placement = &k
 	}
+	backend, err := core.ParseBackend(*backendF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tm2c-bench: %v\n", err)
+		os.Exit(2)
+	}
+	ov.Backend = backend
 
 	if *list {
 		for _, e := range exp.All {
@@ -78,6 +111,17 @@ func main() {
 	}
 	sc.Seed = *seed
 
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "tm2c-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	unit := "ops/vms" // operations per virtual millisecond
+	if backend == core.BackendLive {
+		unit = "ops/ms" // operations per wall-clock millisecond
+	}
+
 	var ids []string
 	if *run == "all" {
 		ids = exp.IDs()
@@ -91,7 +135,8 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
-		tables := e.Run(sc)
+		tables := e.Run(sc, ov)
+		elapsed := time.Since(start)
 		for _, t := range tables {
 			if *csv {
 				fmt.Printf("# %s — %s\n", t.ID, t.Title)
@@ -101,8 +146,37 @@ func main() {
 				t.Render(os.Stdout)
 			}
 		}
+		if *jsonDir != "" {
+			// Stamp the backend that actually produced the numbers: a few
+			// experiments (fig8a's ping-pong, the settings table) measure
+			// the simulator's timing model and ignore -backend entirely.
+			resBackend, resUnit := backend.String(), unit
+			if e.SimOnly {
+				resBackend, resUnit = core.BackendSim.String(), "ops/vms"
+			}
+			res := benchResult{
+				ID:             e.ID,
+				Title:          e.Title,
+				Backend:        resBackend,
+				Scale:          *scale,
+				Seed:           *seed,
+				ThroughputUnit: resUnit,
+				ElapsedMS:      elapsed.Milliseconds(),
+				Tables:         tables,
+			}
+			path := filepath.Join(*jsonDir, fmt.Sprintf("BENCH_%s.json", e.ID))
+			buf, err := json.MarshalIndent(&res, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tm2c-bench: marshal %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "tm2c-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		if *timings {
-			fmt.Fprintf(os.Stderr, "[%s took %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "[%s took %v]\n", e.ID, elapsed.Round(time.Millisecond))
 		}
 	}
 }

@@ -8,6 +8,7 @@
 //	tm2c-sim -app list -mode elastic-read -platform opteron
 //	tm2c-sim -app hashset -deployment multitask -update 50
 //	tm2c-sim -app mapreduce -size 4194304 -chunk 8192
+//	tm2c-sim -app bank -backend live -duration 50ms
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 		place    = flag.String("placement", "hash", "hash | range | adaptive object→DTM-node placement")
 		epoch    = flag.Int("epoch", 0, "adaptive placement: lock accesses per repartition epoch (0 = default)")
 		platform = flag.String("platform", "scc", "scc | scc800 | opteron | scc:N (setting N)")
+		backendF = flag.String("backend", "sim", "execution backend: sim (deterministic, virtual time) | live (real goroutines, wall-clock)")
 		duration = flag.Duration("duration", 20*time.Millisecond, "virtual run length")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 
@@ -61,7 +63,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	backend, err := repro.ParseBackend(*backendF)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := repro.Config{
+		Backend:          backend,
 		Seed:             *seed,
 		TotalCores:       *cores,
 		ServiceCores:     *svc,
@@ -175,7 +182,12 @@ func report(sys *repro.System, st *repro.Stats) {
 	fmt.Printf("cores               %d (%d app + %d service, %v)\n",
 		cfg.TotalCores, sys.NumAppCores(), sys.NumServiceCores(), cfg.Deployment)
 	fmt.Printf("contention manager  %v\n", cfg.Policy)
-	fmt.Printf("virtual duration    %v\n", st.Duration)
+	fmt.Printf("backend             %v\n", cfg.Backend)
+	if cfg.Backend == repro.BackendLive {
+		fmt.Printf("wall duration       %v\n", st.Duration)
+	} else {
+		fmt.Printf("virtual duration    %v\n", st.Duration)
+	}
 	fmt.Printf("throughput          %.2f ops/ms\n", st.Throughput())
 	fmt.Printf("commits / aborts    %d / %d (commit rate %.1f%%)\n", st.Commits, st.Aborts, st.CommitRate())
 	fmt.Printf("read-only commits   %d (declared read-only transactions; zero write-lock traffic)\n", st.ReadOnlyCommits)
@@ -207,7 +219,9 @@ func report(sys *repro.System, st *repro.Stats) {
 	if sys.CommitLatency.Count() > 0 {
 		fmt.Printf("commit latency      %s\n", sys.CommitLatency.String())
 	}
-	fmt.Printf("kernel events       %d\n", sys.K.EventsRun())
+	if sys.K != nil {
+		fmt.Printf("kernel events       %d\n", sys.K.EventsRun())
+	}
 }
 
 func fatal(err error) {

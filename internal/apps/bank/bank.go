@@ -115,7 +115,7 @@ func NewGlobalLock(sys *core.System) *GlobalLock {
 }
 
 // Acquire spins on the remote register with randomized exponential backoff.
-func (l *GlobalLock) Acquire(p *sim.Proc, coreID int) {
+func (l *GlobalLock) Acquire(p core.Port, coreID int) {
 	backoff := 2 * time.Microsecond
 	for l.sys.Regs.TAS(p, coreID, l.reg) {
 		p.Advance(time.Duration(p.Rand().Int63() % int64(backoff)))
@@ -126,13 +126,13 @@ func (l *GlobalLock) Acquire(p *sim.Proc, coreID int) {
 }
 
 // Release clears the lock.
-func (l *GlobalLock) Release(p *sim.Proc, coreID int) {
+func (l *GlobalLock) Release(p core.Port, coreID int) {
 	l.sys.Regs.TASRelease(p, coreID, l.reg)
 }
 
 // LockTransfer is the lock-based transfer: four shared-memory accesses under
 // the global lock.
-func (b *Bank) LockTransfer(l *GlobalLock, p *sim.Proc, coreID, from, to int, amount uint64) {
+func (b *Bank) LockTransfer(l *GlobalLock, p core.Port, coreID, from, to int, amount uint64) {
 	l.Acquire(p, coreID)
 	f := b.accts.At(from).GetDirect(p, coreID)
 	t := b.accts.At(to).GetDirect(p, coreID)
@@ -142,7 +142,7 @@ func (b *Bank) LockTransfer(l *GlobalLock, p *sim.Proc, coreID, from, to int, am
 }
 
 // LockBalance is the lock-based balance scan.
-func (b *Bank) LockBalance(l *GlobalLock, p *sim.Proc, coreID int) uint64 {
+func (b *Bank) LockBalance(l *GlobalLock, p core.Port, coreID int) uint64 {
 	l.Acquire(p, coreID)
 	var sum uint64
 	for i := 0; i < b.n; i++ {
@@ -154,7 +154,7 @@ func (b *Bank) LockBalance(l *GlobalLock, p *sim.Proc, coreID int) uint64 {
 
 // SeqTransfer is the bare sequential transfer (no synchronization; valid
 // only single-core).
-func (b *Bank) SeqTransfer(p *sim.Proc, coreID, from, to int, amount uint64) {
+func (b *Bank) SeqTransfer(p core.Port, coreID, from, to int, amount uint64) {
 	f := b.accts.At(from).GetDirect(p, coreID)
 	t := b.accts.At(to).GetDirect(p, coreID)
 	b.accts.At(from).SetDirect(p, coreID, f-amount)
@@ -162,7 +162,7 @@ func (b *Bank) SeqTransfer(p *sim.Proc, coreID, from, to int, amount uint64) {
 }
 
 // SeqBalance is the bare sequential balance scan.
-func (b *Bank) SeqBalance(p *sim.Proc, coreID int) uint64 {
+func (b *Bank) SeqBalance(p core.Port, coreID int) uint64 {
 	var sum uint64
 	for i := 0; i < b.n; i++ {
 		sum += b.accts.At(i).GetDirect(p, coreID)

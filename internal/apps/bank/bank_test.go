@@ -62,7 +62,7 @@ func TestLockBasedConservationAndMutualExclusion(t *testing.T) {
 	s := newSys(t, nil)
 	b := New(s, 12)
 	l := NewGlobalLock(s)
-	s.SpawnRaw(func(p *sim.Proc, coreID int) {
+	s.SpawnRaw(func(p core.Port, coreID int) {
 		r := p.Rand()
 		for i := 0; i < 25; i++ {
 			if i%6 == 0 {
@@ -88,7 +88,7 @@ func TestLockBasedConservationAndMutualExclusion(t *testing.T) {
 func TestSequentialVariant(t *testing.T) {
 	s := newSys(t, func(c *core.Config) { c.TotalCores = 2; c.ServiceCores = 1 })
 	b := New(s, 6)
-	s.SpawnRaw(func(p *sim.Proc, coreID int) {
+	s.SpawnRaw(func(p core.Port, coreID int) {
 		b.SeqTransfer(p, coreID, 0, 1, 100)
 		if got := b.SeqBalance(p, coreID); got != b.Total() {
 			t.Errorf("seq balance = %d, want %d", got, b.Total())
@@ -154,7 +154,7 @@ func TestGlobalLockSerializes(t *testing.T) {
 	l := NewGlobalLock(s)
 	ctr := s.Mem.Alloc(1, 0)
 	const perCore = 20
-	s.SpawnRaw(func(p *sim.Proc, coreID int) {
+	s.SpawnRaw(func(p core.Port, coreID int) {
 		for i := 0; i < perCore; i++ {
 			l.Acquire(p, coreID)
 			v := s.Mem.Read(p, coreID, ctr)

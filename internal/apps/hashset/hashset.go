@@ -247,7 +247,7 @@ func (s *Set) Move(rt *core.Runtime, from, to uint64) bool {
 // Sequential variants: identical logic over raw memory with latency charged
 // through mem.Read/ReadBatch, without any locking.
 
-func (s *Set) seqLocate(p *sim.Proc, coreID int, key uint64) (bucket core.TVar[mem.Addr], prev, cur mem.Addr, curKey uint64) {
+func (s *Set) seqLocate(p core.Port, coreID int, key uint64) (bucket core.TVar[mem.Addr], prev, cur mem.Addr, curKey uint64) {
 	bucket = s.bucketVar(key)
 	cur = bucket.GetDirect(p, coreID)
 	for cur != 0 {
@@ -263,14 +263,14 @@ func (s *Set) seqLocate(p *sim.Proc, coreID int, key uint64) (bucket core.TVar[m
 }
 
 // SeqContains is the bare sequential contains.
-func (s *Set) SeqContains(p *sim.Proc, coreID int, key uint64) bool {
+func (s *Set) SeqContains(p core.Port, coreID int, key uint64) bool {
 	p.Advance(s.sys.Platform().Compute(OpBaseCompute))
 	_, _, cur, curKey := s.seqLocate(p, coreID, key)
 	return cur != 0 && curKey == key
 }
 
 // SeqAdd is the bare sequential add.
-func (s *Set) SeqAdd(p *sim.Proc, coreID int, key uint64) bool {
+func (s *Set) SeqAdd(p core.Port, coreID int, key uint64) bool {
 	p.Advance(s.sys.Platform().Compute(OpBaseCompute))
 	bucket, prev, cur, curKey := s.seqLocate(p, coreID, key)
 	if cur != 0 && curKey == key {
@@ -291,7 +291,7 @@ func (s *Set) SeqAdd(p *sim.Proc, coreID int, key uint64) bool {
 }
 
 // SeqRemove is the bare sequential remove.
-func (s *Set) SeqRemove(p *sim.Proc, coreID int, key uint64) bool {
+func (s *Set) SeqRemove(p core.Port, coreID int, key uint64) bool {
 	p.Advance(s.sys.Platform().Compute(OpBaseCompute))
 	bucket, prev, cur, curKey := s.seqLocate(p, coreID, key)
 	if cur == 0 || curKey != key {
@@ -345,7 +345,7 @@ func (s *Set) RunOp(rt *core.Runtime, r *sim.Rand, w Workload) {
 }
 
 // SeqOp executes one randomly drawn sequential operation.
-func (s *Set) SeqOp(p *sim.Proc, coreID int, r *sim.Rand, w Workload) {
+func (s *Set) SeqOp(p core.Port, coreID int, r *sim.Rand, w Workload) {
 	key := r.Uint64()%w.KeyRange + 1
 	roll := r.Intn(100)
 	switch {

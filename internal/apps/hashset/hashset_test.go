@@ -112,7 +112,7 @@ func TestSeqOpsMatchModel(t *testing.T) {
 	s := newSys(t, 2)
 	set := New(s, 8)
 	model := make(map[uint64]bool)
-	s.SpawnRaw(func(p *sim.Proc, coreID int) {
+	s.SpawnRaw(func(p core.Port, coreID int) {
 		r := p.Rand()
 		for i := 0; i < 150; i++ {
 			key := r.Uint64()%64 + 1

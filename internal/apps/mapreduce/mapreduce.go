@@ -151,7 +151,7 @@ func (j *Job) Worker(rt *core.Runtime) int {
 // L1 chunk penalty — those are artifacts of the parallel version's
 // chunk-at-a-time processing — so the chunk-size trade-off of Figure 6(b)
 // shows up in the speedups, as in the paper.
-func (j *Job) Sequential(p *sim.Proc, coreID int) sim.Time {
+func (j *Job) Sequential(p core.Port, coreID int) sim.Time {
 	start := p.Now()
 	var total Histogram
 	for off := 0; off < j.size; off += j.chunk {

@@ -55,7 +55,7 @@ func TestSequentialMatchesExpected(t *testing.T) {
 	s := newSys(t, 2, 1)
 	j := NewJob(s, 7, 32<<10, 8<<10)
 	var dur sim.Time
-	s.SpawnRaw(func(p *sim.Proc, coreID int) {
+	s.SpawnRaw(func(p core.Port, coreID int) {
 		dur = j.Sequential(p, coreID)
 	})
 	s.RunToCompletion()

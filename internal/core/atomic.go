@@ -83,7 +83,7 @@ func (rt *Runtime) finishUserAbort(tx *Tx, err error) (attemptOutcome, error) {
 	}
 	rt.s.Regs.SetStatusLocal(rt.core, tx.id, mem.TxAborted)
 	rt.releaseAll(tx)
-	rt.s.stats.UserAborts++
+	rt.shard.UserAborts++
 	tx.runHooks(tx.onAbort)
 	return attemptUserAborted, err
 }

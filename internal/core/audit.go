@@ -47,8 +47,15 @@ type auditor struct {
 	seq     uint64
 }
 
-// EnableAudit switches on commit recording. Call before SpawnWorkers.
+// EnableAudit switches on commit recording. Call before SpawnWorkers. The
+// audit is a sim-backend facility: it replays commits in their exact
+// recorded order, which only exists under the deterministic kernel. Live
+// runs are checked with invariants instead (conservation, lock-table
+// emptiness at quiesce; see internal/live's tests).
 func (s *System) EnableAudit() {
+	if s.cfg.Backend == BackendLive {
+		panic("core: EnableAudit requires the sim backend (live runs have no global commit order to replay)")
+	}
 	if s.audit == nil {
 		s.audit = &auditor{}
 	}

@@ -21,6 +21,43 @@ import (
 	"repro/internal/sim"
 )
 
+// Backend selects the execution backend a System runs on. The whole DTM
+// protocol is written against the Port interface, so the same code runs on
+// either backend; what changes is what a "core" physically is and what time
+// means. See the package comments of internal/sim and internal/live.
+type Backend uint8
+
+const (
+	// BackendSim (the default) runs on the deterministic discrete-event
+	// simulator: virtual time, modeled platform latencies, bit-for-bit
+	// reproducible for a given seed, full serializability audit available.
+	BackendSim Backend = iota
+	// BackendLive runs every application core and DTM node as a real
+	// goroutine: wall-clock time, channel messaging, hardware speed.
+	// Interleavings are scheduler-dependent, so runs are not reproducible
+	// and the audit is unavailable; correctness is checked with invariants
+	// (conservation, lock-table emptiness at quiesce, -race).
+	BackendLive
+)
+
+func (b Backend) String() string {
+	if b == BackendLive {
+		return "live"
+	}
+	return "sim"
+}
+
+// ParseBackend parses a backend name (sim|live).
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "sim":
+		return BackendSim, nil
+	case "live":
+		return BackendLive, nil
+	}
+	return BackendSim, fmt.Errorf("core: unknown backend %q (want sim|live)", s)
+}
+
 // Deployment selects how the APP and DTM services share the cores (§3.1).
 type Deployment uint8
 
@@ -125,8 +162,13 @@ var DefaultCosts = Costs{
 
 // Config describes one TM2C system instance.
 type Config struct {
-	// Platform is the timing model (default: SCC setting 0).
+	// Platform is the timing model (default: SCC setting 0). On the live
+	// backend it still shapes the workload topology (core counts, memory
+	// regions) but its latencies are not charged.
 	Platform noc.Platform
+	// Backend selects the execution backend: the deterministic simulator
+	// (default) or the real-concurrency goroutine backend.
+	Backend Backend
 	// Seed drives all pseudo-randomness.
 	Seed uint64
 	// TotalCores is the number of cores used (default: all platform cores).
@@ -171,6 +213,9 @@ type Config struct {
 }
 
 func (c *Config) normalize() error {
+	if c.Backend > BackendLive {
+		return fmt.Errorf("core: unknown backend %d", c.Backend)
+	}
 	if c.Platform.NumCores() == 0 {
 		c.Platform = noc.SCC(0)
 	}
@@ -270,10 +315,37 @@ type Stats struct {
 	// extension).
 	Irrevocables uint64
 
-	// Run length (virtual).
+	// Run length: virtual on the sim backend, wall-clock on live.
 	Duration sim.Time
 
 	PerCore []CoreStats
+}
+
+// addShard folds one execution context's counter shard into s. Every
+// runtime and DTM node accumulates into its own shard — the only thing
+// that makes the live backend's concurrent increments race-free — and the
+// post-quiesce snapshot merges them here. All fields are sums, so the
+// merged totals are independent of merge order and bit-identical to the
+// old single-struct accumulation on the sim backend.
+func (s *Stats) addShard(o *Stats) {
+	s.ReadOnlyCommits += o.ReadOnlyCommits
+	s.UserAborts += o.UserAborts
+	for i, v := range o.AbortsByKind {
+		s.AbortsByKind[i] += v
+	}
+	s.Msgs += o.Msgs
+	s.MsgBytes += o.MsgBytes
+	s.ReadLockReqs += o.ReadLockReqs
+	s.WriteLockReqs += o.WriteLockReqs
+	s.ReleaseMsgs += o.ReleaseMsgs
+	s.EarlyReleases += o.EarlyReleases
+	s.Responses += o.Responses
+	s.CommitRoundTrips += o.CommitRoundTrips
+	s.Conflicts += o.Conflicts
+	s.Revocations += o.Revocations
+	s.StaleNacks += o.StaleNacks
+	s.PlacementAborts += o.PlacementAborts
+	s.Irrevocables += o.Irrevocables
 }
 
 // CoreStats is the per-application-core breakdown.

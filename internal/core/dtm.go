@@ -8,12 +8,18 @@ import (
 	"repro/internal/cm"
 	"repro/internal/dslock"
 	"repro/internal/mem"
-	"repro/internal/sim"
+	"repro/internal/port"
 )
 
 // dtmNode is one DTM service node: it owns the lock table for the slice of
 // the address space the placement directory maps to it and arbitrates
 // conflicts through the configured contention manager (§3.2).
+//
+// All of a node's mutable state — lock table, exclusivity token, counter
+// shard — is touched only from its serving execution context: the dedicated
+// service port's goroutine, or the co-located application port under
+// Multitask. That single-writer discipline is what lets the node run
+// lock-free on the live backend.
 type dtmNode struct {
 	s     *System
 	idx   int
@@ -21,6 +27,7 @@ type dtmNode struct {
 	table *dslock.Table
 	excl  exclState // irrevocable-transaction exclusivity token
 	reqs  uint64    // requests served (Stats.NodeLoad)
+	shard Stats     // this node's counters, merged at snapshot
 
 	// Drained-stripe scan gate (maybeHandoffs): the directory freeze
 	// generation covered by the last tryHandoffs scan, and whether the lock
@@ -30,8 +37,8 @@ type dtmNode struct {
 }
 
 // serveLoop is the dedicated-deployment service loop: receive, handle,
-// repeat. The proc is reclaimed by the kernel at shutdown.
-func (n *dtmNode) serveLoop(p *sim.Proc) {
+// repeat. The port is reclaimed by the backend at shutdown.
+func (n *dtmNode) serveLoop(p port.Port) {
 	for {
 		m := p.Recv()
 		n.handle(p, m)
@@ -41,7 +48,7 @@ func (n *dtmNode) serveLoop(p *sim.Proc) {
 // handle dispatches one incoming message. It returns true if the message
 // was a DTM request (the multitask await loop uses this to distinguish
 // requests from transaction responses).
-func (n *dtmNode) handle(p *sim.Proc, m sim.Msg) bool {
+func (n *dtmNode) handle(p port.Port, m port.Msg) bool {
 	switch r := m.Payload.(type) {
 	case *reqReadLock:
 		n.switchIn(p)
@@ -72,7 +79,7 @@ func (n *dtmNode) handle(p *sim.Proc, m sim.Msg) bool {
 
 // switchIn charges the coroutine-switch cost of serving a request on a
 // multitasked core (§3.1/Figure 2); dedicated service cores pay nothing.
-func (n *dtmNode) switchIn(p *sim.Proc) {
+func (n *dtmNode) switchIn(p port.Port) {
 	if n.s.cfg.Deployment == Multitask {
 		p.Advance(n.s.compute(n.s.cfg.Costs.MultitaskSwitch))
 	}
@@ -140,15 +147,15 @@ func (n *dtmNode) tryHandoffs() {
 
 // nackStale rejects a lock request whose placement resolution went stale;
 // the requester re-resolves against the directory and retries.
-func (n *dtmNode) nackStale(p *sim.Proc, reply *sim.Proc, replyTo int, reqID uint64) {
-	n.s.stats.StaleNacks++
+func (n *dtmNode) nackStale(p port.Port, reply port.Port, replyTo int, reqID uint64) {
+	n.shard.StaleNacks++
 	n.respond(p, reply, replyTo, &respLock{ReqID: reqID, Stale: true})
 }
 
 // handleReadLock implements Algorithm 1 (dsl_read_lock) plus the revocation
 // protocol: on a RAW conflict the contention manager either aborts the
 // requester or remotely aborts the writer and steals its lock.
-func (n *dtmNode) handleReadLock(p *sim.Proc, r *reqReadLock) {
+func (n *dtmNode) handleReadLock(p port.Port, r *reqReadLock) {
 	c := n.s.cfg.Costs
 	p.Advance(n.s.compute(c.SvcBase + c.SvcLock))
 	if !n.placeOK(r.Epoch, r.Addr) {
@@ -170,7 +177,7 @@ func (n *dtmNode) handleReadLock(p *sim.Proc, r *reqReadLock) {
 			n.respond(p, r.Reply, r.ReplyTo, &respLock{ReqID: r.ReqID, OK: true})
 			return
 		}
-		n.s.stats.Conflicts++
+		n.shard.Conflicts++
 		if n.s.cfg.Policy.Resolve(meta, conf.Enemies, conf.Kind) == cm.AbortRequester ||
 			!n.abortEnemies(p, r.Addr, conf.Enemies) {
 			n.respond(p, r.Reply, r.ReplyTo, &respLock{ReqID: r.ReqID, OK: false, Kind: conf.Kind})
@@ -185,7 +192,7 @@ func (n *dtmNode) handleReadLock(p *sim.Proc, r *reqReadLock) {
 // objects. Either every lock in the batch is acquired or none: on failure
 // the batch's own acquisitions are rolled back before the conflict reply, so
 // the requester never holds partial state it does not know about.
-func (n *dtmNode) handleWriteLock(p *sim.Proc, r *reqWriteLock) {
+func (n *dtmNode) handleWriteLock(p port.Port, r *reqWriteLock) {
 	c := n.s.cfg.Costs
 	p.Advance(n.s.compute(c.SvcBase + c.SvcLock*time.Duration(len(r.Addrs))))
 	if !n.placeOK(r.Epoch, r.Addrs...) {
@@ -207,7 +214,7 @@ func (n *dtmNode) handleWriteLock(p *sim.Proc, r *reqWriteLock) {
 				acquired = append(acquired, addr)
 				break
 			}
-			n.s.stats.Conflicts++
+			n.shard.Conflicts++
 			if n.s.cfg.Policy.Resolve(meta, conf.Enemies, conf.Kind) == cm.AbortRequester ||
 				!n.abortEnemies(p, addr, conf.Enemies) {
 				for _, a := range acquired {
@@ -226,12 +233,12 @@ func (n *dtmNode) handleWriteLock(p *sim.Proc, r *reqWriteLock) {
 // atomically switched from pending to aborted"). It returns false if any
 // enemy has already entered its commit phase (TxCommitting) and is therefore
 // no longer abortable; stale locks left by finished attempts are revoked.
-func (n *dtmNode) abortEnemies(p *sim.Proc, addr mem.Addr, enemies []cm.Meta) bool {
+func (n *dtmNode) abortEnemies(p port.Port, addr mem.Addr, enemies []cm.Meta) bool {
 	for _, e := range enemies {
 		swapped, obsID, obsState := n.s.Regs.CASStatusRemoteObserve(
 			p, n.core, e.Core, e.TxID, mem.TxPending, mem.TxAborted)
 		if swapped {
-			n.s.stats.Revocations++
+			n.shard.Revocations++
 			n.table.Revoke(addr, e.Core, e.TxID)
 			n.shrunk = true
 			continue
@@ -251,7 +258,7 @@ func (n *dtmNode) abortEnemies(p *sim.Proc, addr mem.Addr, enemies []cm.Meta) bo
 	return true
 }
 
-func (n *dtmNode) handleRelease(p *sim.Proc, r *relLocks) {
+func (n *dtmNode) handleRelease(p port.Port, r *relLocks) {
 	c := n.s.cfg.Costs
 	ops := len(r.ReadAddrs) + len(r.WriteAddrs)
 	p.Advance(n.s.compute(c.SvcBase + c.SvcRelease*time.Duration(ops)))
@@ -267,7 +274,7 @@ func (n *dtmNode) handleRelease(p *sim.Proc, r *relLocks) {
 	n.maybeHandoffs()
 }
 
-func (n *dtmNode) handleEarlyRelease(p *sim.Proc, r *earlyRelease) {
+func (n *dtmNode) handleEarlyRelease(p port.Port, r *earlyRelease) {
 	c := n.s.cfg.Costs
 	p.Advance(n.s.compute(c.SvcBase + c.SvcRelease*time.Duration(len(r.Addrs))))
 	for _, a := range r.Addrs {
@@ -277,10 +284,10 @@ func (n *dtmNode) handleEarlyRelease(p *sim.Proc, r *earlyRelease) {
 	n.maybeHandoffs()
 }
 
-func (n *dtmNode) respond(p *sim.Proc, reply *sim.Proc, replyCore int, resp *respLock) {
+func (n *dtmNode) respond(p port.Port, reply port.Port, replyCore int, resp *respLock) {
 	if reply == nil {
 		panic(fmt.Sprintf("core: dtm%d response with no reply proc", n.core))
 	}
-	n.s.stats.Responses++
-	n.s.send(p, n.core, reply, replyCore, resp, msgRespBytes)
+	n.shard.Responses++
+	n.s.send(&n.shard, p, n.core, reply, replyCore, resp, msgRespBytes)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/port"
 	"repro/internal/sim"
 )
 
@@ -26,7 +27,7 @@ import (
 type reqExclusive struct {
 	Core  int
 	TxID  uint64
-	Reply *sim.Proc
+	Reply port.Port
 }
 
 func (r *reqExclusive) bytes() int { return msgHeaderBytes + 16 }
@@ -57,7 +58,7 @@ type exclState struct {
 func (e *exclState) blocked() bool { return e.held || len(e.queue) > 0 }
 
 // handleExclusive enqueues or immediately grants a token request.
-func (n *dtmNode) handleExclusive(p *sim.Proc, r *reqExclusive) {
+func (n *dtmNode) handleExclusive(p port.Port, r *reqExclusive) {
 	c := n.s.cfg.Costs
 	p.Advance(n.s.compute(c.SvcBase))
 	n.excl.queue = append(n.excl.queue, r)
@@ -65,7 +66,7 @@ func (n *dtmNode) handleExclusive(p *sim.Proc, r *reqExclusive) {
 }
 
 // handleExclusiveRelease returns the token and hands it to the next waiter.
-func (n *dtmNode) handleExclusiveRelease(p *sim.Proc, r *relExclusive) {
+func (n *dtmNode) handleExclusiveRelease(p port.Port, r *relExclusive) {
 	c := n.s.cfg.Costs
 	p.Advance(n.s.compute(c.SvcBase))
 	if !n.excl.held || n.excl.owner != r.Core || n.excl.ownerTx != r.TxID {
@@ -76,7 +77,7 @@ func (n *dtmNode) handleExclusiveRelease(p *sim.Proc, r *relExclusive) {
 }
 
 // tryGrantExclusive grants the head waiter once the lock table is empty.
-func (n *dtmNode) tryGrantExclusive(p *sim.Proc) {
+func (n *dtmNode) tryGrantExclusive(p port.Port) {
 	if n.excl.held || len(n.excl.queue) == 0 || n.table.Size() != 0 {
 		return
 	}
@@ -85,8 +86,8 @@ func (n *dtmNode) tryGrantExclusive(p *sim.Proc) {
 	n.excl.held = true
 	n.excl.owner = r.Core
 	n.excl.ownerTx = r.TxID
-	n.s.stats.Responses++
-	n.s.send(p, n.core, r.Reply, r.Core, &respExclusive{}, msgRespBytes)
+	n.shard.Responses++
+	n.s.send(&n.shard, p, n.core, r.Reply, r.Core, &respExclusive{}, msgRespBytes)
 }
 
 // Irrevocable is the handle passed to an irrevocable transaction body. Its
@@ -149,7 +150,7 @@ func (rt *Runtime) RunIrrevocable(fn func(*Irrevocable)) {
 	}
 	rt.s.Regs.SetStatusLocal(rt.core, id, mem.TxCommitted)
 	rt.stats.Commits++
-	rt.s.stats.Irrevocables++
+	rt.shard.Irrevocables++
 }
 
 // awaitExclusiveGrant waits for one respExclusive, serving co-located DTM

@@ -3,7 +3,7 @@ package core
 import (
 	"repro/internal/cm"
 	"repro/internal/mem"
-	"repro/internal/sim"
+	"repro/internal/port"
 )
 
 // The DTM wire protocol. Every transactional wrapper is "similar to an
@@ -55,7 +55,7 @@ type reqReadLock struct {
 	Epoch   uint64 // placement epoch at resolution time
 	Addr    mem.Addr
 	Meta    cm.Meta
-	Reply   *sim.Proc
+	Reply   port.Port
 	ReplyTo int // app core ID
 }
 
@@ -68,7 +68,7 @@ type reqWriteLock struct {
 	Epoch   uint64 // placement epoch at resolution time
 	Addrs   []mem.Addr
 	Meta    cm.Meta
-	Reply   *sim.Proc
+	Reply   port.Port
 	ReplyTo int
 }
 

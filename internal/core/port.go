@@ -1,0 +1,23 @@
+package core
+
+import "repro/internal/port"
+
+// Port is the execution port every piece of the DTM protocol runs against:
+// one core's identity, clock, deterministic random source, and
+// selective-receive mailbox (see repro/internal/port for the full method
+// contract). TM2C's portability claim is that the protocol sits on a thin
+// message-passing abstraction — Port is that abstraction here, and
+// Config.Backend chooses its implementation:
+//
+//   - BackendSim: a proc of the deterministic discrete-event kernel.
+//     Advance consumes virtual time, Send is charged the platform's modeled
+//     latency, and a fixed seed reproduces the run bit-for-bit.
+//   - BackendLive: a real goroutine with a channel mailbox. Advance is a
+//     no-op, Now is the monotonic clock, and messages travel at channel
+//     speed — the protocol at whatever rate the hardware sustains.
+//
+// Application code normally stays above this seam (workers get a *Runtime,
+// transactions a *Tx); Port surfaces through SpawnRaw for
+// non-transactional baselines and through Runtime.Port for code that needs
+// the core's clock or RNG.
+type Port = port.Port

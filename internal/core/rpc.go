@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
-	"repro/internal/sim"
+	"repro/internal/port"
 )
 
 // The application-side RPC layer of the DTM protocol. Every lock request
@@ -30,7 +30,7 @@ type wireMsg interface{ bytes() int }
 // is built once and reads rt.awaitIDs, so the hot single-response path
 // (every read lock) performs no per-call heap allocation.
 func (rt *Runtime) initRPC() {
-	rt.awaitPred = func(m sim.Msg) bool {
+	rt.awaitPred = func(m port.Msg) bool {
 		if resp, ok := m.Payload.(*respLock); ok {
 			for _, id := range rt.awaitIDs {
 				if id == resp.ReqID {
@@ -58,7 +58,7 @@ func (rt *Runtime) nextReqID() uint64 {
 // sendToNode transmits one protocol message to DTM node ni, charging the
 // platform's message latency. It does not block.
 func (rt *Runtime) sendToNode(ni int, msg wireMsg) {
-	rt.s.send(rt.proc, rt.core, rt.s.nodeProcs[ni], rt.s.nodes[ni].core, msg, msg.bytes())
+	rt.s.send(&rt.shard, rt.proc, rt.core, rt.s.nodePorts[ni], rt.s.nodes[ni].core, msg, msg.bytes())
 }
 
 // maxPlacementHops bounds how many times one logical lock request chases
@@ -71,7 +71,7 @@ const maxPlacementHops = 8
 // placementAbort aborts the attempt after exhausting the stale-NACK hop
 // budget.
 func (rt *Runtime) placementAbort() {
-	rt.s.stats.PlacementAborts++
+	rt.shard.PlacementAborts++
 	panic(abortSignal{})
 }
 
@@ -91,7 +91,7 @@ func (rt *Runtime) rpcReadLock(tx *Tx, key mem.Addr) *respLock {
 			Reply:   rt.proc,
 			ReplyTo: rt.core,
 		}
-		rt.s.stats.ReadLockReqs++
+		rt.shard.ReadLockReqs++
 		rt.sendToNode(rt.s.nodeFor(key), req)
 		resp := rt.awaitOne(id)
 		if !resp.Stale {
@@ -124,7 +124,7 @@ func (rt *Runtime) sendWriteLock(tx *Tx, node int, epoch uint64, keys []mem.Addr
 		Reply:   rt.proc,
 		ReplyTo: rt.core,
 	}
-	rt.s.stats.WriteLockReqs++
+	rt.shard.WriteLockReqs++
 	rt.sendToNode(node, req)
 	return id
 }

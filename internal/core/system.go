@@ -2,36 +2,46 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dslock"
 	"repro/internal/hist"
+	"repro/internal/live"
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/placement"
+	"repro/internal/port"
 	"repro/internal/sim"
 )
 
-// System is one TM2C instance: a simulated many-core with a DTM service
-// partition and an application partition (Figure 1). Build it with
-// NewSystem, allocate shared data through Mem, start application code with
-// SpawnWorkers, then call Run exactly once.
+// System is one TM2C instance: a many-core with a DTM service partition and
+// an application partition (Figure 1), executing on the backend selected by
+// Config.Backend — the deterministic simulator or the real-concurrency
+// goroutine backend. Build it with NewSystem, allocate shared data through
+// Mem, start application code with SpawnWorkers, then call Run exactly once.
 type System struct {
 	cfg Config
 
-	K    *sim.Kernel
+	// K is the simulation kernel (nil on the live backend).
+	K *sim.Kernel
+	// eng is the live engine (nil on the sim backend).
+	eng *live.Engine
+
 	Mem  *mem.Memory
 	Regs *mem.Registers
 
 	// TxLifespans aggregates every committed transaction's lifespan (first
 	// attempt start to commit, §4.1). Under a starvation-free CM the tail
-	// stays bounded even on conflict-heavy workloads.
+	// stays bounded even on conflict-heavy workloads. Populated at
+	// snapshot time from the per-runtime shards; valid after Run.
 	TxLifespans hist.Histogram
 
 	// CommitLatency aggregates the commit-phase latency of every committed
 	// transaction: from commit entry through lock acquisition, persist and
 	// the release burst. The rpc ablation (ablrpc) reads it to compare
-	// serial against scatter-gather lock acquisition.
+	// serial against scatter-gather lock acquisition. Valid after Run.
 	CommitLatency hist.Histogram
 
 	appCores []int // physical IDs of application cores
@@ -39,9 +49,16 @@ type System struct {
 	isSvc    map[int]bool
 
 	nodes     []*dtmNode
-	nodeProcs []*sim.Proc
+	nodePorts []port.Port
 	runtimes  []*Runtime
 	dir       *placement.Directory // key→DTM-node directory (nil on raw-only systems)
+
+	// workersDone counts the application workload loops (SpawnWorkers
+	// bodies and SpawnRaw procs) still running; the live backend's Run
+	// waits on it before tearing the service down. On the sim backend the
+	// kernel's event queue already encodes quiescence, so it is never
+	// waited on there.
+	workersDone sync.WaitGroup
 
 	deadline sim.Time
 	stats    Stats
@@ -59,8 +76,12 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	s := &System{
 		cfg:   cfg,
-		K:     sim.New(cfg.Seed),
 		isSvc: make(map[int]bool),
+	}
+	if cfg.Backend == BackendLive {
+		s.eng = live.New(cfg.Seed)
+	} else {
+		s.K = sim.New(cfg.Seed)
 	}
 	s.Mem = mem.New(&s.cfg.Platform)
 	s.Regs = mem.NewRegisters(&s.cfg.Platform)
@@ -98,18 +119,31 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		s.dir = dir
 	}
-	s.nodeProcs = make([]*sim.Proc, len(s.nodes))
+	s.nodePorts = make([]port.Port, len(s.nodes))
 	if cfg.Deployment == Dedicated {
 		for _, n := range s.nodes {
 			n := n
-			s.nodeProcs[n.idx] = s.K.Spawn(fmt.Sprintf("dtm%d", n.core), n.serveLoop)
+			s.nodePorts[n.idx] = s.spawnPort(fmt.Sprintf("dtm%d", n.core), n.serveLoop)
 		}
 	}
 	return s, nil
 }
 
+// spawnPort starts fn on a fresh execution port of the configured backend.
+// On sim the proc is scheduled at the current virtual instant; on live the
+// goroutine blocks until Run starts the engine.
+func (s *System) spawnPort(name string, fn func(port.Port)) port.Port {
+	if s.eng != nil {
+		return s.eng.Spawn(name, fn)
+	}
+	return port.SimPort{P: s.K.Spawn(name, func(p *sim.Proc) { fn(port.SimPort{P: p}) })}
+}
+
 // Config returns the normalized configuration.
 func (s *System) Config() Config { return s.cfg }
+
+// Backend returns the execution backend the system runs on.
+func (s *System) Backend() Backend { return s.cfg.Backend }
 
 // Platform returns the system's timing model.
 func (s *System) Platform() *noc.Platform { return &s.cfg.Platform }
@@ -150,10 +184,23 @@ func (s *System) SpawnWorkers(worker func(rt *Runtime)) {
 	}
 	for _, rt := range s.runtimes {
 		rt := rt
-		p := s.K.Spawn(fmt.Sprintf("app%d", rt.core), func(p *sim.Proc) {
-			rt.proc = p
+		s.workersDone.Add(1)
+		p := s.spawnPort(fmt.Sprintf("app%d", rt.core), func(p port.Port) {
 			rt.initLocal()
-			worker(rt)
+			func() {
+				// Mark the workload finished even if the worker panics, so
+				// a live Run can surface the fault instead of hanging, and
+				// absorb the live drain kill (see liveDrainExpired).
+				defer s.workersDone.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(liveDrainKill); !ok {
+							panic(r)
+						}
+					}
+				}()
+				worker(rt)
+			}()
 			if rt.node != nil {
 				// Keep serving DTM requests after the workload finishes.
 				for {
@@ -162,41 +209,53 @@ func (s *System) SpawnWorkers(worker func(rt *Runtime)) {
 				}
 			}
 		})
+		// Install the port before any worker starts running: peers read it
+		// to address barrier traffic (and, under Multitask, DTM requests),
+		// and on the live backend workers run concurrently — assigning it
+		// inside the goroutine would race the first Barrier. The sim
+		// backend's Spawn returns before the proc runs, and the live
+		// engine's goroutines block until Run, so this is always ordered.
+		rt.proc = p
 		if rt.node != nil {
-			// Register the proc before any worker starts so that requests
-			// routed to this node never observe a nil destination.
-			s.nodeProcs[rt.node.idx] = p
+			s.nodePorts[rt.node.idx] = p
 		}
 	}
 }
 
-// SpawnRaw starts one plain proc per application core, without the
-// transactional runtime. Non-transactional baselines (sequential code, the
-// global-lock bank) use it; they access Mem and Regs directly and report
-// completed operations through AddOps.
-func (s *System) SpawnRaw(worker func(p *sim.Proc, core int)) {
+// SpawnRaw starts one plain execution port per application core, without
+// the transactional runtime. Non-transactional baselines (sequential code,
+// the global-lock bank) use it; they access Mem and Regs directly and
+// report completed operations through AddOps.
+func (s *System) SpawnRaw(worker func(p Port, core int)) {
 	if s.spawned {
 		panic("core: SpawnRaw after workers already spawned")
 	}
 	s.spawned = true
 	for _, c := range s.appCores {
 		c := c
-		s.K.Spawn(fmt.Sprintf("raw%d", c), func(p *sim.Proc) { worker(p, c) })
+		s.workersDone.Add(1)
+		s.spawnPort(fmt.Sprintf("raw%d", c), func(p port.Port) {
+			defer s.workersDone.Done()
+			worker(p, c)
+		})
 	}
 }
 
 // AddOps records n completed application-level operations (used by
-// non-transactional baselines; transactional workers use Runtime.AddOps).
-func (s *System) AddOps(n int) { s.stats.Ops += uint64(n) }
+// non-transactional baselines, which may run concurrently on the live
+// backend; transactional workers use Runtime.AddOps).
+func (s *System) AddOps(n int) { atomic.AddUint64(&s.stats.Ops, uint64(n)) }
 
-// Deadline returns the virtual stop time (set by Run).
+// Deadline returns the stop time (set by Run): virtual on sim, monotonic
+// nanoseconds since Run on live.
 func (s *System) Deadline() sim.Time { return s.deadline }
 
-// Run executes the simulation until the virtual deadline d, then lets
-// in-flight transactions drain (workers observe Stopped and exit, so no new
-// work starts), snapshots the statistics, and tears the simulated machine
-// down. The graceful drain guarantees that shared memory is never left with
-// a half-persisted write set. Run must be called exactly once.
+// Run executes the workload until the deadline d — virtual time on the sim
+// backend, wall-clock time on live — then lets in-flight transactions drain
+// (workers observe Stopped and exit, so no new work starts), snapshots the
+// statistics, and tears the machine down. The graceful drain guarantees
+// that shared memory is never left with a half-persisted write set. Run
+// must be called exactly once.
 func (s *System) Run(d time.Duration) *Stats {
 	if s.ran {
 		panic("core: Run called twice")
@@ -206,6 +265,12 @@ func (s *System) Run(d time.Duration) *Stats {
 	}
 	s.ran = true
 	s.deadline = sim.Time(d)
+	if s.eng != nil {
+		// Watchdog: the drain tail must fit one last long transaction, but
+		// a pathological stall must not hang the host process forever.
+		s.runLive(20*d + 10*time.Second)
+		return &s.stats
+	}
 	// Hard cap at 6x the deadline: the drain tail must accommodate one
 	// last long transaction (e.g. a full bank balance scan), but a
 	// pathological livelock among the final in-flight transactions must
@@ -216,21 +281,62 @@ func (s *System) Run(d time.Duration) *Stats {
 	return &s.stats
 }
 
-// RunToCompletion executes until every proc has finished or blocked with no
-// pending events (all finite workloads done). Tests use it for workloads
-// with a fixed operation count.
+// RunToCompletion executes until every worker has finished (all finite
+// workloads done). Tests and fixed-operation-count workloads use it. On the
+// sim backend it drains the event queue; on live it waits for the worker
+// goroutines.
 func (s *System) RunToCompletion() *Stats {
 	if s.ran {
 		panic("core: Run called twice")
 	}
 	s.ran = true
 	s.deadline = sim.Infinity
+	if s.eng != nil {
+		s.runLive(5 * time.Minute)
+		return &s.stats
+	}
 	s.K.Run(sim.Infinity)
 	s.snapshot(s.K.Now())
 	s.K.Shutdown()
 	return &s.stats
 }
 
+// liveDrainExpired reports whether a deadline-bounded live run is past its
+// drain window (6x the deadline, like the sim backend's hard cap in Run):
+// transactions that are still aborting then are killed at their next retry
+// boundary so the drain terminates even under livelock-prone policies.
+func (s *System) liveDrainExpired() bool {
+	return s.eng != nil && s.deadline != sim.Infinity && s.eng.Now() >= s.deadline*6
+}
+
+// runLive drives one live-backend run: release the goroutines, wait for
+// every workload loop to finish on its own (bounded by the watchdog), then
+// drain and kill the service loops and snapshot. Shutdown re-raises the
+// first worker panic, so faults surface to Run's caller exactly like sim
+// proc panics do.
+func (s *System) runLive(watchdog time.Duration) {
+	s.eng.Start()
+	done := make(chan struct{})
+	go func() {
+		s.workersDone.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(watchdog):
+		if f := s.eng.Fault(); f != nil {
+			panic(f)
+		}
+		panic(fmt.Sprintf("core: live backend: workers failed to drain within %v", watchdog))
+	}
+	dur := s.eng.Now()
+	s.eng.Shutdown()
+	s.snapshot(dur)
+}
+
+// snapshot merges the per-runtime and per-node counter shards into the
+// run's Stats. It must run after the machine quiesced (kernel drained or
+// every goroutine joined), so no shard is concurrently written.
 func (s *System) snapshot(d sim.Time) {
 	s.stats.Duration = d
 	for _, rt := range s.runtimes {
@@ -238,9 +344,13 @@ func (s *System) snapshot(d sim.Time) {
 		s.stats.Aborts += rt.stats.Aborts
 		s.stats.Ops += rt.stats.Ops
 		s.stats.PerCore = append(s.stats.PerCore, rt.stats)
+		s.stats.addShard(&rt.shard)
+		s.TxLifespans.Merge(&rt.life)
+		s.CommitLatency.Merge(&rt.commitLat)
 	}
 	for _, n := range s.nodes {
 		s.stats.NodeLoad = append(s.stats.NodeLoad, n.reqs)
+		s.stats.addShard(&n.shard)
 	}
 	if s.dir != nil {
 		s.stats.RepartitionRounds = s.dir.Epochs
@@ -255,7 +365,8 @@ func (s *System) Stats() *Stats { return &s.stats }
 // LockedAddrs returns how many addresses still hold at least one lock
 // across all DTM nodes. After a fully drained run it must be zero: every
 // commit and every abort releases all of its locks. Tests use it as a
-// lock-leak detector.
+// lock-leak detector (on both backends — the live shutdown drains every
+// service mailbox before killing it, so pending releases are applied).
 func (s *System) LockedAddrs() int {
 	total := 0
 	for _, n := range s.nodes {
@@ -291,13 +402,14 @@ func (s *System) recvPeers(dstCore int) int {
 	return len(s.svcCores)
 }
 
-// send transmits payload from srcCore (running in proc p) to dstProc on
-// dstCore, charging the platform's message latency.
-func (s *System) send(p *sim.Proc, srcCore int, dstProc *sim.Proc, dstCore int, payload any, nbytes int) {
+// send transmits payload from srcCore (running on port p) to dstPort on
+// dstCore, charging the platform's message latency (modeled on sim, ignored
+// on live). The message counters land in the sender's shard st.
+func (s *System) send(st *Stats, p port.Port, srcCore int, dstPort port.Port, dstCore int, payload any, nbytes int) {
 	delay := s.cfg.Platform.MsgDelay(srcCore, dstCore, nbytes, s.recvPeers(dstCore))
-	p.Send(dstProc, payload, delay)
-	s.stats.Msgs++
-	s.stats.MsgBytes += uint64(nbytes)
+	p.Send(dstPort, payload, delay)
+	st.Msgs++
+	st.MsgBytes += uint64(nbytes)
 }
 
 // compute scales a nominal duration to the platform.

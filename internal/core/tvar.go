@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
-	"repro/internal/sim"
 )
 
 // The typed transactional layer. The word-level Tx API (Read/ReadN/Write/
@@ -182,13 +181,13 @@ func (v TVar[T]) SetRaw(val T) {
 // bare-sequential baselines and privatized data. §2's caveat applies:
 // transactional data must not be accessed directly while transactions may
 // touch it.
-func (v TVar[T]) GetDirect(p *sim.Proc, core int) T {
+func (v TVar[T]) GetDirect(p Port, core int) T {
 	return v.codec.Decode(v.sys.Mem.ReadBatch(p, core, v.base, v.codec.Words()))
 }
 
 // SetDirect writes the variable non-transactionally with charged memory
 // latency (one batched access).
-func (v TVar[T]) SetDirect(p *sim.Proc, core int, val T) {
+func (v TVar[T]) SetDirect(p Port, core int, val T) {
 	n := v.codec.Words()
 	buf := make([]uint64, n)
 	v.codec.Encode(val, buf)

@@ -5,7 +5,6 @@ import (
 	"testing/quick"
 
 	"repro/internal/mem"
-	"repro/internal/sim"
 )
 
 // testRecord is a fixed-size application struct exercising FuncCodec.
@@ -213,7 +212,7 @@ func TestTVarDirectAccess(t *testing.T) {
 	s := testSystem(t, func(cfg *Config) { cfg.ServiceCores = -1 })
 	v := NewTVar(s, testRecordCodec, testRecord{ID: 5})
 	want := testRecord{ID: 6, Score: 2, Live: true}
-	s.SpawnRaw(func(p *sim.Proc, coreID int) {
+	s.SpawnRaw(func(p Port, coreID int) {
 		if coreID != s.AppCores()[0] {
 			return
 		}

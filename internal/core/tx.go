@@ -5,29 +5,36 @@ import (
 	"time"
 
 	"repro/internal/cm"
+	"repro/internal/hist"
 	"repro/internal/mem"
+	"repro/internal/port"
 	"repro/internal/sim"
 )
 
 // Runtime is the transactional runtime of one application core: the APP
 // service of Figure 1. Application workers receive it from SpawnWorkers and
-// execute transactions with Run/RunKind.
+// execute transactions with Run/RunKind. All of a Runtime's mutable state —
+// including its counter shard and histograms — belongs to its own execution
+// port, so the live backend's concurrent workers never share a write.
 type Runtime struct {
 	s      *System
 	core   int // physical core ID
 	appIdx int
-	proc   *sim.Proc
+	proc   port.Port
 	local  *cm.Local
 	node   *dtmNode // co-located DTM node (Multitask only)
 
-	nextTxID uint64
-	stats    CoreStats
+	nextTxID  uint64
+	stats     CoreStats
+	shard     Stats          // this core's counters, merged at snapshot
+	life      hist.Histogram // committed-transaction lifespans
+	commitLat hist.Histogram // commit-phase latencies
 
 	// RPC-layer state (rpc.go): the correlation-ID generator, the IDs
 	// currently awaited, and the reusable selective-receive predicate.
 	reqID     uint64
 	awaitIDs  []uint64
-	awaitPred func(sim.Msg) bool
+	awaitPred func(port.Msg) bool
 
 	barrierEpoch uint64
 	barrierSeen  map[uint64]int
@@ -45,8 +52,8 @@ func (rt *Runtime) Core() int { return rt.core }
 // AppIndex returns the index of this core within the application partition.
 func (rt *Runtime) AppIndex() int { return rt.appIdx }
 
-// Proc returns the simulation process of the core.
-func (rt *Runtime) Proc() *sim.Proc { return rt.proc }
+// Port returns the core's execution port (clock, RNG, mailbox).
+func (rt *Runtime) Port() Port { return rt.proc }
 
 // Rand returns the core's deterministic random source.
 func (rt *Runtime) Rand() *sim.Rand { return rt.proc.Rand() }
@@ -190,11 +197,11 @@ func (rt *Runtime) runLoop(kind TxKind, fn func(*Tx) error) (attempts int, userE
 			rt.local.OnCommit(rt.proc.Now())
 			rt.stats.Commits++
 			if kind == ReadOnly {
-				rt.s.stats.ReadOnlyCommits++
+				rt.shard.ReadOnlyCommits++
 			}
 			// Lifespan = start of the first attempt to commit, across
 			// aborts — the paper's §4.1 definition.
-			rt.s.TxLifespans.Observe(rt.proc.Now() - lifeStart)
+			rt.life.Observe(rt.proc.Now() - lifeStart)
 			tx.runHooks(tx.onCommit)
 			return attempts, nil
 		case attemptUserAborted:
@@ -203,9 +210,24 @@ func (rt *Runtime) runLoop(kind TxKind, fn func(*Tx) error) (attempts int, userE
 		if backoff := rt.local.OnAbort(); backoff > 0 {
 			rt.proc.Advance(rt.s.compute(backoff))
 		}
+		// Live-backend drain cap, mirroring the sim backend's hard stop at
+		// 6x the deadline: a transaction still aborting that far past the
+		// window (e.g. the paper's NoCM livelock) would otherwise spin its
+		// goroutine forever, because a retry loop never observes Stopped.
+		// The check sits at the retry boundary, where the attempt has
+		// already released every lock, so killing it leaves no state
+		// behind; the worker unwinds and the drain completes.
+		if rt.s.liveDrainExpired() {
+			panic(liveDrainKill{})
+		}
 		rt.local.StartAttempt(rt.proc.Now())
 	}
 }
+
+// liveDrainKill unwinds a worker whose transaction cannot finish within the
+// live backend's drain window; the SpawnWorkers wrapper recovers it. It
+// never escapes the package.
+type liveDrainKill struct{}
 
 // attemptOutcome classifies one transaction attempt.
 type attemptOutcome uint8
@@ -387,7 +409,7 @@ func (tx *Tx) EarlyRelease(bases ...mem.Addr) {
 	// fire-and-forget, so there is nothing to gather).
 	for _, g := range rt.groupByNode(keys) {
 		msg := &earlyRelease{Addrs: g.addrs, Core: rt.core, TxID: tx.id}
-		rt.s.stats.EarlyReleases++
+		rt.shard.EarlyReleases++
 		rt.sendToNode(g.node, msg)
 	}
 }
@@ -449,7 +471,7 @@ func (tx *Tx) commit() {
 		rt.s.recordCommit(tx, instant)
 	}
 	rt.releaseAll(tx)
-	rt.s.CommitLatency.Observe(rt.proc.Now() - start)
+	rt.commitLat.Observe(rt.proc.Now() - start)
 }
 
 // commitReadOnly is the declared read-only commit: there is no write set to
@@ -467,7 +489,7 @@ func (tx *Tx) commitReadOnly() {
 		rt.s.recordCommit(tx, tx.lastGrant)
 	}
 	rt.releaseAll(tx)
-	rt.s.CommitLatency.Observe(rt.proc.Now() - start)
+	rt.commitLat.Observe(rt.proc.Now() - start)
 }
 
 // acquireCommitLocks performs the lazy commit's write-lock acquisition: the
@@ -522,7 +544,7 @@ func (tx *Tx) serialAcquire(keys []mem.Addr) (stale []mem.Addr) {
 	batches, epoch := tx.commitBatches(keys)
 	for _, b := range batches {
 		tx.checkAborted()
-		rt.s.stats.CommitRoundTrips++
+		rt.shard.CommitRoundTrips++
 		resp := rt.rpcWriteLock(tx, b.node, epoch, b.addrs)
 		switch {
 		case resp.OK:
@@ -544,7 +566,7 @@ func (tx *Tx) scatterAcquire(keys []mem.Addr) (stale []mem.Addr) {
 	rt := tx.rt
 	batches, epoch := tx.commitBatches(keys)
 	tx.checkAborted()
-	rt.s.stats.CommitRoundTrips++
+	rt.shard.CommitRoundTrips++
 	resps := rt.scatterWriteLocks(tx, epoch, batches)
 	var fail *respLock
 	for i, resp := range resps {
@@ -592,7 +614,7 @@ func (rt *Runtime) abortCleanup(tx *Tx, sig abortSignal) {
 	rt.releaseAll(tx)
 	rt.stats.Aborts++
 	if sig.hasKind {
-		rt.s.stats.AbortsByKind[sig.kind]++
+		rt.shard.AbortsByKind[sig.kind]++
 	}
 	tx.runHooks(tx.onAbort)
 }
@@ -632,7 +654,7 @@ func (rt *Runtime) releaseAll(tx *Tx) {
 	for _, ni := range order {
 		r := perNode[ni]
 		msg := &relLocks{ReadAddrs: r.reads, WriteAddrs: r.writes, Core: rt.core, TxID: tx.id}
-		rt.s.stats.ReleaseMsgs++
+		rt.shard.ReleaseMsgs++
 		rt.sendToNode(ni, msg)
 	}
 }
@@ -707,7 +729,7 @@ func (rt *Runtime) Barrier() {
 		if other == rt {
 			continue
 		}
-		rt.s.send(rt.proc, rt.core, other.proc, other.core, msg, msg.bytes())
+		rt.s.send(&rt.shard, rt.proc, rt.core, other.proc, other.core, msg, msg.bytes())
 	}
 	for rt.barrierSeen[epoch] < len(rt.s.runtimes)-1 {
 		m := rt.proc.Recv()

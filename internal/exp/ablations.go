@@ -21,7 +21,7 @@ func init() {
 	register("ablplace", "Ablation: placement policy (hash/range/adaptive) across workload skew (bank)", ablPlace)
 }
 
-func ablBatch(sc Scale) []*Table {
+func ablBatch(sc Scale, ov Overrides) []*Table {
 	t := &Table{
 		ID:      "ablbatch",
 		Title:   "Write-lock batching: 16-object scatter-write transactions, 48 cores",
@@ -31,7 +31,7 @@ func ablBatch(sc Scale) []*Table {
 		c := defaultSys(48)
 		c.batch = batching
 		c.seed = sc.Seed
-		s := c.build()
+		s := c.build(ov)
 		const words = 4096
 		arr := core.NewTArray(s, core.Uint64Codec(), words, 0)
 		s.SpawnWorkers(func(rt *core.Runtime) {
@@ -61,7 +61,7 @@ func ablBatch(sc Scale) []*Table {
 	return []*Table{t}
 }
 
-func ablPoll(sc Scale) []*Table {
+func ablPoll(sc Scale, ov Overrides) []*Table {
 	t := &Table{
 		ID:      "ablpoll",
 		Title:   "Per-peer polling cost sensitivity: bank 100% transfers, 48 cores (ops/ms)",
@@ -73,7 +73,7 @@ func ablPoll(sc Scale) []*Table {
 		c := base
 		c.pl.PollPerPeer = time.Duration(float64(c.pl.PollPerPeer) * scale)
 		c.seed = sc.Seed
-		st, _ := bankRun(sc, c, accounts, func(b *bank.Bank) func(*core.Runtime) {
+		st, _ := bankRun(sc, ov, c, accounts, func(b *bank.Bank) func(*core.Runtime) {
 			return b.TransferWorker(0)
 		})
 		t.AddRow(fmt.Sprintf("%.1fx", scale), c.pl.PollPerPeer.String(), perMs(st.Ops, st.Duration))
@@ -87,7 +87,7 @@ func ablPoll(sc Scale) []*Table {
 // write set spreads over more DTM nodes: serial (one awaited round trip per
 // responsible node, Config.SerialRPC) against scatter-gather (all per-node
 // batches in flight at once, one awaited gather phase; the default).
-func ablRPC(sc Scale) []*Table {
+func ablRPC(sc Scale, ov Overrides) []*Table {
 	t := &Table{
 		ID:      "ablrpc",
 		Title:   "Commit RPC: serial vs scatter-gather lock acquisition, 8-object scatter writes, 16 app cores",
@@ -100,7 +100,7 @@ func ablRPC(sc Scale) []*Table {
 			c.svc = svc
 			c.serialRPC = serial
 			c.seed = sc.Seed
-			s := c.build()
+			s := c.build(ov)
 			arr := core.NewTArray(s, core.Uint64Codec(), words, 0)
 			s.SpawnWorkers(func(rt *core.Runtime) {
 				r := rt.Rand()
@@ -139,7 +139,7 @@ func ablRPC(sc Scale) []*Table {
 // fix. The transfer companion shows the conflict-bound regime, where the
 // hot keys conflict no matter which node arbitrates them and every policy
 // converges.
-func ablPlace(sc Scale) []*Table {
+func ablPlace(sc Scale, ov Overrides) []*Table {
 	policies := []placement.Kind{placement.Hash, placement.Range, placement.Adaptive}
 	skews := []float64{0, 0.9, 1.25}
 	label := func(theta float64) string {
@@ -162,7 +162,7 @@ func ablPlace(sc Scale) []*Table {
 			c.place = k
 			c.repEpoch = 1024 // adapt within even the quick scale's window
 			c.seed = sc.Seed
-			st, _ := bankRun(sc, c, accounts, func(b *bank.Bank) func(*core.Runtime) {
+			st, _ := bankRun(sc, ov, c, accounts, func(b *bank.Bank) func(*core.Runtime) {
 				return b.HotReadWorker(10, 12, theta)
 			})
 			hot.AddRow(label(theta), k.String(), perMs(st.Ops, st.Duration), st.CommitRate(),
@@ -185,7 +185,7 @@ func ablPlace(sc Scale) []*Table {
 			c := defaultSys(32)
 			c.place = k
 			c.seed = sc.Seed
-			st, _ := bankRun(sc, c, xaccounts, func(b *bank.Bank) func(*core.Runtime) {
+			st, _ := bankRun(sc, ov, c, xaccounts, func(b *bank.Bank) func(*core.Runtime) {
 				return b.ZipfTransferWorker(0, theta)
 			})
 			xfer.AddRow(label(theta), k.String(), perMs(st.Ops, st.Duration), st.CommitRate(),
@@ -197,7 +197,7 @@ func ablPlace(sc Scale) []*Table {
 	return []*Table{hot, xfer}
 }
 
-func ablGran(sc Scale) []*Table {
+func ablGran(sc Scale, ov Overrides) []*Table {
 	t := &Table{
 		ID:      "ablgran",
 		Title:   "Lock granularity: hash table 20% updates, 48 cores",
@@ -207,7 +207,7 @@ func ablGran(sc Scale) []*Table {
 		c := defaultSys(48)
 		c.gran = g
 		c.seed = sc.Seed
-		st := hashRun(sc, c, sc.div(128, 8), 4, hashset.Workload{UpdatePct: 20})
+		st := hashRun(sc, ov, c, sc.div(128, 8), 4, hashset.Workload{UpdatePct: 20})
 		t.AddRow(g, perMs(st.Ops, st.Duration), st.CommitRate(), st.Conflicts)
 	}
 	t.Notes = append(t.Notes,

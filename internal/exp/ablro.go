@@ -18,7 +18,7 @@ func init() {
 // burst), the skipped write-set allocation, and the static no-write
 // guarantee. The effect therefore scales with the fraction and length of
 // the scans, which is exactly what the mix sweep shows.
-func ablRO(sc Scale) []*Table {
+func ablRO(sc Scale, ov Overrides) []*Table {
 	accounts := sc.div(1024, 64)
 	t := &Table{
 		ID:      "ablro",
@@ -30,7 +30,7 @@ func ablRO(sc Scale) []*Table {
 			ro := ro
 			c := defaultSys(48)
 			c.seed = sc.Seed
-			st, _ := bankRun(sc, c, accounts, func(b *bank.Bank) func(*core.Runtime) {
+			st, _ := bankRun(sc, ov, c, accounts, func(b *bank.Bank) func(*core.Runtime) {
 				b.UseReadOnlyBalance(ro)
 				return b.TransferWorker(balPct)
 			})

@@ -49,13 +49,14 @@ func (sc Scale) div(n, floor int) int {
 	return v
 }
 
-// Table is one rendered result grid. The first column is the x-axis.
+// Table is one rendered result grid. The first column is the x-axis. The
+// json tags define the schema of tm2c-bench's BENCH_<id>.json files.
 type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // AddRow appends a formatted row; cells may be strings or numbers.
@@ -137,18 +138,33 @@ func (t *Table) CSV(w io.Writer) {
 	}
 }
 
-// Experiment is one registered reproduction target.
+// Experiment is one registered reproduction target. Run executes it at
+// the given scale under the given cross-cutting overrides (see Overrides);
+// experiments hold no mutable global state, so concurrent Run calls with
+// different overrides are safe.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(Scale) []*Table
+	// SimOnly marks experiments Overrides.Backend does not apply to: they
+	// measure the simulator's timing model itself (fig8a's ping-pong) or
+	// execute nothing at all (the settings table). Consumers of bench
+	// results use it to attribute the numbers to the backend that actually
+	// produced them.
+	SimOnly bool
+	Run     func(Scale, Overrides) []*Table
 }
 
 // All lists every experiment in paper order.
 var All []*Experiment
 
-func register(id, title string, run func(Scale) []*Table) {
+func register(id, title string, run func(Scale, Overrides) []*Table) {
 	All = append(All, &Experiment{ID: id, Title: title, Run: run})
+}
+
+// registerSimOnly registers an experiment that always runs on the sim
+// backend regardless of Overrides.Backend.
+func registerSimOnly(id, title string, run func(Scale, Overrides) []*Table) {
+	All = append(All, &Experiment{ID: id, Title: title, SimOnly: true, Run: run})
 }
 
 // ByID finds an experiment.

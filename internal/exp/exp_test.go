@@ -88,7 +88,7 @@ func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
 	for _, e := range All {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tables := e.Run(tiny)
+			tables := e.Run(tiny, Overrides{})
 			if len(tables) == 0 {
 				t.Fatal("no tables produced")
 			}
@@ -113,7 +113,7 @@ func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
 // tolerances: these assert orderings, not magnitudes.
 func TestShapeDedicatedBeatsMultitask(t *testing.T) {
 	sc := Scale{Duration: 3 * time.Millisecond, SizeDiv: 8, Cores: []int{48}, Seed: 5}
-	tabs := fig4a(sc)
+	tabs := fig4a(sc, Overrides{})
 	row := tabs[0].Rows[len(tabs[0].Rows)-1]
 	multi, ded := row[1], row[3] // lf2 columns
 	if parse(t, ded) <= parse(t, multi) {
@@ -123,7 +123,7 @@ func TestShapeDedicatedBeatsMultitask(t *testing.T) {
 
 func TestShapeElasticReadWins(t *testing.T) {
 	sc := Scale{Duration: 4 * time.Millisecond, SizeDiv: 16, Cores: []int{16}, Seed: 5}
-	tabs := fig7b(sc)
+	tabs := fig7b(sc, Overrides{})
 	row := tabs[0].Rows[0]
 	if parse(t, row[1]) <= 1.0 {
 		t.Errorf("elastic-read speedup over normal = %s, want > 1", row[1])
@@ -132,7 +132,7 @@ func TestShapeElasticReadWins(t *testing.T) {
 
 func TestShapeFairCMThrottlesBalanceCore(t *testing.T) {
 	sc := Scale{Duration: 6 * time.Millisecond, SizeDiv: 8, Cores: []int{16}, Seed: 5}
-	tabs := fig5c(sc)
+	tabs := fig5c(sc, Overrides{})
 	row := tabs[0].Rows[0] // columns: cores, wholly, offset-greedy, faircm, backoff
 	wholly, faircm := parse(t, row[1]), parse(t, row[3])
 	if faircm <= wholly {
@@ -146,7 +146,7 @@ func TestShapeFairCMThrottlesBalanceCore(t *testing.T) {
 // every DTM node count.
 func TestShapeScatterGatherCutsRoundTrips(t *testing.T) {
 	sc := Scale{Duration: 2 * time.Millisecond, SizeDiv: 8, Cores: []int{8}, Seed: 5}
-	tabs := ablRPC(sc)
+	tabs := ablRPC(sc, Overrides{})
 	rows := tabs[0].Rows // (serial, scatter) row pairs per node count
 	if len(rows) == 0 || len(rows)%2 != 0 {
 		t.Fatalf("ablrpc produced %d rows, want non-empty pairs", len(rows))
@@ -167,7 +167,7 @@ func TestShapeScatterGatherCutsRoundTrips(t *testing.T) {
 // within a few percent, with adaptive ahead).
 func TestShapeAdaptivePlacementTracksHashUnderSkew(t *testing.T) {
 	sc := Scale{Duration: 4 * time.Millisecond, SizeDiv: 4, Cores: []int{48}, Seed: 5}
-	tabs := ablPlace(sc)
+	tabs := ablPlace(sc, Overrides{})
 	rows := tabs[0].Rows // triples: hash, range, adaptive per skew level
 	if len(rows)%3 != 0 {
 		t.Fatalf("ablplace produced %d rows, want policy triples", len(rows))

@@ -21,7 +21,7 @@ func init() {
 // list's O(log n) towers and the list's O(n) traversals produce read sets
 // of very different sizes, which directly scales the number of messages per
 // operation — the dominant cost on a message-passing TM.
-func extSkip(sc Scale) []*Table {
+func extSkip(sc Scale, ov Overrides) []*Table {
 	elems := sc.div(512, 32)
 	t := &Table{
 		ID:      "extskip",
@@ -34,12 +34,12 @@ func extSkip(sc Scale) []*Table {
 
 		ch := defaultSys(n)
 		ch.seed = sc.Seed
-		st := hashRun(sc, ch, elems/4, 4, hashset.Workload{UpdatePct: 20, KeyRange: keyRange})
+		st := hashRun(sc, ov, ch, elems/4, 4, hashset.Workload{UpdatePct: 20, KeyRange: keyRange})
 		row = append(row, perMs(st.Ops, st.Duration))
 
 		cs := defaultSys(n)
 		cs.seed = sc.Seed
-		s := cs.build()
+		s := cs.build(ov)
 		sl := skiplist.New(s)
 		r := sim.NewRand(sc.Seed ^ 0x51)
 		sl.InitFill(elems, keyRange, &r)
@@ -47,7 +47,7 @@ func extSkip(sc Scale) []*Table {
 		st = s.Run(sc.Duration)
 		row = append(row, perMs(st.Ops, st.Duration))
 
-		lst := listRun(sc, noc.SCC(0), n, elems, 20, intset.Normal, sc.Seed)
+		lst := listRun(sc, ov, noc.SCC(0), n, elems, 20, intset.Normal, sc.Seed)
 		row = append(row, perMs(lst.Ops, lst.Duration))
 		t.AddRow(row...)
 	}
@@ -59,7 +59,7 @@ func extSkip(sc Scale) []*Table {
 // extIrrev measures the cost of the §2 irrevocable-transaction extension: a
 // fraction of operations run pessimistically (acquiring every DTM node's
 // exclusivity token), the rest are ordinary optimistic transfers.
-func extIrrev(sc Scale) []*Table {
+func extIrrev(sc Scale, ov Overrides) []*Table {
 	accounts := sc.div(1024, 64)
 	t := &Table{
 		ID:      "extirrev",
@@ -69,7 +69,7 @@ func extIrrev(sc Scale) []*Table {
 	for _, pct := range []int{0, 1, 5, 10} {
 		c := defaultSys(48)
 		c.seed = sc.Seed
-		s := c.build()
+		s := c.build(ov)
 		accts := core.NewTArray(s, core.Uint64Codec(), accounts, 1000)
 		s.SpawnWorkers(func(rt *core.Runtime) {
 			r := rt.Rand()

@@ -14,8 +14,8 @@ func init() {
 
 // hashRun builds a hash table of nbuckets with loadFactor*nbuckets initial
 // elements and runs the transactional workload for the scale's window.
-func hashRun(sc Scale, c sysConfig, nbuckets, loadFactor int, w hashset.Workload) *core.Stats {
-	s := c.build()
+func hashRun(sc Scale, ov Overrides, c sysConfig, nbuckets, loadFactor int, w hashset.Workload) *core.Stats {
+	s := c.build(ov)
 	set := hashset.New(s, nbuckets)
 	elems := nbuckets * loadFactor
 	if w.KeyRange == 0 {
@@ -29,11 +29,11 @@ func hashRun(sc Scale, c sysConfig, nbuckets, loadFactor int, w hashset.Workload
 
 // hashSeq measures the bare sequential throughput of the same workload on
 // one core.
-func hashSeq(sc Scale, nbuckets, loadFactor int, w hashset.Workload) float64 {
+func hashSeq(sc Scale, ov Overrides, nbuckets, loadFactor int, w hashset.Workload) float64 {
 	c := defaultSys(2)
 	c.svc = 1
 	c.seed = sc.Seed
-	s := c.build()
+	s := c.build(ov)
 	set := hashset.New(s, nbuckets)
 	elems := nbuckets * loadFactor
 	if w.KeyRange == 0 {
@@ -42,7 +42,7 @@ func hashSeq(sc Scale, nbuckets, loadFactor int, w hashset.Workload) float64 {
 	r := sim.NewRand(sc.Seed ^ 0xabcd)
 	set.InitFill(elems, w.KeyRange, &r)
 	deadline := sim.Time(sc.Duration)
-	s.SpawnRaw(func(p *sim.Proc, coreID int) {
+	s.SpawnRaw(func(p core.Port, coreID int) {
 		rr := p.Rand()
 		for p.Now() < deadline {
 			set.SeqOp(p, coreID, rr, w)
@@ -53,7 +53,7 @@ func hashSeq(sc Scale, nbuckets, loadFactor int, w hashset.Workload) float64 {
 	return perMs(st.Ops, st.Duration)
 }
 
-func fig4a(sc Scale) []*Table {
+func fig4a(sc Scale, ov Overrides) []*Table {
 	buckets := sc.div(128, 8)
 	w := hashset.Workload{UpdatePct: 20}
 	t := &Table{
@@ -68,7 +68,7 @@ func fig4a(sc Scale) []*Table {
 				c := defaultSys(n)
 				c.dep = dep
 				c.seed = sc.Seed
-				st := hashRun(sc, c, buckets, lf, w)
+				st := hashRun(sc, ov, c, buckets, lf, w)
 				row = append(row, perMs(st.Ops, st.Duration))
 			}
 		}
@@ -80,7 +80,7 @@ func fig4a(sc Scale) []*Table {
 	return []*Table{t}
 }
 
-func fig4b(sc Scale) []*Table {
+func fig4b(sc Scale, ov Overrides) []*Table {
 	buckets := sc.div(64, 8)
 	t := &Table{
 		ID:      "fig4b",
@@ -93,8 +93,8 @@ func fig4b(sc Scale) []*Table {
 			w := hashset.Workload{UpdatePct: upd}
 			c := defaultSys(48)
 			c.seed = sc.Seed
-			st := hashRun(sc, c, buckets, lf, w)
-			seq := hashSeq(sc, buckets, lf, w)
+			st := hashRun(sc, ov, c, buckets, lf, w)
+			seq := hashSeq(sc, ov, buckets, lf, w)
 			row = append(row, ratio(perMs(st.Ops, st.Duration), seq))
 		}
 		t.AddRow(row...)
@@ -104,7 +104,7 @@ func fig4b(sc Scale) []*Table {
 	return []*Table{t}
 }
 
-func fig4c(sc Scale) []*Table {
+func fig4c(sc Scale, ov Overrides) []*Table {
 	tput := &Table{
 		ID:      "fig4c",
 		Title:   "Eager vs lazy write-lock acquisition: throughput (ops/ms)",
@@ -124,7 +124,7 @@ func fig4c(sc Scale) []*Table {
 				c := defaultSys(n)
 				c.acq = acq
 				c.seed = sc.Seed
-				st := hashRun(sc, c, sc.div(nb, 8), 4, w)
+				st := hashRun(sc, ov, c, sc.div(nb, 8), 4, w)
 				rowT = append(rowT, perMs(st.Ops, st.Duration))
 				rowR = append(rowR, st.CommitRate())
 			}

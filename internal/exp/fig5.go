@@ -17,18 +17,18 @@ func init() {
 }
 
 // bankRun runs the transactional bank with the given worker assignment.
-// The worker factory runs after the ForceReadOnly default is applied, so an
-// ablation can still pick the balance-scan kind per row.
-func bankRun(sc Scale, c sysConfig, accounts int, worker func(*bank.Bank) func(*core.Runtime)) (*core.Stats, *bank.Bank) {
-	s := c.build()
+// The worker factory runs after the Overrides.ReadOnly default is applied,
+// so an ablation can still pick the balance-scan kind per row.
+func bankRun(sc Scale, ov Overrides, c sysConfig, accounts int, worker func(*bank.Bank) func(*core.Runtime)) (*core.Stats, *bank.Bank) {
+	s := c.build(ov)
 	b := bank.New(s, accounts)
-	b.UseReadOnlyBalance(ForceReadOnly)
+	b.UseReadOnlyBalance(ov.ReadOnly)
 	s.SpawnWorkers(worker(b))
 	st := s.Run(sc.Duration)
 	return st, b
 }
 
-func fig5a(sc Scale) []*Table {
+func fig5a(sc Scale, ov Overrides) []*Table {
 	accounts := sc.div(1024, 64)
 	tput := &Table{
 		ID:      "fig5a",
@@ -48,7 +48,7 @@ func fig5a(sc Scale) []*Table {
 			c := defaultSys(n)
 			c.pol = p
 			c.seed = sc.Seed
-			st, _ := bankRun(sc, c, accounts, func(b *bank.Bank) func(*core.Runtime) {
+			st, _ := bankRun(sc, ov, c, accounts, func(b *bank.Bank) func(*core.Runtime) {
 				return b.TransferWorker(20)
 			})
 			rowT = append(rowT, perMs(st.Ops, st.Duration))
@@ -62,7 +62,7 @@ func fig5a(sc Scale) []*Table {
 	return []*Table{tput, rate}
 }
 
-func fig5b(sc Scale) []*Table {
+func fig5b(sc Scale, ov Overrides) []*Table {
 	accounts := sc.div(1024, 64)
 	t := &Table{
 		ID:      "fig5b",
@@ -75,7 +75,7 @@ func fig5b(sc Scale) []*Table {
 			c := defaultSys(48)
 			c.svc = svc
 			c.seed = sc.Seed
-			st, _ := bankRun(sc, c, accounts, func(b *bank.Bank) func(*core.Runtime) {
+			st, _ := bankRun(sc, ov, c, accounts, func(b *bank.Bank) func(*core.Runtime) {
 				return b.TransferWorker(balPct)
 			})
 			row = append(row, perMs(st.Ops, st.Duration))
@@ -87,7 +87,7 @@ func fig5b(sc Scale) []*Table {
 	return []*Table{t}
 }
 
-func fig5c(sc Scale) []*Table {
+func fig5c(sc Scale, ov Overrides) []*Table {
 	accounts := sc.div(1024, 64)
 	policies := []cm.Policy{cm.Wholly, cm.OffsetGreedy, cm.FairCM, cm.BackoffRetry}
 	tput := &Table{
@@ -121,7 +121,7 @@ func fig5c(sc Scale) []*Table {
 			c := defaultSys(n)
 			c.pol = p
 			c.seed = sc.Seed
-			st, _ := bankRun(sc, c, accounts, func(b *bank.Bank) func(*core.Runtime) {
+			st, _ := bankRun(sc, ov, c, accounts, func(b *bank.Bank) func(*core.Runtime) {
 				return func(rt *core.Runtime) {
 					if rt.AppIndex() == 0 {
 						b.BalanceOnlyWorker()(rt)
@@ -145,7 +145,7 @@ func fig5c(sc Scale) []*Table {
 	return []*Table{tput, rate, balance}
 }
 
-func fig5d(sc Scale) []*Table {
+func fig5d(sc Scale, ov Overrides) []*Table {
 	accounts := sc.div(2048, 128)
 	transfers := &Table{
 		ID:      "fig5d",
@@ -161,11 +161,11 @@ func fig5d(sc Scale) []*Table {
 		c := defaultSys(n)
 		c.svc = -1 // raw-only: every core runs the lock-based app
 		c.seed = sc.Seed
-		s := c.build()
+		s := c.build(ov)
 		b := bank.New(s, accounts)
 		l := bank.NewGlobalLock(s)
 		deadline := sim.Time(sc.Duration)
-		s.SpawnRaw(func(p *sim.Proc, coreID int) {
+		s.SpawnRaw(func(p core.Port, coreID int) {
 			r := p.Rand()
 			first := coreID == s.AppCores()[0]
 			for p.Now() < deadline {
@@ -184,7 +184,7 @@ func fig5d(sc Scale) []*Table {
 	txRun := func(n int, oneReader bool) float64 {
 		c := defaultSys(n)
 		c.seed = sc.Seed
-		st, _ := bankRun(sc, c, accounts, func(b *bank.Bank) func(*core.Runtime) {
+		st, _ := bankRun(sc, ov, c, accounts, func(b *bank.Bank) func(*core.Runtime) {
 			return func(rt *core.Runtime) {
 				if oneReader && rt.AppIndex() == 0 {
 					b.BalanceOnlyWorker()(rt)

@@ -28,11 +28,11 @@ func mrSize(sc Scale, mb int) int {
 
 // mrParallel runs the job on n total cores (1 dedicated service core, as in
 // §5.4) and returns the completion time.
-func mrParallel(sc Scale, n, size, chunk int) sim.Time {
+func mrParallel(sc Scale, ov Overrides, n, size, chunk int) sim.Time {
 	c := defaultSys(n)
 	c.svc = 1
 	c.seed = sc.Seed
-	s := c.build()
+	s := c.build(ov)
 	j := mapreduce.NewJob(s, sc.Seed, size, chunk)
 	s.SpawnWorkers(func(rt *core.Runtime) { j.Worker(rt) })
 	st := s.RunToCompletion()
@@ -43,19 +43,19 @@ func mrParallel(sc Scale, n, size, chunk int) sim.Time {
 }
 
 // mrSequential runs the single-core baseline and returns its duration.
-func mrSequential(sc Scale, size, chunk int) sim.Time {
+func mrSequential(sc Scale, ov Overrides, size, chunk int) sim.Time {
 	c := defaultSys(2)
 	c.svc = 1
 	c.seed = sc.Seed
-	s := c.build()
+	s := c.build(ov)
 	j := mapreduce.NewJob(s, sc.Seed, size, chunk)
 	var dur sim.Time
-	s.SpawnRaw(func(p *sim.Proc, coreID int) { dur = j.Sequential(p, coreID) })
+	s.SpawnRaw(func(p core.Port, coreID int) { dur = j.Sequential(p, coreID) })
 	s.RunToCompletion()
 	return dur
 }
 
-func fig6a(sc Scale) []*Table {
+func fig6a(sc Scale, ov Overrides) []*Table {
 	t := &Table{
 		ID:      "fig6a",
 		Title:   "MapReduce duration (virtual ms) vs cores, 8KB chunks",
@@ -65,7 +65,7 @@ func fig6a(sc Scale) []*Table {
 	for _, n := range sc.Cores {
 		row := []any{n}
 		for _, mb := range []int{256, 512, 1024} {
-			d := mrParallel(sc, n, mrSize(sc, mb), chunk)
+			d := mrParallel(sc, ov, n, mrSize(sc, mb), chunk)
 			row = append(row, float64(d)/1e6)
 		}
 		t.AddRow(row...)
@@ -76,7 +76,7 @@ func fig6a(sc Scale) []*Table {
 	return []*Table{t}
 }
 
-func fig6b(sc Scale) []*Table {
+func fig6b(sc Scale, ov Overrides) []*Table {
 	t := &Table{
 		ID:      "fig6b",
 		Title:   "MapReduce speedup over sequential (48 cores: 47 app + 1 DTM)",
@@ -87,8 +87,8 @@ func fig6b(sc Scale) []*Table {
 		row := []any{fmt.Sprintf("%dMB", mb)}
 		for _, chunkKB := range []int{4, 8, 16} {
 			chunk := chunkKB << 10
-			seq := mrSequential(sc, size, chunk)
-			par := mrParallel(sc, 48, size, chunk)
+			seq := mrSequential(sc, ov, size, chunk)
+			par := mrParallel(sc, ov, 48, size, chunk)
 			row = append(row, ratio(float64(seq), float64(par)))
 		}
 		t.AddRow(row...)

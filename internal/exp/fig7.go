@@ -15,11 +15,11 @@ func init() {
 }
 
 // listRun measures the list benchmark throughput for one mode.
-func listRun(sc Scale, pl noc.Platform, n, elems, updatePct int, mode intset.Mode, seed uint64) *core.Stats {
+func listRun(sc Scale, ov Overrides, pl noc.Platform, n, elems, updatePct int, mode intset.Mode, seed uint64) *core.Stats {
 	c := defaultSys(n)
 	c.pl = pl
 	c.seed = seed
-	s := c.build()
+	s := c.build(ov)
 	l := intset.New(s)
 	r := sim.NewRand(seed ^ 0x77)
 	keyRange := uint64(2 * elems)
@@ -32,7 +32,7 @@ func listRun(sc Scale, pl noc.Platform, n, elems, updatePct int, mode intset.Mod
 // simulation cost, so the default floor is modest.
 func fig7Elems(sc Scale) int { return sc.div(2048, 32) }
 
-func fig7a(sc Scale) []*Table {
+func fig7a(sc Scale, ov Overrides) []*Table {
 	elems := fig7Elems(sc)
 	t := &Table{
 		ID:      "fig7a",
@@ -40,8 +40,8 @@ func fig7a(sc Scale) []*Table {
 		Columns: []string{"cores", "speedup", "normal ops/ms", "elastic-early ops/ms"},
 	}
 	for _, n := range sc.Cores {
-		norm := listRun(sc, noc.SCC(0), n, elems, 20, intset.Normal, sc.Seed)
-		early := listRun(sc, noc.SCC(0), n, elems, 20, intset.ElasticEarly, sc.Seed)
+		norm := listRun(sc, ov, noc.SCC(0), n, elems, 20, intset.Normal, sc.Seed)
+		early := listRun(sc, ov, noc.SCC(0), n, elems, 20, intset.ElasticEarly, sc.Seed)
 		nT := perMs(norm.Ops, norm.Duration)
 		eT := perMs(early.Ops, early.Duration)
 		t.AddRow(n, ratio(eT, nT), nT, eT)
@@ -51,7 +51,7 @@ func fig7a(sc Scale) []*Table {
 	return []*Table{t}
 }
 
-func fig7b(sc Scale) []*Table {
+func fig7b(sc Scale, ov Overrides) []*Table {
 	elems := fig7Elems(sc)
 	t := &Table{
 		ID:      "fig7b",
@@ -59,9 +59,9 @@ func fig7b(sc Scale) []*Table {
 		Columns: []string{"cores", "vs normal", "vs elastic-early", "elastic-read ops/ms"},
 	}
 	for _, n := range sc.Cores {
-		norm := listRun(sc, noc.SCC(0), n, elems, 20, intset.Normal, sc.Seed)
-		early := listRun(sc, noc.SCC(0), n, elems, 20, intset.ElasticEarly, sc.Seed)
-		er := listRun(sc, noc.SCC(0), n, elems, 20, intset.ElasticRead, sc.Seed)
+		norm := listRun(sc, ov, noc.SCC(0), n, elems, 20, intset.Normal, sc.Seed)
+		early := listRun(sc, ov, noc.SCC(0), n, elems, 20, intset.ElasticEarly, sc.Seed)
+		er := listRun(sc, ov, noc.SCC(0), n, elems, 20, intset.ElasticRead, sc.Seed)
 		nT := perMs(norm.Ops, norm.Duration)
 		eT := perMs(early.Ops, early.Duration)
 		rT := perMs(er.Ops, er.Duration)

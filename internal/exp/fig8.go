@@ -13,7 +13,7 @@ import (
 )
 
 func init() {
-	register("fig8a", "Round-trip message latency vs cores (SCC, SCC800, Opteron)", fig8a)
+	registerSimOnly("fig8a", "Round-trip message latency vs cores (SCC, SCC800, Opteron)", fig8a)
 	register("fig8b", "Bank on many-core vs multi-core", fig8b)
 	register("fig8c", "Linked list on many-core vs multi-core", fig8c)
 	register("fig8d", "Hash table on many-core vs multi-core", fig8d)
@@ -72,7 +72,7 @@ func pingPong(pl noc.Platform, total int, msgsPerCore int, seed uint64) time.Dur
 	return totalRT / time.Duration(count)
 }
 
-func fig8a(sc Scale) []*Table {
+func fig8a(sc Scale, ov Overrides) []*Table {
 	t := &Table{
 		ID:      "fig8a",
 		Title:   "Average round-trip message latency (µs)",
@@ -95,7 +95,7 @@ func fig8a(sc Scale) []*Table {
 	return []*Table{t}
 }
 
-func fig8b(sc Scale) []*Table {
+func fig8b(sc Scale, ov Overrides) []*Table {
 	accounts := sc.div(1024, 64)
 	mixed := &Table{
 		ID:      "fig8b",
@@ -115,7 +115,7 @@ func fig8b(sc Scale) []*Table {
 				c := defaultSys(n)
 				c.pl = pl
 				c.seed = sc.Seed
-				st, _ := bankRun(sc, c, accounts, func(b *bank.Bank) func(*core.Runtime) {
+				st, _ := bankRun(sc, ov, c, accounts, func(b *bank.Bank) func(*core.Runtime) {
 					return b.TransferWorker(balPct)
 				})
 				v := perMs(st.Ops, st.Duration)
@@ -134,7 +134,7 @@ func fig8b(sc Scale) []*Table {
 	return []*Table{mixed, transfers}
 }
 
-func fig8c(sc Scale) []*Table {
+func fig8c(sc Scale, ov Overrides) []*Table {
 	elems := sc.div(512, 16)
 	t := &Table{
 		ID:      "fig8c",
@@ -144,7 +144,7 @@ func fig8c(sc Scale) []*Table {
 	for _, n := range sc.Cores {
 		row := []any{n}
 		for _, pl := range platforms() {
-			st := listRun(sc, pl, n, elems, 10, intset.Normal, sc.Seed)
+			st := listRun(sc, ov, pl, n, elems, 10, intset.Normal, sc.Seed)
 			row = append(row, perMs(st.Ops, st.Duration))
 		}
 		t.AddRow(row...)
@@ -154,7 +154,7 @@ func fig8c(sc Scale) []*Table {
 	return []*Table{t}
 }
 
-func fig8d(sc Scale) []*Table {
+func fig8d(sc Scale, ov Overrides) []*Table {
 	elems := sc.div(512, 32)
 	out := make([]*Table, 0, 2)
 	for _, lf := range []int{4, 16} {
@@ -173,7 +173,7 @@ func fig8d(sc Scale) []*Table {
 				c := defaultSys(n)
 				c.pl = pl
 				c.seed = sc.Seed
-				st := hashRun(sc, c, buckets, lf, hashset.Workload{UpdatePct: 10})
+				st := hashRun(sc, ov, c, buckets, lf, hashset.Workload{UpdatePct: 10})
 				row = append(row, perMs(st.Ops, st.Duration))
 			}
 			t.AddRow(row...)

@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// figFingerprints pins the rendered output of every fig4–fig8 experiment at
+// a tiny scale across a seed matrix to the values captured on the tree
+// IMMEDIATELY BEFORE the execution-port refactor (PR 4), when internal/core
+// still hard-coded *sim.Proc. The rendered tables are a function of the
+// run's Stats (ops, commits, message counts, latencies in virtual time), so
+// matching hashes mean the port extraction — interface indirection, stats
+// sharding, memory/register/directory locking — changed no simulated
+// behavior: same seed ⇒ same Stats, bit for bit.
+//
+// If a LATER change legitimately alters simulated behavior (a protocol or
+// timing change), re-capture these values and say so in the commit message;
+// this test exists so that such changes are loud and deliberate, never
+// accidental.
+var figFingerprints = []struct {
+	id   string
+	seed uint64
+	want uint64
+}{
+	{"fig4a", 3, 0x9d901fcbc66f7d85},
+	{"fig4b", 3, 0x239a787488603158},
+	{"fig4c", 3, 0x40544b64d5f41a8e},
+	{"fig5a", 3, 0x0504110043ba31ff},
+	{"fig5b", 3, 0xf955158fdc68c5d6},
+	{"fig5c", 3, 0xcd1ef4750e7e2157},
+	{"fig5d", 3, 0x1cf8734a2fc462c8},
+	{"fig6a", 3, 0x6600e2eb6acfe935},
+	{"fig6b", 3, 0x4a55331fce907b4c},
+	{"fig7a", 3, 0xcce4d693817cb46c},
+	{"fig7b", 3, 0x7a69c2aa780744e7},
+	{"fig8a", 3, 0x604384acd9a27940},
+	{"fig8b", 3, 0xaad96c371be8b502},
+	{"fig8c", 3, 0x7328e54fbca8f5b9},
+	{"fig8d", 3, 0x1c4a1b6cbafac0a6},
+	{"fig4a", 9, 0xe19f9d13dcc68685},
+	{"fig4b", 9, 0x76b8e11382428c88},
+	{"fig4c", 9, 0x1a60e9ca4aa43ae6},
+	{"fig5a", 9, 0x9b88212b7c13bd28},
+	{"fig5b", 9, 0x811799ccd27055ee},
+	{"fig5c", 9, 0x9d54fbca760ae165},
+	{"fig5d", 9, 0x9d6497c12252b55c},
+	{"fig6a", 9, 0x6600e2eb6acfe935},
+	{"fig6b", 9, 0xf4a256d3a1138d3f},
+	{"fig7a", 9, 0xf30198ad6bdc2877},
+	{"fig7b", 9, 0x2d3dc2a3c90bcfbb},
+	{"fig8a", 9, 0x604384acd9a27940},
+	{"fig8b", 9, 0x04a28c15e10c39c0},
+	{"fig8c", 9, 0xf52f8afde22ee9c6},
+	{"fig8d", 9, 0x946c178421d0f179},
+}
+
+// fingerprintScale matches the capture run exactly; any change invalidates
+// the recorded hashes.
+var fingerprintScale = Scale{Duration: 800 * time.Microsecond, SizeDiv: 16, Cores: []int{4, 8}}
+
+func fnv1a(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for _, b := range []byte(s) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// TestFigureFingerprintsBitIdentical runs the fig4–fig8 seed matrix on the
+// sim backend and asserts the rendered results are bit-identical to the
+// pre-port-refactor capture.
+func TestFigureFingerprintsBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fig4–fig8 seed matrix takes a few seconds")
+	}
+	for _, c := range figFingerprints {
+		c := c
+		t.Run(c.id, func(t *testing.T) {
+			e, ok := ByID(c.id)
+			if !ok {
+				t.Fatalf("experiment %q not registered", c.id)
+			}
+			sc := fingerprintScale
+			sc.Seed = c.seed
+			var sb strings.Builder
+			for _, tab := range e.Run(sc, Overrides{}) {
+				tab.Render(&sb)
+			}
+			if got := fnv1a(sb.String()); got != c.want {
+				t.Errorf("%s seed %d: fingerprint %#016x, want %#016x — simulated behavior changed",
+					c.id, c.seed, got, c.want)
+			}
+		})
+	}
+}

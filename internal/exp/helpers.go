@@ -10,26 +10,35 @@ import (
 	"repro/internal/sim"
 )
 
-// ForceSerialRPC forces serial (non-scatter-gather) commit-time lock
-// acquisition on every system the experiments build — wired to the
-// -serialrpc flag of cmd/tm2c-bench for A/B-ing any figure against the
-// pre-RPC-layer behavior. The ablrpc ablation compares both modes itself;
-// under the flag its scatter rows degenerate to serial.
-var ForceSerialRPC bool
-
-// ForcePlacement, when non-nil, overrides the placement policy of every
-// system the experiments build — wired to the -placement flag of
-// cmd/tm2c-bench for A/B-ing any figure across policies. The ablplace
-// ablation compares the policies itself; under the flag its rows all run
-// the forced policy.
-var ForcePlacement *placement.Kind
-
-// ForceReadOnly runs every bank balance scan (and zipf hot-read audit) as a
-// declared ReadOnly transaction instead of a Normal one — wired to the
-// -readonly flag of cmd/tm2c-bench for A/B-ing the bank figures against the
-// read-only fast path. The ablro ablation compares both modes itself; under
-// the flag its normal rows degenerate to read-only.
-var ForceReadOnly bool
+// Overrides are cross-cutting knobs applied to every system an experiment
+// builds. They are threaded explicitly through Experiment.Run — there are
+// no mutable package globals — so experiments are reentrant: overlapping
+// runs (e.g. live-backend runs racing sim runs in tests) cannot observe
+// each other's settings.
+type Overrides struct {
+	// SerialRPC forces serial (non-scatter-gather) commit-time lock
+	// acquisition — wired to the -serialrpc flag of cmd/tm2c-bench for
+	// A/B-ing any figure against the pre-RPC-layer behavior. The ablrpc
+	// ablation compares both modes itself; under the flag its scatter rows
+	// degenerate to serial.
+	SerialRPC bool
+	// Placement, when non-nil, overrides the placement policy — wired to
+	// the -placement flag for A/B-ing any figure across policies. The
+	// ablplace ablation compares the policies itself; under the flag its
+	// rows all run the forced policy.
+	Placement *placement.Kind
+	// ReadOnly runs every bank balance scan (and zipf hot-read audit) as a
+	// declared ReadOnly transaction instead of a Normal one — wired to the
+	// -readonly flag for A/B-ing the bank figures against the read-only
+	// fast path. The ablro ablation compares both kinds itself.
+	ReadOnly bool
+	// Backend selects the execution backend every system runs on — wired
+	// to the -backend flag. On BackendLive durations are wall-clock and
+	// throughput columns read ops per wall millisecond. The fig8a
+	// ping-pong microbenchmark measures the simulator's timing model and
+	// always runs on sim.
+	Backend core.Backend
+}
 
 // sysConfig carries the per-run knobs shared by the experiment helpers.
 type sysConfig struct {
@@ -51,9 +60,10 @@ func defaultSys(total int) sysConfig {
 	return sysConfig{pl: noc.SCC(0), total: total, pol: cm.FairCM, batch: true}
 }
 
-func (c sysConfig) build() *core.System {
+func (c sysConfig) build(ov Overrides) *core.System {
 	cfg := core.Config{
 		Platform:         c.pl,
+		Backend:          ov.Backend,
 		Seed:             c.seed,
 		TotalCores:       c.total,
 		ServiceCores:     c.svc,
@@ -61,13 +71,13 @@ func (c sysConfig) build() *core.System {
 		Policy:           c.pol,
 		Acquire:          c.acq,
 		NoBatching:       !c.batch,
-		SerialRPC:        c.serialRPC || ForceSerialRPC,
+		SerialRPC:        c.serialRPC || ov.SerialRPC,
 		LockGranule:      c.gran,
 		Placement:        c.place,
 		RepartitionEpoch: c.repEpoch,
 	}
-	if ForcePlacement != nil {
-		cfg.Placement = *ForcePlacement
+	if ov.Placement != nil {
+		cfg.Placement = *ov.Placement
 	}
 	s, err := core.NewSystem(cfg)
 	if err != nil {

@@ -45,7 +45,7 @@ func TestSysConfigBuildPanicsOnBadConfig(t *testing.T) {
 		}
 	}()
 	c := defaultSys(1) // 1 core is invalid
-	c.build()
+	c.build(Overrides{})
 }
 
 func TestPingPongMatchesAnalyticalLatency(t *testing.T) {

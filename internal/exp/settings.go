@@ -7,10 +7,10 @@ import (
 )
 
 func init() {
-	register("settings", "SCC performance settings table (§5.1) and derived model parameters", settingsTable)
+	registerSimOnly("settings", "SCC performance settings table (§5.1) and derived model parameters", settingsTable)
 }
 
-func settingsTable(Scale) []*Table {
+func settingsTable(Scale, Overrides) []*Table {
 	t := &Table{
 		ID:      "settings",
 		Title:   "SCC performance settings (frequencies in MHz, §5.1)",

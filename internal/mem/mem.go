@@ -17,10 +17,21 @@ package mem
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/noc"
 	"repro/internal/sim"
 )
+
+// Ctx is the execution context charged for a memory access: any execution
+// port (a simulated proc or a live goroutine port) that can report time and
+// absorb latency. Keeping the interface this small lets mem sit below the
+// backend packages.
+type Ctx interface {
+	Now() sim.Time
+	Advance(d time.Duration)
+}
 
 // Addr is a word address in the shared address space.
 type Addr uint64
@@ -32,16 +43,23 @@ const regionShift = 40
 // structures may use it as a null pointer.
 const Nil Addr = 0
 
-// Memory is the shared address space. All methods must be called from the
-// currently running simulation context (a proc or kernel event); the
-// one-at-a-time kernel provides mutual exclusion.
+// Memory is the shared address space. Methods are safe for concurrent use
+// by multiple execution ports: internal state is guarded by a mutex that is
+// never held across an Advance, so on the single-threaded simulation
+// backend the lock is uncontended and the virtual-time behavior is exactly
+// what it was when the kernel's one-at-a-time discipline was the only
+// protection, while on the live backend concurrent goroutine accesses
+// linearize at the lock.
 type Memory struct {
-	pl    *noc.Platform
+	pl *noc.Platform
+
+	mu    sync.Mutex
 	words map[Addr]uint64
 	brk   []Addr     // per-region bump pointer
 	busy  []sim.Time // per-controller queue: time the MC is busy until
 
-	// Stats accumulates access counters; read them after a run.
+	// Stats accumulates access counters (guarded by mu); read them after a
+	// run, once the machine has quiesced.
 	Stats MemStats
 }
 
@@ -79,14 +97,18 @@ func (m *Memory) MCOf(addr Addr) int {
 }
 
 // Alloc reserves n contiguous words in controller mc's region and returns
-// the base address. It never fails (the regions are 2^40 words).
+// the base address. It never fails (the regions are 2^40 words). Workers
+// allocate inside transactions (list/hash-set inserts), so Alloc is safe
+// for concurrent use.
 func (m *Memory) Alloc(n int, mc int) Addr {
 	if n <= 0 {
 		panic("mem: Alloc of non-positive size")
 	}
 	mc %= len(m.brk)
+	m.mu.Lock()
 	base := m.brk[mc]
 	m.brk[mc] += Addr(n)
+	m.mu.Unlock()
 	return base
 }
 
@@ -107,13 +129,11 @@ func (m *Memory) AllocNear(n int, core int) Addr {
 	return m.Alloc(n, m.NearestMC(core))
 }
 
-// access charges p with the latency of nWords accesses from core through
-// addr's controller. A batch pays the distance once and occupies the
-// controller once per word.
-func (m *Memory) access(p *sim.Proc, core int, addr Addr, nWords int) {
-	mc := m.MCOf(addr)
+// charge accounts nWords accesses through mc at time now and returns the
+// queueing + service latency to charge (the distance term is added by the
+// caller). Called with mu held.
+func (m *Memory) charge(now sim.Time, mc, nWords int) sim.Time {
 	m.Stats.PerMC[mc] += uint64(nWords)
-	now := p.Now()
 	start := now
 	if m.busy[mc] > start {
 		start = m.busy[mc]
@@ -122,78 +142,102 @@ func (m *Memory) access(p *sim.Proc, core int, addr Addr, nWords int) {
 	service := sim.Time(m.pl.MemService) * sim.Time(nWords)
 	m.busy[mc] = start + service
 	m.Stats.WaitTime += wait
-	total := (wait + service).Duration() + m.pl.MemDelay(core, mc)
-	p.Advance(total)
+	return wait + service
+}
+
+// access charges p with the latency of nWords accesses from core through
+// addr's controller. A batch pays the distance once and occupies the
+// controller once per word. The lock is dropped before Advance: a parked
+// proc must never hold it.
+func (m *Memory) access(p Ctx, core int, addr Addr, nWords int) {
+	mc := m.MCOf(addr)
+	now := p.Now()
+	m.mu.Lock()
+	busy := m.charge(now, mc, nWords)
+	m.mu.Unlock()
+	p.Advance(busy.Duration() + m.pl.MemDelay(core, mc))
 }
 
 // Read returns the word at addr, charging access latency to p.
-func (m *Memory) Read(p *sim.Proc, core int, addr Addr) uint64 {
+func (m *Memory) Read(p Ctx, core int, addr Addr) uint64 {
+	m.mu.Lock()
 	m.Stats.Reads++
+	m.mu.Unlock()
 	m.access(p, core, addr, 1)
-	return m.words[addr]
+	m.mu.Lock()
+	v := m.words[addr]
+	m.mu.Unlock()
+	return v
 }
 
 // Write stores v at addr, charging access latency to p.
-func (m *Memory) Write(p *sim.Proc, core int, addr Addr, v uint64) {
+func (m *Memory) Write(p Ctx, core int, addr Addr, v uint64) {
+	m.mu.Lock()
 	m.Stats.Writes++
+	m.mu.Unlock()
 	m.access(p, core, addr, 1)
+	m.mu.Lock()
 	m.setWord(addr, v)
+	m.mu.Unlock()
 }
 
 // ReadBatch returns the n contiguous words starting at base, charging one
 // batched access: the distance to the controller is paid once, the
 // controller is occupied once per word. Objects (multi-word records) are
 // read this way.
-func (m *Memory) ReadBatch(p *sim.Proc, core int, base Addr, n int) []uint64 {
+func (m *Memory) ReadBatch(p Ctx, core int, base Addr, n int) []uint64 {
 	if n <= 0 {
 		panic("mem: ReadBatch of non-positive size")
 	}
+	m.mu.Lock()
 	m.Stats.Reads += uint64(n)
+	m.mu.Unlock()
 	m.access(p, core, base, n)
 	out := make([]uint64, n)
+	m.mu.Lock()
 	for i := range out {
 		out[i] = m.words[base+Addr(i)]
 	}
+	m.mu.Unlock()
 	return out
 }
 
 // WriteBatch stores values[i] at addrs[i], charging a single batched access:
 // one distance payment per controller touched, one service slot per word.
-func (m *Memory) WriteBatch(p *sim.Proc, core int, addrs []Addr, values []uint64) {
+func (m *Memory) WriteBatch(p Ctx, core int, addrs []Addr, values []uint64) {
 	if len(addrs) != len(values) {
 		panic("mem: WriteBatch length mismatch")
 	}
 	if len(addrs) == 0 {
 		return
 	}
-	m.Stats.Writes += uint64(len(addrs))
 	// Group per controller, paying distance once per controller; iterate
 	// controllers in fixed order for determinism.
 	perMC := make([]int, len(m.brk))
 	for _, a := range addrs {
 		perMC[m.MCOf(a)]++
 	}
+	m.mu.Lock()
+	m.Stats.Writes += uint64(len(addrs))
+	m.mu.Unlock()
 	for mc, n := range perMC {
 		if n == 0 {
 			continue
 		}
-		m.Stats.PerMC[mc] += uint64(n)
 		now := p.Now()
-		start := now
-		if m.busy[mc] > start {
-			start = m.busy[mc]
-		}
-		wait := start - now
-		service := sim.Time(m.pl.MemService) * sim.Time(n)
-		m.busy[mc] = start + service
-		m.Stats.WaitTime += wait
-		p.Advance((wait + service).Duration() + m.pl.MemDelay(core, mc))
+		m.mu.Lock()
+		busy := m.charge(now, mc, n)
+		m.mu.Unlock()
+		p.Advance(busy.Duration() + m.pl.MemDelay(core, mc))
 	}
+	m.mu.Lock()
 	for i, a := range addrs {
 		m.setWord(a, values[i])
 	}
+	m.mu.Unlock()
 }
 
+// setWord stores v at addr; called with mu held.
 func (m *Memory) setWord(addr Addr, v uint64) {
 	if v == 0 {
 		delete(m.words, addr) // keep the map sparse
@@ -203,12 +247,26 @@ func (m *Memory) setWord(addr Addr, v uint64) {
 }
 
 // ReadRaw returns the word at addr without charging latency. Intended for
-// setup and verification code outside the simulated machine.
-func (m *Memory) ReadRaw(addr Addr) uint64 { return m.words[addr] }
+// setup and verification code outside the simulated machine, and for the
+// elastic-read validation window's free commit-time re-check.
+func (m *Memory) ReadRaw(addr Addr) uint64 {
+	m.mu.Lock()
+	v := m.words[addr]
+	m.mu.Unlock()
+	return v
+}
 
 // WriteRaw stores v at addr without charging latency. Intended for setup
 // code outside the simulated machine.
-func (m *Memory) WriteRaw(addr Addr, v uint64) { m.setWord(addr, v) }
+func (m *Memory) WriteRaw(addr Addr, v uint64) {
+	m.mu.Lock()
+	m.setWord(addr, v)
+	m.mu.Unlock()
+}
 
 // Footprint returns the number of non-zero words currently stored.
-func (m *Memory) Footprint() int { return len(m.words) }
+func (m *Memory) Footprint() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.words)
+}

@@ -1,8 +1,9 @@
 package mem
 
 import (
+	"sync"
+
 	"repro/internal/noc"
-	"repro/internal/sim"
 )
 
 // TxState is the state held in a core's transaction status register.
@@ -51,13 +52,19 @@ type statusWord struct {
 }
 
 // Registers models the per-core atomic registers: one transaction status
-// word and one test-and-set bit per core.
+// word and one test-and-set bit per core. The registers are hardware
+// atomics, so the model must stay atomic under real concurrency too: a
+// mutex linearizes every operation (uncontended — and therefore
+// behavior-free — on the single-threaded simulation backend). The mutex is
+// never held across an Advance.
 type Registers struct {
 	pl     *noc.Platform
+	mu     sync.Mutex
 	status []statusWord
 	tas    []bool
 
-	// Stats.
+	// RemoteOps counts remote register operations (guarded by mu); read it
+	// after a run.
 	RemoteOps uint64
 }
 
@@ -74,12 +81,16 @@ func NewRegisters(pl *noc.Platform) *Registers {
 // SetStatusLocal installs (txID, state) in owner's own register. Local
 // register access is free.
 func (r *Registers) SetStatusLocal(owner int, txID uint64, state TxState) {
+	r.mu.Lock()
 	r.status[owner] = statusWord{txID: txID, state: state}
+	r.mu.Unlock()
 }
 
 // LoadStatusLocal reads owner's own register without latency.
 func (r *Registers) LoadStatusLocal(owner int) (txID uint64, state TxState) {
+	r.mu.Lock()
 	w := r.status[owner]
+	r.mu.Unlock()
 	return w.txID, w.state
 }
 
@@ -87,6 +98,13 @@ func (r *Registers) LoadStatusLocal(owner int) (txID uint64, state TxState) {
 // caller's own register, without latency. It reports whether the swap
 // happened.
 func (r *Registers) CASStatusLocal(owner int, txID uint64, from, to TxState) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.casLocked(owner, txID, from, to)
+}
+
+// casLocked is CASStatusLocal with mu held.
+func (r *Registers) casLocked(owner int, txID uint64, from, to TxState) bool {
 	w := r.status[owner]
 	if w.txID != txID || w.state != from {
 		return false
@@ -97,8 +115,10 @@ func (r *Registers) CASStatusLocal(owner int, txID uint64, from, to TxState) boo
 
 // CASStatusRemote attempts the same swap from core src, charging the remote
 // atomic round-trip latency to p.
-func (r *Registers) CASStatusRemote(p *sim.Proc, src, owner int, txID uint64, from, to TxState) bool {
+func (r *Registers) CASStatusRemote(p Ctx, src, owner int, txID uint64, from, to TxState) bool {
+	r.mu.Lock()
 	r.RemoteOps++
+	r.mu.Unlock()
 	p.Advance(r.pl.AtomicDelay(src, owner))
 	return r.CASStatusLocal(owner, txID, from, to)
 }
@@ -107,28 +127,41 @@ func (r *Registers) CASStatusRemote(p *sim.Proc, src, owner int, txID uint64, fr
 // register word observed at the register (after the swap, if it happened).
 // The DTM service uses the observation to distinguish an enemy that is
 // committing (non-abortable) from a stale lock left by a finished attempt.
-func (r *Registers) CASStatusRemoteObserve(p *sim.Proc, src, owner int, txID uint64, from, to TxState) (swapped bool, obsTxID uint64, obsState TxState) {
+// The swap and the observation are one atomic step.
+func (r *Registers) CASStatusRemoteObserve(p Ctx, src, owner int, txID uint64, from, to TxState) (swapped bool, obsTxID uint64, obsState TxState) {
+	r.mu.Lock()
 	r.RemoteOps++
+	r.mu.Unlock()
 	p.Advance(r.pl.AtomicDelay(src, owner))
-	swapped = r.CASStatusLocal(owner, txID, from, to)
+	r.mu.Lock()
+	swapped = r.casLocked(owner, txID, from, to)
 	w := r.status[owner]
+	r.mu.Unlock()
 	return swapped, w.txID, w.state
 }
 
 // TAS performs a remote test-and-set on core reg's register from core src:
 // it sets the bit and returns its previous value. The caller acquired the
 // "lock" iff TAS returns false.
-func (r *Registers) TAS(p *sim.Proc, src, reg int) bool {
+func (r *Registers) TAS(p Ctx, src, reg int) bool {
+	r.mu.Lock()
 	r.RemoteOps++
+	r.mu.Unlock()
 	p.Advance(r.pl.AtomicDelay(src, reg))
+	r.mu.Lock()
 	old := r.tas[reg]
 	r.tas[reg] = true
+	r.mu.Unlock()
 	return old
 }
 
 // TASRelease clears core reg's test-and-set bit from core src.
-func (r *Registers) TASRelease(p *sim.Proc, src, reg int) {
+func (r *Registers) TASRelease(p Ctx, src, reg int) {
+	r.mu.Lock()
 	r.RemoteOps++
+	r.mu.Unlock()
 	p.Advance(r.pl.AtomicDelay(src, reg))
+	r.mu.Lock()
 	r.tas[reg] = false
+	r.mu.Unlock()
 }

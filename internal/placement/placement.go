@@ -36,6 +36,7 @@ package placement
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/mem"
 )
@@ -132,13 +133,16 @@ type Move struct {
 }
 
 // Directory owns the key→node mapping and drives the epoch-numbered remap
-// protocol. All methods are called from simulator procs, which the kernel
-// runs one at a time, so no internal locking is needed (the same discipline
-// as the dslock tables).
+// protocol. Methods are safe for concurrent use: a mutex linearizes every
+// resolution, record and migration step. On the single-threaded simulation
+// backend the lock is uncontended and changes nothing; on the live backend
+// it is what keeps the ownership invariants (one owner per stripe, grants
+// only from the owner) intact under real goroutine concurrency.
 type Directory struct {
 	cfg Config
 	pol Policy
 
+	mu        sync.Mutex
 	epoch     uint64
 	owner     []int32  // stripe -> owning node (adaptive only)
 	pending   []int32  // stripe -> migration target, -1 when none
@@ -189,7 +193,11 @@ func (d *Directory) Nodes() int { return d.cfg.Nodes }
 func (d *Directory) NumStripes() int { return d.cfg.Stripes }
 
 // Epoch returns the current remap epoch. Static policies stay at 0.
-func (d *Directory) Epoch() uint64 { return d.epoch }
+func (d *Directory) Epoch() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.epoch
+}
 
 func (d *Directory) adaptive() bool { return d.owner != nil }
 
@@ -203,7 +211,11 @@ func (d *Directory) KeyInStripe(key mem.Addr, s int) bool { return d.StripeOf(ke
 
 // Owner resolves a lock key to its owning DTM node under the current
 // assignment. Resolution is pure lookup; use Record to account accesses.
-func (d *Directory) Owner(key mem.Addr) int { return d.pol.Owner(d, key) }
+func (d *Directory) Owner(key mem.Addr) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.pol.Owner(d, key)
+}
 
 // StripeOwner returns the current owner of stripe s (adaptive directories;
 // static policies resolve per key, not per stripe).
@@ -211,12 +223,19 @@ func (d *Directory) StripeOwner(s int) int {
 	if !d.adaptive() {
 		return -1
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return int(d.owner[s])
 }
 
 // PendingTarget returns the migration target of stripe s, if it is frozen.
 func (d *Directory) PendingTarget(s int) (int, bool) {
-	if !d.adaptive() || d.pending[s] < 0 {
+	if !d.adaptive() {
+		return 0, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.pending[s] < 0 {
 		return 0, false
 	}
 	return int(d.pending[s]), true
@@ -229,6 +248,8 @@ func (d *Directory) Record(keys ...mem.Addr) {
 	if !d.adaptive() {
 		return
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for _, k := range keys {
 		d.counts[d.StripeOf(k)]++
 	}
@@ -241,11 +262,11 @@ func (d *Directory) Record(keys ...mem.Addr) {
 
 // evaluate closes an epoch window: the policy proposes migrations, the
 // directory freezes the chosen stripes, and the access counts decay so old
-// heat fades across windows.
+// heat fades across windows. Called with mu held.
 func (d *Directory) evaluate() {
 	moved := false
 	for _, m := range d.pol.Repartition(d) {
-		if d.InitiateMove(m.Stripe, m.To) {
+		if d.initiateMove(m.Stripe, m.To) {
 			moved = true
 		}
 	}
@@ -263,7 +284,17 @@ func (d *Directory) evaluate() {
 // initiated (false when s is already frozen, already owned by to, the
 // directory is not adaptive, or an argument is out of range).
 func (d *Directory) InitiateMove(s, to int) bool {
-	if !d.adaptive() || s < 0 || s >= d.cfg.Stripes || to < 0 || to >= d.cfg.Nodes {
+	if !d.adaptive() {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.initiateMove(s, to)
+}
+
+// initiateMove is InitiateMove with mu held.
+func (d *Directory) initiateMove(s, to int) bool {
+	if s < 0 || s >= d.cfg.Stripes || to < 0 || to >= d.cfg.Nodes {
 		return false
 	}
 	if d.pending[s] >= 0 || int(d.owner[s]) == to {
@@ -287,7 +318,12 @@ func (d *Directory) InitiateMove(s, to int) bool {
 // the epoch. The caller — the owning DTM node — must have verified that its
 // lock table holds no live lock on the stripe.
 func (d *Directory) CompleteHandoff(s int) {
-	if !d.adaptive() || d.pending[s] < 0 {
+	if !d.adaptive() {
+		panic(fmt.Sprintf("placement: CompleteHandoff(%d) without a pending migration", s))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.pending[s] < 0 {
 		panic(fmt.Sprintf("placement: CompleteHandoff(%d) without a pending migration", s))
 	}
 	owner := int(d.owner[s])
@@ -302,7 +338,12 @@ func (d *Directory) CompleteHandoff(s int) {
 
 // HasPending reports whether node still has frozen stripes to hand off.
 func (d *Directory) HasPending(node int) bool {
-	return d.adaptive() && len(d.frozen[node]) > 0
+	if !d.adaptive() {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.frozen[node]) > 0
 }
 
 // FreezeGen returns how many freezes have ever been initiated on stripes
@@ -314,6 +355,8 @@ func (d *Directory) FreezeGen(node int) uint64 {
 	if !d.adaptive() {
 		return 0
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return d.freezeGen[node]
 }
 
@@ -321,7 +364,12 @@ func (d *Directory) FreezeGen(node int) uint64 {
 // stripe order (deterministic handoff order). The returned slice is a
 // copy: callers complete handoffs while iterating it.
 func (d *Directory) PendingFor(node int) []int {
-	if !d.HasPending(node) {
+	if !d.adaptive() {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.frozen[node]) == 0 {
 		return nil
 	}
 	return append([]int(nil), d.frozen[node]...)
@@ -340,6 +388,8 @@ func (d *Directory) ValidFor(node int, keys ...mem.Addr) bool {
 	if !d.adaptive() {
 		return true
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for _, k := range keys {
 		s := d.StripeOf(k)
 		if int(d.owner[s]) != node || d.pending[s] >= 0 {
@@ -357,6 +407,8 @@ func (d *Directory) CheckInvariants() error {
 	if !d.adaptive() {
 		return nil
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	wantFrozen := make([][]int, d.cfg.Nodes)
 	for s, o := range d.owner {
 		if o < 0 || int(o) >= d.cfg.Nodes {

@@ -29,8 +29,7 @@ type Proc struct {
 	started  bool
 	finished bool
 
-	mbox    []Msg
-	mhead   int
+	mbox    MsgQueue
 	waiting bool
 	tgen    uint64 // generation counter cancelling stale RecvTimeout timers
 
@@ -140,7 +139,7 @@ func (k *Kernel) SendFrom(src int, dst *Proc, payload any, delay time.Duration) 
 		if dst.finished {
 			return
 		}
-		dst.mbox = append(dst.mbox, Msg{From: src, SentAt: sent, At: k.now, Payload: payload})
+		dst.mbox.Push(Msg{From: src, SentAt: sent, At: k.now, Payload: payload})
 		if dst.waiting {
 			dst.waiting = false
 			k.resume(dst)
@@ -149,22 +148,7 @@ func (k *Kernel) SendFrom(src int, dst *Proc, payload any, delay time.Duration) 
 }
 
 // Pending reports how many messages are queued in the proc's mailbox.
-func (p *Proc) Pending() int { return len(p.mbox) - p.mhead }
-
-func (p *Proc) popMsg() Msg {
-	m := p.mbox[p.mhead]
-	p.mbox[p.mhead] = Msg{} // drop payload reference
-	p.mhead++
-	if p.mhead == len(p.mbox) {
-		p.mbox = p.mbox[:0]
-		p.mhead = 0
-	} else if p.mhead > 64 && p.mhead*2 > len(p.mbox) {
-		n := copy(p.mbox, p.mbox[p.mhead:])
-		p.mbox = p.mbox[:n]
-		p.mhead = 0
-	}
-	return m
-}
+func (p *Proc) Pending() int { return p.mbox.Len() }
 
 // Recv blocks until a message is available and returns it.
 func (p *Proc) Recv() Msg {
@@ -172,7 +156,7 @@ func (p *Proc) Recv() Msg {
 		p.waiting = true
 		p.park()
 	}
-	return p.popMsg()
+	return p.mbox.Pop()
 }
 
 // TryRecv returns a queued message, if any, without blocking.
@@ -180,7 +164,7 @@ func (p *Proc) TryRecv() (Msg, bool) {
 	if p.Pending() == 0 {
 		return Msg{}, false
 	}
-	return p.popMsg(), true
+	return p.mbox.Pop(), true
 }
 
 // RecvMatch blocks until a message satisfying pred is available and returns
@@ -193,10 +177,8 @@ func (p *Proc) TryRecv() (Msg, bool) {
 // the same queued message any number of times.
 func (p *Proc) RecvMatch(pred func(Msg) bool) Msg {
 	for {
-		for i := p.mhead; i < len(p.mbox); i++ {
-			if pred(p.mbox[i]) {
-				return p.takeMsgAt(i)
-			}
+		if m, ok := p.mbox.TakeMatch(pred); ok {
+			return m
 		}
 		p.waiting = true
 		p.park()
@@ -206,31 +188,13 @@ func (p *Proc) RecvMatch(pred func(Msg) bool) Msg {
 // TryRecvMatch returns the earliest queued message satisfying pred, if any,
 // without blocking. Non-matching messages stay queued.
 func (p *Proc) TryRecvMatch(pred func(Msg) bool) (Msg, bool) {
-	for i := p.mhead; i < len(p.mbox); i++ {
-		if pred(p.mbox[i]) {
-			return p.takeMsgAt(i), true
-		}
-	}
-	return Msg{}, false
-}
-
-// takeMsgAt removes and returns the message at mailbox index i (>= mhead),
-// preserving the delivery order of the remaining messages.
-func (p *Proc) takeMsgAt(i int) Msg {
-	if i == p.mhead {
-		return p.popMsg()
-	}
-	m := p.mbox[i]
-	copy(p.mbox[i:], p.mbox[i+1:])
-	p.mbox[len(p.mbox)-1] = Msg{} // drop payload reference
-	p.mbox = p.mbox[:len(p.mbox)-1]
-	return m
+	return p.mbox.TakeMatch(pred)
 }
 
 // RecvTimeout waits up to d for a message. ok is false on timeout.
 func (p *Proc) RecvTimeout(d time.Duration) (m Msg, ok bool) {
 	if p.Pending() > 0 {
-		return p.popMsg(), true
+		return p.mbox.Pop(), true
 	}
 	if d <= 0 {
 		return Msg{}, false
@@ -253,5 +217,5 @@ func (p *Proc) RecvTimeout(d time.Duration) (m Msg, ok bool) {
 		return Msg{}, false
 	}
 	p.tgen++ // cancel the pending timer if a message won the race
-	return p.popMsg(), true
+	return p.mbox.Pop(), true
 }

@@ -95,7 +95,14 @@ type (
 	Addr = mem.Addr
 	// Time is a virtual timestamp (nanoseconds).
 	Time = sim.Time
-	// Proc is a simulated process (used by SpawnRaw baselines).
+	// Port is one core's execution context on the configured backend
+	// (used by SpawnRaw baselines and Runtime.Port); see core.Port.
+	Port = core.Port
+	// Backend selects the execution backend of a System: the
+	// deterministic simulator or the real-concurrency goroutine backend.
+	Backend = core.Backend
+	// Proc is a simulated process (the sim backend's Port implementation
+	// wraps it; advanced simulator-level tooling only).
 	Proc = sim.Proc
 	// Rand is the deterministic per-core random source.
 	Rand = sim.Rand
@@ -105,6 +112,14 @@ type (
 const (
 	Dedicated = core.Dedicated
 	Multitask = core.Multitask
+)
+
+// Execution backends. BackendSim is the deterministic discrete-event
+// simulator (virtual time, reproducible); BackendLive runs every core as a
+// real goroutine (wall-clock time, hardware speed, not reproducible).
+const (
+	BackendSim  = core.BackendSim
+	BackendLive = core.BackendLive
 )
 
 // Write-lock acquisition modes (§3.3).
@@ -238,6 +253,9 @@ func ParsePolicy(s string) (Policy, error) { return cm.Parse(s) }
 
 // ParsePlacement parses a placement policy name (hash|range|adaptive).
 func ParsePlacement(s string) (PlacementKind, error) { return placement.Parse(s) }
+
+// ParseBackend parses an execution backend name (sim|live).
+func ParseBackend(s string) (Backend, error) { return core.ParseBackend(s) }
 
 // NewRand returns a deterministic random source seeded from seed, suitable
 // for building workloads outside the simulated machine.
