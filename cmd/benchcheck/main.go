@@ -1,0 +1,140 @@
+// Command benchcheck asserts invariants over tm2c-bench JSON artifacts in
+// CI. Its first (and so far only) check reads a BENCH_ablbatch.json and
+// verifies the message-plane claim: with protocol batching off, the
+// coalescing transport must report at least -minreduction percent fewer
+// wire messages per operation than the uncoalesced plane, and coalescing
+// must never inflate per-operation wire traffic beyond noise in any row
+// pair. The per-operation normalization is what makes the check valid on
+// the live backend, where each row's wall-clock window covers a different
+// amount of work.
+//
+// Usage:
+//
+//	tm2c-bench -run ablbatch -scale quick -json out/
+//	benchcheck -file out/BENCH_ablbatch.json -minreduction 20
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// table mirrors the exp.Table JSON schema (only what the check needs).
+type table struct {
+	ID      string     `json:"id"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+type benchResult struct {
+	ID      string   `json:"id"`
+	Backend string   `json:"backend"`
+	Tables  []*table `json:"tables"`
+}
+
+func main() {
+	var (
+		file         = flag.String("file", "", "BENCH_ablbatch.json to check")
+		minReduction = flag.Float64("minreduction", 20, "minimum percent wire-message reduction required on the batching-off pair")
+	)
+	flag.Parse()
+	if *file == "" {
+		fatal(fmt.Errorf("-file is required"))
+	}
+	buf, err := os.ReadFile(*file)
+	if err != nil {
+		fatal(err)
+	}
+	var res benchResult
+	if err := json.Unmarshal(buf, &res); err != nil {
+		fatal(fmt.Errorf("%s: %v", *file, err))
+	}
+	grid := findTable(res.Tables, "ablbatch")
+	if grid == nil {
+		fatal(fmt.Errorf("%s: no ablbatch table", *file))
+	}
+	batchCol := colIndex(grid, "batching")
+	coalCol := colIndex(grid, "coalesce")
+	wireCol := colIndex(grid, "wire/op")
+	ppwCol := colIndex(grid, "payloads/wire")
+
+	// Pair up rows by batching setting: coalesce off vs on.
+	type rowVals struct{ wirePerOp, ppw float64 }
+	rows := map[string]map[string]rowVals{} // batching -> coalesce -> values
+	for _, row := range grid.Rows {
+		b, c := row[batchCol], row[coalCol]
+		w, err := strconv.ParseFloat(row[wireCol], 64)
+		if err != nil {
+			fatal(fmt.Errorf("row %v: bad wire/op %q", row, row[wireCol]))
+		}
+		ppw, err := strconv.ParseFloat(row[ppwCol], 64)
+		if err != nil {
+			fatal(fmt.Errorf("row %v: bad payloads/wire %q", row, row[ppwCol]))
+		}
+		if rows[b] == nil {
+			rows[b] = map[string]rowVals{}
+		}
+		rows[b][c] = rowVals{wirePerOp: w, ppw: ppw}
+	}
+	failed := false
+	for _, b := range []string{"on", "off"} {
+		off, okOff := rows[b]["off"]
+		on, okOn := rows[b]["on"]
+		if !okOff || !okOn {
+			fatal(fmt.Errorf("missing coalesce on/off pair for batching=%s", b))
+		}
+		// Two views of the reduction: per operation across the run pair
+		// (noisy on live — abort rates differ run to run), and per logical
+		// payload within the coalesced run (structural: 1 - 1/ppw is
+		// exactly the fraction of wire messages the envelopes absorbed).
+		crossRun := 100 * (1 - on.wirePerOp/off.wirePerOp)
+		perPayload := 0.0
+		if on.ppw > 0 {
+			perPayload = 100 * (1 - 1/on.ppw)
+		}
+		fmt.Printf("%s backend=%s batching=%s: wire msgs/op %v -> %v (%.1f%% cross-run, %.1f%% per-payload reduction)\n",
+			res.ID, res.Backend, b, off.wirePerOp, on.wirePerOp, crossRun, perPayload)
+		if b != "off" {
+			continue // the batching-on pair has nothing to merge; informational only
+		}
+		if perPayload < *minReduction {
+			fmt.Printf("FAIL: batching=off per-payload reduction %.1f%% < required %.1f%%\n", perPayload, *minReduction)
+			failed = true
+		}
+		if on.wirePerOp >= off.wirePerOp {
+			fmt.Printf("FAIL: batching=off: coalesced run sent no fewer wire messages per op (%v vs %v)\n",
+				on.wirePerOp, off.wirePerOp)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func findTable(ts []*table, id string) *table {
+	for _, t := range ts {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+func colIndex(t *table, name string) int {
+	for i, c := range t.Columns {
+		if c == name {
+			return i
+		}
+	}
+	fatal(fmt.Errorf("table %s has no %q column (have %v)", t.ID, name, t.Columns))
+	return -1
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}

@@ -8,6 +8,7 @@
 //	tm2c-bench -run all -scale quick
 //	tm2c-bench -run fig8a,fig8b -scale full -csv
 //	tm2c-bench -run fig5a -serialrpc
+//	tm2c-bench -run ablbatch -coalesce
 //	tm2c-bench -run ablplace -placement adaptive
 //	tm2c-bench -run ablro -readonly
 //	tm2c-bench -run fig5a -scale quick -backend live
@@ -18,6 +19,9 @@
 // tables, or CSV with -csv. -serialrpc forces serial commit-time lock
 // acquisition (instead of scatter-gather) in every experiment, for A/B
 // comparisons; the ablrpc ablation compares the two modes directly.
+// -coalesce enables the coalescing message plane (per-destination wire
+// batching, Config.Coalesce) in every experiment; the ablbatch ablation
+// compares both planes directly.
 // -placement forces an object→DTM-node placement policy in every
 // experiment; the ablplace ablation compares the three policies directly.
 // -readonly runs every bank balance scan as a declared read-only
@@ -26,8 +30,9 @@
 // (sim, the default; durations are virtual and reproducible) or the
 // real-concurrency goroutine backend (live; durations are wall-clock and
 // throughput columns read operations per wall millisecond). -json writes
-// one machine-readable BENCH_<id>.json per experiment into the given
-// directory, seeding the bench trajectory.
+// one machine-readable BENCH_<id>.json (BENCH_<id>_live.json for live
+// results) per experiment into the given directory, seeding the bench
+// trajectory.
 package main
 
 import (
@@ -64,6 +69,7 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		serialRPC  = flag.Bool("serialrpc", false, "force serial (non-scatter-gather) commit lock acquisition in every experiment")
+		coalesce   = flag.Bool("coalesce", false, "enable the coalescing message plane (per-destination wire batching) in every experiment")
 		placementF = flag.String("placement", "", "force a placement policy (hash | range | adaptive) in every experiment")
 		readonly   = flag.Bool("readonly", false, "run every bank balance scan as a declared read-only transaction")
 		backendF   = flag.String("backend", "sim", "execution backend: sim (deterministic simulator) | live (real goroutines, wall-clock)")
@@ -75,6 +81,7 @@ func main() {
 	var ov exp.Overrides
 	ov.SerialRPC = *serialRPC
 	ov.ReadOnly = *readonly
+	ov.Coalesce = *coalesce
 	if *placementF != "" {
 		k, err := placement.Parse(*placementF)
 		if err != nil {
@@ -164,7 +171,14 @@ func main() {
 				ElapsedMS:      elapsed.Milliseconds(),
 				Tables:         tables,
 			}
-			path := filepath.Join(*jsonDir, fmt.Sprintf("BENCH_%s.json", e.ID))
+			// Sim results keep the historic BENCH_<id>.json name; live
+			// results carry a _live suffix so both backends' baselines can
+			// sit in one directory without clobbering each other.
+			name := fmt.Sprintf("BENCH_%s.json", e.ID)
+			if resBackend == core.BackendLive.String() {
+				name = fmt.Sprintf("BENCH_%s_live.json", e.ID)
+			}
+			path := filepath.Join(*jsonDir, name)
 			buf, err := json.MarshalIndent(&res, "", "  ")
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "tm2c-bench: marshal %s: %v\n", e.ID, err)

@@ -33,6 +33,7 @@ func main() {
 		deploy   = flag.String("deployment", "dedicated", "dedicated | multitask")
 		acquire  = flag.String("acquire", "lazy", "lazy | eager")
 		serial   = flag.Bool("serialrpc", false, "serial commit lock acquisition instead of scatter-gather")
+		coalesce = flag.Bool("coalesce", false, "coalescing message plane: same-destination payloads of one burst share a wire message")
 		place    = flag.String("placement", "hash", "hash | range | adaptive object→DTM-node placement")
 		epoch    = flag.Int("epoch", 0, "adaptive placement: lock accesses per repartition epoch (0 = default)")
 		platform = flag.String("platform", "scc", "scc | scc800 | opteron | scc:N (setting N)")
@@ -74,6 +75,7 @@ func main() {
 		ServiceCores:     *svc,
 		Policy:           pol,
 		SerialRPC:        *serial,
+		Coalesce:         *coalesce,
 		Placement:        placeKind,
 		RepartitionEpoch: *epoch,
 	}
@@ -209,6 +211,8 @@ func report(sys *repro.System, st *repro.Stats) {
 	}
 	fmt.Printf("messages            %d (%.1f KB), read-lock %d, write-lock %d, release %d, early %d\n",
 		st.Msgs, float64(st.MsgBytes)/1024, st.ReadLockReqs, st.WriteLockReqs, st.ReleaseMsgs, st.EarlyReleases)
+	fmt.Printf("wire messages       %d (%.2f avg payloads/wire msg; %d payloads coalesced into shared envelopes)\n",
+		st.WireMsgs, st.PayloadsPerWireMsg(), st.CoalescedPayloads)
 	if st.Commits > 0 {
 		fmt.Printf("commit round trips  %d (%.2f awaited/commit)\n",
 			st.CommitRoundTrips, float64(st.CommitRoundTrips)/float64(st.Commits))

@@ -266,10 +266,3 @@ func (l *Local) EffectiveTime() sim.Time { return l.effTime }
 
 // Attempts returns the abort count of the current lifespan.
 func (l *Local) Attempts() int { return l.attempts }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -196,6 +196,16 @@ type Config struct {
 	// once with a single gather phase. For the RPC ablation; releases stay
 	// fire-and-forget either way.
 	SerialRPC bool
+	// Coalesce enables the coalescing message plane: protocol payloads
+	// headed to the same destination within one burst — a commit scatter,
+	// a release burst, the responses of one DTM dispatch — leave as a
+	// single multi-payload wire message (port.Outbox → sim.Batch), charged
+	// the batched cost model (noc.BatchDelay: fixed software overheads
+	// once per wire message, marginal bytes per payload). Off by default:
+	// the uncoalesced plane is the bit-identical historic behavior the
+	// figure fingerprints pin. Stats.WireMsgs/CoalescedPayloads quantify
+	// the effect; the ablbatch ablation compares both planes.
+	Coalesce bool
 	// LockGranule is the number of words covered by one lock stripe; it
 	// must be a power of two (default 1). Objects larger than the granule
 	// are locked by their base address.
@@ -279,14 +289,22 @@ type Stats struct {
 
 	AbortsByKind [3]uint64 // indexed by cm.Kind
 
-	// Message traffic.
-	Msgs          uint64
-	MsgBytes      uint64
-	ReadLockReqs  uint64
-	WriteLockReqs uint64
-	ReleaseMsgs   uint64
-	EarlyReleases uint64
-	Responses     uint64
+	// Message traffic. Msgs counts protocol payloads (the logical message
+	// plane); WireMsgs counts physical wire messages. Without coalescing
+	// they are equal. With Config.Coalesce, payloads staged for the same
+	// destination within one burst share a wire message, so WireMsgs <=
+	// Msgs and Msgs/WireMsgs is the average payloads per wire message.
+	// CoalescedPayloads counts the payloads that rode in multi-payload
+	// envelopes (0 when coalescing is off or never merged anything).
+	Msgs              uint64
+	MsgBytes          uint64
+	WireMsgs          uint64
+	CoalescedPayloads uint64
+	ReadLockReqs      uint64
+	WriteLockReqs     uint64
+	ReleaseMsgs       uint64
+	EarlyReleases     uint64
+	Responses         uint64
 
 	// CommitRoundTrips counts the awaited round-trip phases of commit-time
 	// write-lock acquisition: under SerialRPC one per per-node batch, under
@@ -335,6 +353,8 @@ func (s *Stats) addShard(o *Stats) {
 	}
 	s.Msgs += o.Msgs
 	s.MsgBytes += o.MsgBytes
+	s.WireMsgs += o.WireMsgs
+	s.CoalescedPayloads += o.CoalescedPayloads
 	s.ReadLockReqs += o.ReadLockReqs
 	s.WriteLockReqs += o.WriteLockReqs
 	s.ReleaseMsgs += o.ReleaseMsgs
@@ -379,6 +399,16 @@ func (s *Stats) LoadImbalance() float64 {
 		return 0
 	}
 	return float64(max) * float64(len(s.NodeLoad)) / float64(total)
+}
+
+// PayloadsPerWireMsg returns the average number of protocol payloads per
+// physical wire message: 1 when nothing coalesced, higher when
+// Config.Coalesce merged bursts. It returns 0 when no message was sent.
+func (s *Stats) PayloadsPerWireMsg() float64 {
+	if s.WireMsgs == 0 {
+		return 0
+	}
+	return float64(s.Msgs) / float64(s.WireMsgs)
 }
 
 // CommitRate returns the fraction of attempts that committed, in percent.

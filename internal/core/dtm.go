@@ -34,15 +34,71 @@ type dtmNode struct {
 	// table has shrunk since (release, early release, or revocation).
 	handoffGen uint64
 	shrunk     bool
+
+	// out is the node's coalescing outbox (Config.Coalesce): responses
+	// stage into it during a dispatch and flush when the mailbox is
+	// momentarily empty, so the grants/NACKs answering requests that
+	// arrived together (e.g. an unpacked commit-scatter envelope) share
+	// one wire message per requesting core. Unused when coalescing is off.
+	out port.Outbox
 }
 
 // serveLoop is the dedicated-deployment service loop: receive, handle,
-// repeat. The port is reclaimed by the backend at shutdown.
+// repeat. Under Config.Coalesce one dispatch serves the whole contiguous
+// burst queued from the SAME sender — exactly what an unpacked multi-payload
+// envelope leaves in the mailbox — before flushing the staged responses, so
+// the grants/NACKs answering one core's burst share a wire message. The
+// window never extends across senders: responses to different cores cannot
+// coalesce anyway, so delaying them behind another core's service time
+// would cost latency for nothing, and a lone request is answered at the
+// same instant the uncoalesced plane answers it. The port is reclaimed by
+// the backend at shutdown.
 func (n *dtmNode) serveLoop(p port.Port) {
+	if !n.s.cfg.Coalesce {
+		for {
+			m := p.Recv()
+			n.handle(p, m)
+		}
+	}
 	for {
 		m := p.Recv()
-		n.handle(p, m)
+		n.dispatchBurst(p, m)
 	}
+}
+
+// dispatchBurst serves m and the already-queued backlog in strict arrival
+// order, flushing the staged responses every time the sender changes and
+// once the mailbox is momentarily empty. Payloads of an unpacked envelope
+// sit contiguously in the mailbox, so one core's burst is answered with one
+// coalesced response envelope, while a response to anyone else never waits
+// (a sender change flushes first) and service order stays exactly the
+// uncoalesced plane's FIFO — the loop is Recv-handle unrolled with O(1)
+// receives, no mailbox scans. Only used when coalescing is on.
+func (n *dtmNode) dispatchBurst(p port.Port, m port.Msg) {
+	for {
+		from := m.From
+		n.handle(p, m)
+		next, ok := p.TryRecv()
+		if !ok {
+			break
+		}
+		if next.From != from {
+			// The previous sender's burst is over; its responses leave now.
+			n.flushOut(p)
+		}
+		m = next
+	}
+	n.flushOut(p)
+}
+
+// flushOut transmits the responses staged during the current dispatch, one
+// wire message per requesting core. Every dispatch site flushes before its
+// port can block on a receive, so a staged grant never deadlocks against
+// the requester awaiting it.
+func (n *dtmNode) flushOut(p port.Port) {
+	n.out.Flush(func(e *port.OutEntry) {
+		n.s.sendEntry(&n.shard, p, n.core, e)
+	})
 }
 
 // handle dispatches one incoming message. It returns true if the message
@@ -289,5 +345,9 @@ func (n *dtmNode) respond(p port.Port, reply port.Port, replyCore int, resp *res
 		panic(fmt.Sprintf("core: dtm%d response with no reply proc", n.core))
 	}
 	n.shard.Responses++
+	if n.s.cfg.Coalesce {
+		n.out.Stage(reply, replyCore, resp, msgRespBytes)
+		return
+	}
 	n.s.send(&n.shard, p, n.core, reply, replyCore, resp, msgRespBytes)
 }

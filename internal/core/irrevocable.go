@@ -145,9 +145,13 @@ func (rt *Runtime) RunIrrevocable(fn func(*Irrevocable)) {
 		rt.awaitExclusiveGrant()
 	}
 	fn(&Irrevocable{rt: rt, id: id})
+	// Token-release burst: fire-and-forget to every node, coalesced like
+	// any other burst when the message plane coalesces (one payload per
+	// node here, so the win is uniformity, not merging).
 	for ni := range rt.s.nodes {
-		rt.sendToNode(ni, &relExclusive{Core: rt.core, TxID: id})
+		rt.burstToNode(ni, &relExclusive{Core: rt.core, TxID: id})
 	}
+	rt.flushOut()
 	rt.s.Regs.SetStatusLocal(rt.core, id, mem.TxCommitted)
 	rt.stats.Commits++
 	rt.shard.Irrevocables++
@@ -166,6 +170,7 @@ func (rt *Runtime) awaitExclusiveGrant() {
 			rt.barrierSeen[pl.Epoch]++
 		default:
 			if rt.node != nil && rt.node.handle(rt.proc, m) {
+				rt.node.flushOut(rt.proc)
 				continue
 			}
 			panic(fmt.Sprintf("core: app%d unexpected message %T awaiting exclusivity", rt.core, m.Payload))

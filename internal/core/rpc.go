@@ -61,6 +61,29 @@ func (rt *Runtime) sendToNode(ni int, msg wireMsg) {
 	rt.s.send(&rt.shard, rt.proc, rt.core, rt.s.nodePorts[ni], rt.s.nodes[ni].core, msg, msg.bytes())
 }
 
+// burstToNode queues one protocol message of a burst for DTM node ni:
+// staged in the core's outbox under Config.Coalesce (payloads sharing a
+// destination node then share a wire message at the next flushOut), sent
+// directly otherwise. Burst sites call it unconditionally and follow with
+// flushOut, which is a no-op on the uncoalesced plane.
+func (rt *Runtime) burstToNode(ni int, msg wireMsg) {
+	if !rt.s.cfg.Coalesce {
+		rt.sendToNode(ni, msg)
+		return
+	}
+	rt.out.Stage(rt.s.nodePorts[ni], rt.s.nodes[ni].core, msg, msg.bytes())
+}
+
+// flushOut transmits every burst staged in the core's outbox, one wire
+// message per destination node. Every staging site flushes before the core
+// can block on a receive, so no staged message ever waits on mailbox
+// traffic.
+func (rt *Runtime) flushOut() {
+	rt.out.Flush(func(e *port.OutEntry) {
+		rt.s.sendEntry(&rt.shard, rt.proc, rt.core, e)
+	})
+}
+
 // maxPlacementHops bounds how many times one logical lock request chases
 // migrating ownership (stale-epoch NACK → re-resolve → resend) before the
 // attempt aborts. The abort releases the attempt's locks, which is exactly
@@ -115,9 +138,17 @@ func (rt *Runtime) rpcReadLock(tx *Tx, key mem.Addr) *respLock {
 // The caller has already recorded the accesses (once per logical
 // acquisition, not per resend).
 func (rt *Runtime) sendWriteLock(tx *Tx, node int, epoch uint64, keys []mem.Addr) uint64 {
-	id := rt.nextReqID()
+	req := rt.writeLockReq(tx, epoch, keys)
+	rt.sendToNode(node, req)
+	return req.ReqID
+}
+
+// writeLockReq builds one write-lock batch request with a fresh correlation
+// ID, counting it in the shard (the request will be transmitted exactly
+// once, sent directly or staged for a coalesced burst).
+func (rt *Runtime) writeLockReq(tx *Tx, epoch uint64, keys []mem.Addr) *reqWriteLock {
 	req := &reqWriteLock{
-		ReqID:   id,
+		ReqID:   rt.nextReqID(),
 		Epoch:   epoch,
 		Addrs:   keys,
 		Meta:    rt.local.RequestMeta(tx.id, rt.proc.Now()),
@@ -125,8 +156,7 @@ func (rt *Runtime) sendWriteLock(tx *Tx, node int, epoch uint64, keys []mem.Addr
 		ReplyTo: rt.core,
 	}
 	rt.shard.WriteLockReqs++
-	rt.sendToNode(node, req)
-	return id
+	return req
 }
 
 // rpcWriteLock sends one batched write-lock request and waits for its
@@ -155,12 +185,18 @@ func (rt *Runtime) rpcWriteLockEager(tx *Tx, key mem.Addr) *respLock {
 
 // scatterWriteLocks sends every write-lock batch in one burst and gathers
 // all responses, stamping every request with the batches' shared grouping
-// epoch. Results are indexed by batch, in send order.
+// epoch. Results are indexed by batch, in send order. Under Config.Coalesce
+// the burst goes through the outbox, so batches addressed to the same node
+// (the NoBatching ablation splits per object) share one wire message; the
+// flush marks the end of the scatter burst, before the gather phase blocks.
 func (rt *Runtime) scatterWriteLocks(tx *Tx, epoch uint64, batches []nodeGroup) []*respLock {
 	ids := make([]uint64, len(batches))
 	for i, b := range batches {
-		ids[i] = rt.sendWriteLock(tx, b.node, epoch, b.addrs)
+		req := rt.writeLockReq(tx, epoch, b.addrs)
+		rt.burstToNode(b.node, req)
+		ids[i] = req.ReqID
 	}
+	rt.flushOut()
 	out := make([]*respLock, len(ids))
 	rt.awaitIDs = append(rt.awaitIDs[:0], ids...)
 	for remaining := len(ids); remaining > 0; {
@@ -208,5 +244,8 @@ func (rt *Runtime) recvRPC() *respLock {
 	if !rt.node.handle(rt.proc, m) {
 		panic(fmt.Sprintf("core: app%d matched unservable message %T", rt.core, m.Payload))
 	}
+	// One-request dispatch: the next loop turn blocks in RecvMatch, so the
+	// co-located node's staged response must leave now.
+	rt.node.flushOut(rt.proc)
 	return nil
 }

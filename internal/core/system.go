@@ -205,7 +205,11 @@ func (s *System) SpawnWorkers(worker func(rt *Runtime)) {
 				// Keep serving DTM requests after the workload finishes.
 				for {
 					m := p.Recv()
-					rt.node.handle(p, m)
+					if s.cfg.Coalesce {
+						rt.node.dispatchBurst(p, m)
+					} else {
+						rt.node.handle(p, m)
+					}
 				}
 			}
 		})
@@ -409,7 +413,31 @@ func (s *System) send(st *Stats, p port.Port, srcCore int, dstPort port.Port, ds
 	delay := s.cfg.Platform.MsgDelay(srcCore, dstCore, nbytes, s.recvPeers(dstCore))
 	p.Send(dstPort, payload, delay)
 	st.Msgs++
+	st.WireMsgs++
 	st.MsgBytes += uint64(nbytes)
+}
+
+// sendEntry transmits one flushed Outbox entry from srcCore: a singleton
+// entry goes out exactly like an uncoalesced send (bare payload, MsgDelay —
+// so a burst that never merged behaves identically to the uncoalesced
+// plane), a multi-payload entry as one Batch envelope charged the batched
+// cost model (fixed overheads once, payload bytes summed). The receiving
+// backend unpacks the envelope into individual mailbox messages, so
+// selective receive never observes it.
+func (s *System) sendEntry(st *Stats, p port.Port, srcCore int, e *port.OutEntry) {
+	dstCore := e.DstTag
+	if len(e.Payloads) == 1 {
+		s.send(st, p, srcCore, e.Dst, dstCore, e.Payloads[0], e.Bytes)
+		return
+	}
+	delay := s.cfg.Platform.BatchDelay(srcCore, dstCore, e.Bytes, len(e.Payloads), s.recvPeers(dstCore))
+	// Flush transfers ownership of e.Payloads, so the envelope may carry
+	// the slice as-is: the outbox never touches it again after the flush.
+	p.Send(e.Dst, &port.Batch{Payloads: e.Payloads}, delay)
+	st.Msgs += uint64(len(e.Payloads))
+	st.WireMsgs++
+	st.CoalescedPayloads += uint64(len(e.Payloads))
+	st.MsgBytes += uint64(e.Bytes)
 }
 
 // compute scales a nominal duration to the platform.

@@ -36,6 +36,12 @@ type Runtime struct {
 	awaitIDs  []uint64
 	awaitPred func(port.Msg) bool
 
+	// out is the core's coalescing outbox (Config.Coalesce): burst sends —
+	// commit scatter, release bursts — stage into it and flush at the end
+	// of the burst, so payloads sharing a destination DTM node share one
+	// wire message. Unused (always empty) when coalescing is off.
+	out port.Outbox
+
 	barrierEpoch uint64
 	barrierSeen  map[uint64]int
 }
@@ -410,8 +416,9 @@ func (tx *Tx) EarlyRelease(bases ...mem.Addr) {
 	for _, g := range rt.groupByNode(keys) {
 		msg := &earlyRelease{Addrs: g.addrs, Core: rt.core, TxID: tx.id}
 		rt.shard.EarlyReleases++
-		rt.sendToNode(g.node, msg)
+		rt.burstToNode(g.node, msg)
 	}
+	rt.flushOut()
 }
 
 // commit implements Algorithm 3 (txcommit): acquire the write locks (batched
@@ -655,8 +662,9 @@ func (rt *Runtime) releaseAll(tx *Tx) {
 		r := perNode[ni]
 		msg := &relLocks{ReadAddrs: r.reads, WriteAddrs: r.writes, Core: rt.core, TxID: tx.id}
 		rt.shard.ReleaseMsgs++
-		rt.sendToNode(ni, msg)
+		rt.burstToNode(ni, msg)
 	}
+	rt.flushOut()
 }
 
 // writeKeys returns the deduplicated lock keys of the write set, in first-
@@ -706,6 +714,10 @@ func (rt *Runtime) drainRequests() {
 	for {
 		m, ok := rt.proc.TryRecv()
 		if !ok {
+			// End of the boundary dispatch: responses staged for the
+			// requests served above leave before the core resumes
+			// transactional work (which may block on its own receives).
+			rt.node.flushOut(rt.proc)
 			return
 		}
 		if !rt.node.handle(rt.proc, m) {
@@ -738,6 +750,7 @@ func (rt *Runtime) Barrier() {
 			rt.barrierSeen[pl.Epoch]++
 		default:
 			if rt.node != nil && rt.node.handle(rt.proc, m) {
+				rt.node.flushOut(rt.proc)
 				continue
 			}
 			panic(fmt.Sprintf("core: app%d unexpected message %T in barrier", rt.core, m.Payload))

@@ -32,6 +32,12 @@ type Overrides struct {
 	// -readonly flag for A/B-ing the bank figures against the read-only
 	// fast path. The ablro ablation compares both kinds itself.
 	ReadOnly bool
+	// Coalesce enables the coalescing message plane (Config.Coalesce) in
+	// every system an experiment builds — wired to the -coalesce flag for
+	// A/B-ing any figure against the batched transport. The ablbatch
+	// ablation compares both planes itself; under the flag its uncoalesced
+	// rows degenerate to coalesced ones.
+	Coalesce bool
 	// Backend selects the execution backend every system runs on — wired
 	// to the -backend flag. On BackendLive durations are wall-clock and
 	// throughput columns read ops per wall millisecond. The fig8a
@@ -50,6 +56,7 @@ type sysConfig struct {
 	acq       core.AcquireMode
 	batch     bool // false disables write-lock batching
 	serialRPC bool // true disables commit-time scatter-gather
+	coalesce  bool // true enables the coalescing message plane
 	gran      int
 	place     placement.Kind
 	repEpoch  int // adaptive placement epoch length (0 = default)
@@ -72,6 +79,7 @@ func (c sysConfig) build(ov Overrides) *core.System {
 		Acquire:          c.acq,
 		NoBatching:       !c.batch,
 		SerialRPC:        c.serialRPC || ov.SerialRPC,
+		Coalesce:         c.coalesce || ov.Coalesce,
 		LockGranule:      c.gran,
 		Placement:        c.place,
 		RepartitionEpoch: c.repEpoch,

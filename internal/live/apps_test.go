@@ -4,6 +4,10 @@
 // commit order to replay), so correctness is checked at the invariant
 // level, exactly as on real hardware: conservation laws, structural
 // integrity of the shared structures, and empty lock tables at quiesce.
+//
+// Every app runs once per message plane — the uncoalesced default and the
+// coalescing transport (Config.Coalesce) — so batch envelopes, the outbox
+// flush points and the per-sender DTM dispatch all race real goroutines.
 package live_test
 
 import (
@@ -27,7 +31,13 @@ import (
 // is exercising real concurrency, not throughput.
 const liveWindow = 40 * time.Millisecond
 
-func liveSystem(t *testing.T, mut func(*core.Config)) *core.System {
+// bothPlanes runs body once per message plane, as subtests.
+func bothPlanes(t *testing.T, body func(t *testing.T, coalesce bool)) {
+	t.Run("plain", func(t *testing.T) { body(t, false) })
+	t.Run("coalesce", func(t *testing.T) { body(t, true) })
+}
+
+func liveSystem(t *testing.T, coalesce bool, mut func(*core.Config)) *core.System {
 	t.Helper()
 	cfg := core.Config{
 		Backend:    core.BackendLive,
@@ -36,7 +46,8 @@ func liveSystem(t *testing.T, mut func(*core.Config)) *core.System {
 		// FairCM: starvation-free, so every in-flight transaction finishes
 		// and the post-deadline drain stays short (NoCM can livelock on
 		// hot keys — on live that is real spinning, not virtual time).
-		Policy: cm.FairCM,
+		Policy:   cm.FairCM,
+		Coalesce: coalesce,
 	}
 	if mut != nil {
 		mut(&cfg)
@@ -61,7 +72,140 @@ func checkQuiesced(t *testing.T, s *core.System, st *core.Stats) {
 }
 
 func TestLiveBank(t *testing.T) {
-	s := liveSystem(t, nil)
+	bothPlanes(t, func(t *testing.T, coalesce bool) {
+		s := liveSystem(t, coalesce, nil)
+		const accounts = 128
+		b := bank.New(s, accounts)
+		s.SpawnWorkers(b.TransferWorker(10))
+		st := s.Run(liveWindow)
+		checkQuiesced(t, s, st)
+		if b.TotalRaw() != b.Total() {
+			t.Errorf("money not conserved: %d != %d", b.TotalRaw(), b.Total())
+		}
+	})
+}
+
+func TestLiveBankZipfAdaptive(t *testing.T) {
+	// Skewed writes against the adaptive directory: migrations, stale
+	// NACKs and handoffs all race real goroutines here.
+	bothPlanes(t, func(t *testing.T, coalesce bool) {
+		s := liveSystem(t, coalesce, func(c *core.Config) {
+			c.Placement = placement.Adaptive
+			c.RepartitionEpoch = 512
+		})
+		const accounts = 256
+		b := bank.New(s, accounts)
+		s.SpawnWorkers(b.ZipfTransferWorker(0, 1.1))
+		st := s.Run(liveWindow)
+		checkQuiesced(t, s, st)
+		if b.TotalRaw() != b.Total() {
+			t.Errorf("money not conserved: %d != %d", b.TotalRaw(), b.Total())
+		}
+		if err := s.Placement().CheckInvariants(); err != nil {
+			t.Errorf("directory invariants violated: %v", err)
+		}
+	})
+}
+
+func TestLiveHashSet(t *testing.T) {
+	bothPlanes(t, func(t *testing.T, coalesce bool) {
+		s := liveSystem(t, coalesce, nil)
+		set := hashset.New(s, 32)
+		r := sim.NewRand(11)
+		keys := set.InitFill(128, 512, &r)
+		s.SpawnWorkers(set.Worker(hashset.Workload{UpdatePct: 30, KeyRange: 512}))
+		st := s.Run(liveWindow)
+		checkQuiesced(t, s, st)
+		if len(keys) == 0 {
+			t.Fatal("init fill inserted nothing")
+		}
+		seen := make(map[uint64]bool)
+		for _, k := range set.RawKeys() {
+			if seen[k] {
+				t.Fatalf("duplicate key %d in hash set", k)
+			}
+			seen[k] = true
+		}
+	})
+}
+
+func TestLiveIntSet(t *testing.T) {
+	for _, mode := range []intset.Mode{intset.Normal, intset.ElasticEarly, intset.ElasticRead} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			bothPlanes(t, func(t *testing.T, coalesce bool) {
+				s := liveSystem(t, coalesce, nil)
+				l := intset.New(s)
+				r := sim.NewRand(13)
+				l.InitFill(96, 384, &r)
+				s.SpawnWorkers(l.Worker(intset.Workload{UpdatePct: 25, KeyRange: 384, Mode: mode}))
+				st := s.Run(liveWindow)
+				checkQuiesced(t, s, st)
+				keys := l.RawKeys()
+				if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+					t.Fatalf("list keys out of order: %v", keys)
+				}
+				for i := 1; i < len(keys); i++ {
+					if keys[i] == keys[i-1] {
+						t.Fatalf("duplicate key %d in sorted list", keys[i])
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestLiveSkipList(t *testing.T) {
+	bothPlanes(t, func(t *testing.T, coalesce bool) {
+		s := liveSystem(t, coalesce, nil)
+		l := skiplist.New(s)
+		r := sim.NewRand(17)
+		l.InitFill(96, 384, &r)
+		s.SpawnWorkers(l.Worker(skiplist.Workload{UpdatePct: 25, KeyRange: 384}))
+		st := s.Run(liveWindow)
+		checkQuiesced(t, s, st)
+		if _, err := l.CheckTowers(); err != nil {
+			t.Errorf("skip list structure broken: %v", err)
+		}
+	})
+}
+
+func TestLiveMapReduce(t *testing.T) {
+	bothPlanes(t, func(t *testing.T, coalesce bool) {
+		s := liveSystem(t, coalesce, func(c *core.Config) { c.ServiceCores = 2 })
+		const size = 96 << 10
+		j := mapreduce.NewJob(s, 7, size, 8<<10)
+		s.SpawnWorkers(func(rt *core.Runtime) { j.Worker(rt) })
+		st := s.RunToCompletion()
+		checkQuiesced(t, s, st)
+		if got := j.HistogramTotal(); got != size {
+			t.Fatalf("merged %d of %d bytes", got, size)
+		}
+		if j.HistogramRaw() != j.Expected() {
+			t.Fatal("histogram does not match the sequential model")
+		}
+	})
+}
+
+func TestLiveMultitaskDeployment(t *testing.T) {
+	bothPlanes(t, func(t *testing.T, coalesce bool) {
+		s := liveSystem(t, coalesce, func(c *core.Config) { c.Deployment = core.Multitask; c.TotalCores = 8 })
+		b := bank.New(s, 64)
+		s.SpawnWorkers(b.TransferWorker(5))
+		st := s.Run(liveWindow)
+		checkQuiesced(t, s, st)
+		if b.TotalRaw() != b.Total() {
+			t.Errorf("money not conserved: %d != %d", b.TotalRaw(), b.Total())
+		}
+	})
+}
+
+// TestLiveCoalescedNoBatching drives the maximum-multiplicity path on real
+// goroutines: per-object write-lock requests (NoBatching) re-merged into
+// per-node envelopes by the outbox, with the per-sender DTM dispatch
+// coalescing the grants on the way back.
+func TestLiveCoalescedNoBatching(t *testing.T) {
+	s := liveSystem(t, true, func(c *core.Config) { c.NoBatching = true; c.ServiceCores = 4 })
 	const accounts = 128
 	b := bank.New(s, accounts)
 	s.SpawnWorkers(b.TransferWorker(10))
@@ -70,115 +214,18 @@ func TestLiveBank(t *testing.T) {
 	if b.TotalRaw() != b.Total() {
 		t.Errorf("money not conserved: %d != %d", b.TotalRaw(), b.Total())
 	}
-}
-
-func TestLiveBankZipfAdaptive(t *testing.T) {
-	// Skewed writes against the adaptive directory: migrations, stale
-	// NACKs and handoffs all race real goroutines here.
-	s := liveSystem(t, func(c *core.Config) {
-		c.Placement = placement.Adaptive
-		c.RepartitionEpoch = 512
-	})
-	const accounts = 256
-	b := bank.New(s, accounts)
-	s.SpawnWorkers(b.ZipfTransferWorker(0, 1.1))
-	st := s.Run(liveWindow)
-	checkQuiesced(t, s, st)
-	if b.TotalRaw() != b.Total() {
-		t.Errorf("money not conserved: %d != %d", b.TotalRaw(), b.Total())
+	if st.WireMsgs > st.Msgs {
+		t.Errorf("wire messages %d exceed logical payloads %d", st.WireMsgs, st.Msgs)
 	}
-	if err := s.Placement().CheckInvariants(); err != nil {
-		t.Errorf("directory invariants violated: %v", err)
-	}
-}
-
-func TestLiveHashSet(t *testing.T) {
-	s := liveSystem(t, nil)
-	set := hashset.New(s, 32)
-	r := sim.NewRand(11)
-	keys := set.InitFill(128, 512, &r)
-	s.SpawnWorkers(set.Worker(hashset.Workload{UpdatePct: 30, KeyRange: 512}))
-	st := s.Run(liveWindow)
-	checkQuiesced(t, s, st)
-	if len(keys) == 0 {
-		t.Fatal("init fill inserted nothing")
-	}
-	seen := make(map[uint64]bool)
-	for _, k := range set.RawKeys() {
-		if seen[k] {
-			t.Fatalf("duplicate key %d in hash set", k)
-		}
-		seen[k] = true
-	}
-}
-
-func TestLiveIntSet(t *testing.T) {
-	for _, mode := range []intset.Mode{intset.Normal, intset.ElasticEarly, intset.ElasticRead} {
-		mode := mode
-		t.Run(mode.String(), func(t *testing.T) {
-			s := liveSystem(t, nil)
-			l := intset.New(s)
-			r := sim.NewRand(13)
-			l.InitFill(96, 384, &r)
-			s.SpawnWorkers(l.Worker(intset.Workload{UpdatePct: 25, KeyRange: 384, Mode: mode}))
-			st := s.Run(liveWindow)
-			checkQuiesced(t, s, st)
-			keys := l.RawKeys()
-			if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
-				t.Fatalf("list keys out of order: %v", keys)
-			}
-			for i := 1; i < len(keys); i++ {
-				if keys[i] == keys[i-1] {
-					t.Fatalf("duplicate key %d in sorted list", keys[i])
-				}
-			}
-		})
-	}
-}
-
-func TestLiveSkipList(t *testing.T) {
-	s := liveSystem(t, nil)
-	l := skiplist.New(s)
-	r := sim.NewRand(17)
-	l.InitFill(96, 384, &r)
-	s.SpawnWorkers(l.Worker(skiplist.Workload{UpdatePct: 25, KeyRange: 384}))
-	st := s.Run(liveWindow)
-	checkQuiesced(t, s, st)
-	if _, err := l.CheckTowers(); err != nil {
-		t.Errorf("skip list structure broken: %v", err)
-	}
-}
-
-func TestLiveMapReduce(t *testing.T) {
-	s := liveSystem(t, func(c *core.Config) { c.ServiceCores = 2 })
-	const size = 96 << 10
-	j := mapreduce.NewJob(s, 7, size, 8<<10)
-	s.SpawnWorkers(func(rt *core.Runtime) { j.Worker(rt) })
-	st := s.RunToCompletion()
-	checkQuiesced(t, s, st)
-	if got := j.HistogramTotal(); got != size {
-		t.Fatalf("merged %d of %d bytes", got, size)
-	}
-	if j.HistogramRaw() != j.Expected() {
-		t.Fatal("histogram does not match the sequential model")
-	}
-}
-
-func TestLiveMultitaskDeployment(t *testing.T) {
-	s := liveSystem(t, func(c *core.Config) { c.Deployment = core.Multitask; c.TotalCores = 8 })
-	b := bank.New(s, 64)
-	s.SpawnWorkers(b.TransferWorker(5))
-	st := s.Run(liveWindow)
-	checkQuiesced(t, s, st)
-	if b.TotalRaw() != b.Total() {
-		t.Errorf("money not conserved: %d != %d", b.TotalRaw(), b.Total())
+	if st.CoalescedPayloads == 0 {
+		t.Error("no payload rode a shared envelope on the live backend")
 	}
 }
 
 func TestLiveRawBaseline(t *testing.T) {
 	// SpawnRaw + global lock on the live backend: TAS mutual exclusion
 	// must hold under real concurrency.
-	s := liveSystem(t, func(c *core.Config) { c.ServiceCores = -1; c.TotalCores = 8 })
+	s := liveSystem(t, false, func(c *core.Config) { c.ServiceCores = -1; c.TotalCores = 8 })
 	b := bank.New(s, 32)
 	l := bank.NewGlobalLock(s)
 	deadline := sim.Time(liveWindow)
@@ -203,60 +250,64 @@ func TestLiveBarrier(t *testing.T) {
 	// The §8 privatization barrier across really-concurrent workers: every
 	// core increments its slot transactionally, meets the barrier, then
 	// reads everyone else's slot directly (privatized by the barrier).
-	s := liveSystem(t, func(c *core.Config) { c.TotalCores = 8 })
-	n := s.NumAppCores()
-	slots := core.NewTArray(s, core.Uint64Codec(), n, 0)
-	s.SpawnWorkers(func(rt *core.Runtime) {
-		i := rt.AppIndex()
-		rt.Run(func(tx *core.Tx) { slots.Set(tx, i, uint64(i)+1) })
-		rt.Barrier()
-		for j := 0; j < n; j++ {
-			if got := slots.At(j).GetDirect(rt.Port(), rt.Core()); got != uint64(j)+1 {
-				panic(fmt.Sprintf("core %d saw slot %d = %d after barrier, want %d", i, j, got, j+1))
+	bothPlanes(t, func(t *testing.T, coalesce bool) {
+		s := liveSystem(t, coalesce, func(c *core.Config) { c.TotalCores = 8 })
+		n := s.NumAppCores()
+		slots := core.NewTArray(s, core.Uint64Codec(), n, 0)
+		s.SpawnWorkers(func(rt *core.Runtime) {
+			i := rt.AppIndex()
+			rt.Run(func(tx *core.Tx) { slots.Set(tx, i, uint64(i)+1) })
+			rt.Barrier()
+			for j := 0; j < n; j++ {
+				if got := slots.At(j).GetDirect(rt.Port(), rt.Core()); got != uint64(j)+1 {
+					panic(fmt.Sprintf("core %d saw slot %d = %d after barrier, want %d", i, j, got, j+1))
+				}
 			}
-		}
-		rt.Barrier()
+			rt.Barrier()
+		})
+		st := s.RunToCompletion()
+		checkQuiesced(t, s, st)
 	})
-	st := s.RunToCompletion()
-	checkQuiesced(t, s, st)
 }
 
 func TestLiveIrrevocable(t *testing.T) {
-	s := liveSystem(t, func(c *core.Config) { c.TotalCores = 8 })
-	const accounts = 64
-	accts := core.NewTArray(s, core.Uint64Codec(), accounts, 1000)
-	s.SpawnWorkers(func(rt *core.Runtime) {
-		r := rt.Rand()
-		for !rt.Stopped() {
-			from, to := bank.PickTransfer(r, accounts)
-			if r.Intn(100) < 5 {
-				rt.RunIrrevocable(func(ir *core.Irrevocable) {
-					f := accts.At(from).GetIr(ir)
-					tv := accts.At(to).GetIr(ir)
-					accts.At(from).SetIr(ir, f-1)
-					accts.At(to).SetIr(ir, tv+1)
-				})
-			} else {
-				rt.Run(func(tx *core.Tx) {
-					f := accts.Get(tx, from)
-					tv := accts.Get(tx, to)
-					accts.Set(tx, from, f-1)
-					accts.Set(tx, to, tv+1)
-				})
+	bothPlanes(t, func(t *testing.T, coalesce bool) {
+		s := liveSystem(t, coalesce, func(c *core.Config) { c.TotalCores = 8 })
+		const accounts = 64
+		accts := core.NewTArray(s, core.Uint64Codec(), accounts, 1000)
+		s.SpawnWorkers(func(rt *core.Runtime) {
+			r := rt.Rand()
+			for !rt.Stopped() {
+				from, to := bank.PickTransfer(r, accounts)
+				if r.Intn(100) < 5 {
+					rt.RunIrrevocable(func(ir *core.Irrevocable) {
+						f := accts.At(from).GetIr(ir)
+						tv := accts.At(to).GetIr(ir)
+						accts.At(from).SetIr(ir, f-1)
+						accts.At(to).SetIr(ir, tv+1)
+					})
+				} else {
+					rt.Run(func(tx *core.Tx) {
+						f := accts.Get(tx, from)
+						tv := accts.Get(tx, to)
+						accts.Set(tx, from, f-1)
+						accts.Set(tx, to, tv+1)
+					})
+				}
+				rt.AddOps(1)
 			}
-			rt.AddOps(1)
+		})
+		st := s.Run(liveWindow)
+		checkQuiesced(t, s, st)
+		if st.Irrevocables == 0 {
+			t.Error("no irrevocable transaction completed")
+		}
+		var sum uint64
+		for i := 0; i < accounts; i++ {
+			sum += accts.GetRaw(i)
+		}
+		if want := uint64(accounts) * 1000; sum != want {
+			t.Errorf("money not conserved across irrevocable mix: %d != %d", sum, want)
 		}
 	})
-	st := s.Run(liveWindow)
-	checkQuiesced(t, s, st)
-	if st.Irrevocables == 0 {
-		t.Error("no irrevocable transaction completed")
-	}
-	var sum uint64
-	for i := 0; i < accounts; i++ {
-		sum += accts.GetRaw(i)
-	}
-	if want := uint64(accounts) * 1000; sum != want {
-		t.Errorf("money not conserved across irrevocable mix: %d != %d", sum, want)
-	}
 }

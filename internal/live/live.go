@@ -229,6 +229,9 @@ func (p *Port) Send(dst port.Port, payload any, delay time.Duration) {
 	if delay < 0 {
 		panic(fmt.Sprintf("live: negative send delay %v", delay))
 	}
+	if b, ok := payload.(*port.Batch); ok && len(b.Payloads) == 0 {
+		panic("live: empty batch envelope")
+	}
 	d := dst.(*Port)
 	m := port.Msg{From: p.id, Payload: payload}
 	select {
@@ -264,13 +267,28 @@ func (p *Port) recvChan() port.Msg {
 	}
 }
 
+// deliver appends a channel message to the stash, unpacking Batch envelopes
+// into one stashed message per payload (staged order, the envelope's
+// sender). Receivers therefore only ever observe individual protocol
+// payloads, exactly as on the simulated backend, and selective receive is
+// unchanged.
+func (p *Port) deliver(m port.Msg) {
+	if b, ok := m.Payload.(*port.Batch); ok {
+		for _, pl := range b.Payloads {
+			p.stash.Push(port.Msg{From: m.From, Payload: pl})
+		}
+		return
+	}
+	p.stash.Push(m)
+}
+
 // Recv blocks until a message is available and returns the earliest
 // delivered one (stashed messages first — they were delivered earlier).
 func (p *Port) Recv() port.Msg {
-	if p.stash.Len() > 0 {
-		return p.stash.Pop()
+	for p.stash.Len() == 0 {
+		p.deliver(p.recvChan())
 	}
-	return p.recvChan()
+	return p.stash.Pop()
 }
 
 // TryRecv returns the earliest queued message without blocking.
@@ -280,7 +298,8 @@ func (p *Port) TryRecv() (port.Msg, bool) {
 	}
 	select {
 	case m := <-p.ch:
-		return m, true
+		p.deliver(m)
+		return p.stash.Pop(), true
 	default:
 		return port.Msg{}, false
 	}
@@ -290,31 +309,24 @@ func (p *Port) TryRecv() (port.Msg, bool) {
 // the earliest such message; everything else stays queued in delivery
 // order.
 func (p *Port) RecvMatch(pred func(port.Msg) bool) port.Msg {
-	if m, ok := p.stash.TakeMatch(pred); ok {
-		return m
-	}
 	for {
-		m := p.recvChan()
-		if pred(m) {
+		if m, ok := p.stash.TakeMatch(pred); ok {
 			return m
 		}
-		p.stash.Push(m)
+		p.deliver(p.recvChan())
 	}
 }
 
 // TryRecvMatch returns the earliest queued message satisfying pred, if any,
 // without blocking. Non-matching messages stay queued.
 func (p *Port) TryRecvMatch(pred func(port.Msg) bool) (port.Msg, bool) {
-	if m, ok := p.stash.TakeMatch(pred); ok {
-		return m, true
-	}
 	for {
+		if m, ok := p.stash.TakeMatch(pred); ok {
+			return m, true
+		}
 		select {
 		case m := <-p.ch:
-			if pred(m) {
-				return m, true
-			}
-			p.stash.Push(m)
+			p.deliver(m)
 		default:
 			return port.Msg{}, false
 		}
@@ -329,7 +341,8 @@ func (p *Port) RecvTimeout(d time.Duration) (port.Msg, bool) {
 	if d <= 0 {
 		select {
 		case m := <-p.ch:
-			return m, true
+			p.deliver(m)
+			return p.stash.Pop(), true
 		default:
 			return port.Msg{}, false
 		}
@@ -338,13 +351,15 @@ func (p *Port) RecvTimeout(d time.Duration) (port.Msg, bool) {
 	defer t.Stop()
 	select {
 	case m := <-p.ch:
-		return m, true
+		p.deliver(m)
+		return p.stash.Pop(), true
 	case <-t.C:
 		return port.Msg{}, false
 	case <-p.eng.quit:
 		select {
 		case m := <-p.ch:
-			return m, true
+			p.deliver(m)
+			return p.stash.Pop(), true
 		default:
 			panic(killSentinel{})
 		}

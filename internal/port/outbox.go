@@ -1,0 +1,90 @@
+package port
+
+import "repro/internal/sim"
+
+// Batch is the multi-payload wire envelope backends unpack at the receiving
+// mailbox. It is sim.Batch verbatim, re-exported so protocol code above the
+// port seam never imports a backend for it.
+type Batch = sim.Batch
+
+// Outbox is the coalescing half of the message plane: protocol endpoints
+// stage typed payloads into it per destination and flush at explicit
+// protocol points (the end of a commit scatter burst, of a release burst,
+// of a DTM dispatch that produced several responses). Payloads staged for
+// the same destination between two flushes leave as ONE wire message — a
+// Batch envelope — so the per-message fixed cost (send/receive software
+// overhead, hop traversal, per-peer polling) is paid once and only the
+// marginal payload bytes grow with the burst.
+//
+// The Outbox is deliberately mechanism-free: it knows nothing about delay
+// models or statistics. Flush hands each destination's staged payloads back
+// to the owner, which charges its own cost model (noc.BatchDelay on the
+// simulated backend) and performs the Send. Destinations flush in
+// first-staged order and payloads stay in staged order per destination, so
+// a deterministic backend schedules identical events for identical runs.
+//
+// An Outbox belongs to one execution port and must only be used from that
+// port's goroutine. The zero value is an empty, ready-to-use outbox.
+type Outbox struct {
+	entries []OutEntry
+	index   map[int]int // destination port ID → entries index
+}
+
+// OutEntry is the staged traffic for one destination.
+type OutEntry struct {
+	Dst      Port  // destination port
+	DstTag   int   // caller-supplied destination tag (e.g. physical core ID)
+	Payloads []any // staged payloads, in staged order
+	Bytes    int   // summed modeled payload bytes
+}
+
+// Stage queues payload for dst, to be sent at the next Flush. dstTag is an
+// opaque caller tag returned with the entry at flush time (the DTM protocol
+// stores the destination's physical core ID, which its cost model needs and
+// the port interface does not expose). nbytes is the payload's modeled
+// on-wire size.
+func (o *Outbox) Stage(dst Port, dstTag int, payload any, nbytes int) {
+	if o.index == nil {
+		o.index = make(map[int]int)
+	}
+	id := dst.ID()
+	i, ok := o.index[id]
+	if !ok {
+		i = len(o.entries)
+		o.index[id] = i
+		o.entries = append(o.entries, OutEntry{Dst: dst, DstTag: dstTag})
+	}
+	e := &o.entries[i]
+	e.Payloads = append(e.Payloads, payload)
+	e.Bytes += nbytes
+}
+
+// Pending returns the number of staged payloads across all destinations.
+func (o *Outbox) Pending() int {
+	n := 0
+	for i := range o.entries {
+		n += len(o.entries[i].Payloads)
+	}
+	return n
+}
+
+// Flush hands every destination's staged payloads to send, in first-staged
+// destination order, and resets the outbox. The caller owns the actual
+// transmission: one wire message per entry, a bare payload for singleton
+// entries and a Batch envelope otherwise (see the owner's send path).
+// Ownership of each entry's Payloads slice transfers to send — the outbox
+// starts a fresh slice per destination after a reset, so the callee may
+// retain or wrap the slice without copying. Flush on an empty outbox is a
+// no-op.
+func (o *Outbox) Flush(send func(e *OutEntry)) {
+	if len(o.entries) == 0 {
+		return
+	}
+	for i := range o.entries {
+		send(&o.entries[i])
+	}
+	o.entries = o.entries[:0]
+	for id := range o.index {
+		delete(o.index, id)
+	}
+}

@@ -1,0 +1,81 @@
+package port
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// fakePort implements Port with just enough behavior for Outbox keying;
+// the Outbox only ever calls ID.
+type fakePort struct{ id int }
+
+func (f fakePort) ID() int                                 { return f.id }
+func (f fakePort) Now() sim.Time                           { return 0 }
+func (f fakePort) Rand() *sim.Rand                         { return nil }
+func (f fakePort) Advance(time.Duration)                   {}
+func (f fakePort) Yield()                                  {}
+func (f fakePort) Send(Port, any, time.Duration)           {}
+func (f fakePort) Recv() Msg                               { return Msg{} }
+func (f fakePort) TryRecv() (Msg, bool)                    { return Msg{}, false }
+func (f fakePort) RecvMatch(func(Msg) bool) Msg            { return Msg{} }
+func (f fakePort) TryRecvMatch(func(Msg) bool) (Msg, bool) { return Msg{}, false }
+func (f fakePort) RecvTimeout(time.Duration) (Msg, bool)   { return Msg{}, false }
+
+func TestOutboxStagesPerDestinationInOrder(t *testing.T) {
+	var o Outbox
+	a, b := fakePort{id: 3}, fakePort{id: 7}
+	o.Stage(a, 30, "a1", 10)
+	o.Stage(b, 70, "b1", 20)
+	o.Stage(a, 30, "a2", 5)
+	if got := o.Pending(); got != 3 {
+		t.Fatalf("Pending = %d, want 3", got)
+	}
+
+	var flushed []OutEntry
+	o.Flush(func(e *OutEntry) { flushed = append(flushed, *e) })
+
+	if len(flushed) != 2 {
+		t.Fatalf("flushed %d entries, want 2 (one per destination)", len(flushed))
+	}
+	// First-staged destination order: a before b.
+	if flushed[0].Dst.ID() != 3 || flushed[1].Dst.ID() != 7 {
+		t.Fatalf("destination order %d,%d, want 3,7", flushed[0].Dst.ID(), flushed[1].Dst.ID())
+	}
+	if flushed[0].DstTag != 30 || flushed[1].DstTag != 70 {
+		t.Fatalf("tags %d,%d, want 30,70", flushed[0].DstTag, flushed[1].DstTag)
+	}
+	if len(flushed[0].Payloads) != 2 || flushed[0].Payloads[0] != "a1" || flushed[0].Payloads[1] != "a2" {
+		t.Fatalf("a payloads %v, want [a1 a2] in staged order", flushed[0].Payloads)
+	}
+	if flushed[0].Bytes != 15 || flushed[1].Bytes != 20 {
+		t.Fatalf("bytes %d,%d, want 15,20", flushed[0].Bytes, flushed[1].Bytes)
+	}
+}
+
+func TestOutboxFlushResets(t *testing.T) {
+	var o Outbox
+	p := fakePort{id: 1}
+	o.Stage(p, 1, "x", 8)
+	o.Flush(func(*OutEntry) {})
+	if o.Pending() != 0 {
+		t.Fatalf("Pending after flush = %d, want 0", o.Pending())
+	}
+	// Re-staging after a flush starts a fresh entry, not a leftover one.
+	o.Stage(p, 1, "y", 4)
+	var got []OutEntry
+	o.Flush(func(e *OutEntry) { got = append(got, *e) })
+	if len(got) != 1 || len(got[0].Payloads) != 1 || got[0].Payloads[0] != "y" || got[0].Bytes != 4 {
+		t.Fatalf("second flush entries %+v, want one fresh entry [y]/4 bytes", got)
+	}
+}
+
+func TestOutboxEmptyFlushIsNoop(t *testing.T) {
+	var o Outbox
+	calls := 0
+	o.Flush(func(*OutEntry) { calls++ })
+	if calls != 0 {
+		t.Fatalf("empty flush invoked send %d times", calls)
+	}
+}

@@ -13,6 +13,20 @@ type Msg struct {
 	Payload any  // application payload
 }
 
+// Batch is a multi-payload wire envelope: one physical message carrying
+// several protocol payloads coalesced for the same destination (the
+// message-plane transport optimization behind port.Outbox). Every backend
+// unpacks the envelope at the receiving mailbox — each payload becomes its
+// own Msg, in staged order, with the envelope's sender and timestamps — so
+// receivers and their selective-receive predicates never observe a Batch.
+// The sender charges the wire cost of the envelope once (noc.BatchDelay);
+// delivery as individual messages is free. Payloads must be non-empty:
+// both backends reject an empty envelope loudly rather than diverge on
+// what a message that delivers nothing means.
+type Batch struct {
+	Payloads []any
+}
+
 // killSentinel is panicked out of park() during Kernel.Shutdown so that the
 // spawn wrapper can unwind a blocked proc's goroutine.
 type killSentinel struct{}
@@ -133,13 +147,25 @@ func (k *Kernel) SendFrom(src int, dst *Proc, payload any, delay time.Duration) 
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative send delay %v", delay))
 	}
+	if b, ok := payload.(*Batch); ok && len(b.Payloads) == 0 {
+		panic("sim: empty batch envelope")
+	}
 	sent := k.now
 	at := k.deliverAt(int32(src), int32(dst.id), k.now+Time(delay))
 	k.schedule(at, func() {
 		if dst.finished {
 			return
 		}
-		dst.mbox.Push(Msg{From: src, SentAt: sent, At: k.now, Payload: payload})
+		// A Batch envelope is unpacked here, at the mailbox: each payload
+		// becomes its own Msg in staged order, so receive loops and
+		// selective-receive predicates never see the envelope itself.
+		if b, ok := payload.(*Batch); ok {
+			for _, pl := range b.Payloads {
+				dst.mbox.Push(Msg{From: src, SentAt: sent, At: k.now, Payload: pl})
+			}
+		} else {
+			dst.mbox.Push(Msg{From: src, SentAt: sent, At: k.now, Payload: payload})
+		}
 		if dst.waiting {
 			dst.waiting = false
 			k.resume(dst)

@@ -489,3 +489,66 @@ func TestTryRecvMatch(t *testing.T) {
 	})
 	k.Run(Infinity)
 }
+
+// TestBatchEnvelopeUnpacksAtMailbox: a *Batch payload must be unpacked at
+// delivery — the receiver observes one Msg per payload, in staged order,
+// all carrying the envelope's sender and timestamps, and never sees the
+// Batch itself. This is the delivery half of the coalescing message plane.
+func TestBatchEnvelopeUnpacksAtMailbox(t *testing.T) {
+	k := New(1)
+	var got []Msg
+	recvd := k.Spawn("recv", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			got = append(got, p.Recv())
+		}
+	})
+	k.Spawn("send", func(p *Proc) {
+		p.Send(recvd, &Batch{Payloads: []any{"a", "b", "c"}}, 10*time.Nanosecond)
+		p.Send(recvd, "solo", 20*time.Nanosecond)
+	})
+	k.Run(Infinity)
+	if len(got) != 4 {
+		t.Fatalf("received %d messages, want 4", len(got))
+	}
+	want := []any{"a", "b", "c", "solo"}
+	for i, m := range got {
+		if m.Payload != want[i] {
+			t.Errorf("msg %d payload %v, want %v", i, m.Payload, want[i])
+		}
+		if _, isBatch := m.Payload.(*Batch); isBatch {
+			t.Errorf("msg %d: receiver observed a raw Batch envelope", i)
+		}
+	}
+	// The unpacked messages share the envelope's delivery instant.
+	if got[0].At != got[1].At || got[1].At != got[2].At {
+		t.Errorf("unpacked delivery times differ: %v %v %v", got[0].At, got[1].At, got[2].At)
+	}
+	if got[0].From != got[1].From || got[0].SentAt != got[2].SentAt {
+		t.Error("unpacked messages lost the envelope's sender or send time")
+	}
+}
+
+// TestBatchEnvelopeSelectiveReceive: selective receive must see the
+// unpacked payloads individually — a predicate can take one payload out of
+// the middle of an envelope and leave the rest queued in order.
+func TestBatchEnvelopeSelectiveReceive(t *testing.T) {
+	k := New(1)
+	var order []any
+	recvd := k.Spawn("recv", func(p *Proc) {
+		m := p.RecvMatch(func(m Msg) bool { return m.Payload == "pick" })
+		order = append(order, m.Payload)
+		for i := 0; i < 2; i++ {
+			order = append(order, p.Recv().Payload)
+		}
+	})
+	k.Spawn("send", func(p *Proc) {
+		p.Send(recvd, &Batch{Payloads: []any{"x", "pick", "y"}}, 0)
+	})
+	k.Run(Infinity)
+	want := []any{"pick", "x", "y"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
