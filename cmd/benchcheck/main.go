@@ -1,17 +1,26 @@
 // Command benchcheck asserts invariants over tm2c-bench JSON artifacts in
-// CI. Its first (and so far only) check reads a BENCH_ablbatch.json and
-// verifies the message-plane claim: with protocol batching off, the
-// coalescing transport must report at least -minreduction percent fewer
-// wire messages per operation than the uncoalesced plane, and coalescing
-// must never inflate per-operation wire traffic beyond noise in any row
-// pair. The per-operation normalization is what makes the check valid on
-// the live backend, where each row's wall-clock window covers a different
+// CI. It dispatches on the tables the artifact contains:
+//
+//   - ablbatch: the message-plane claim. With protocol batching off, the
+//     coalescing transport must report at least -minreduction percent fewer
+//     wire messages per operation than the uncoalesced plane, and coalescing
+//     must never inflate per-operation wire traffic beyond noise in any row
+//     pair.
+//   - abltl2: the invisible-read claim. On each read-mostly workload the
+//     TL2 row must report at least -mintl2reduction percent fewer wire
+//     messages per operation than the visible row, and TL2 throughput must
+//     be no worse than visible.
+//
+// The per-operation normalization is what makes both checks valid on the
+// live backend, where each row's wall-clock window covers a different
 // amount of work.
 //
 // Usage:
 //
 //	tm2c-bench -run ablbatch -scale quick -json out/
 //	benchcheck -file out/BENCH_ablbatch.json -minreduction 20
+//	tm2c-bench -run abltl2 -scale quick -json out/
+//	benchcheck -file out/BENCH_abltl2.json -mintl2reduction 60
 package main
 
 import (
@@ -37,8 +46,9 @@ type benchResult struct {
 
 func main() {
 	var (
-		file         = flag.String("file", "", "BENCH_ablbatch.json to check")
-		minReduction = flag.Float64("minreduction", 20, "minimum percent wire-message reduction required on the batching-off pair")
+		file            = flag.String("file", "", "tm2c-bench JSON artifact to check")
+		minReduction    = flag.Float64("minreduction", 20, "ablbatch: minimum percent wire-message reduction required on the batching-off pair")
+		minTL2Reduction = flag.Float64("mintl2reduction", 60, "abltl2: minimum percent wire-messages-per-op reduction required of tl2 vs visible on every workload")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -52,10 +62,26 @@ func main() {
 	if err := json.Unmarshal(buf, &res); err != nil {
 		fatal(fmt.Errorf("%s: %v", *file, err))
 	}
-	grid := findTable(res.Tables, "ablbatch")
-	if grid == nil {
-		fatal(fmt.Errorf("%s: no ablbatch table", *file))
+	checked, failed := false, false
+	if grid := findTable(res.Tables, "ablbatch"); grid != nil {
+		checked = true
+		failed = checkABLBatch(&res, grid, *minReduction) || failed
 	}
+	if grid := findTable(res.Tables, "abltl2"); grid != nil {
+		checked = true
+		failed = checkABLTL2(&res, grid, *minTL2Reduction) || failed
+	}
+	if !checked {
+		fatal(fmt.Errorf("%s: no table benchcheck knows how to check (want ablbatch or abltl2)", *file))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// checkABLBatch verifies the coalescing-transport claim. Returns true on
+// failure.
+func checkABLBatch(res *benchResult, grid *table, minReduction float64) bool {
 	batchCol := colIndex(grid, "batching")
 	coalCol := colIndex(grid, "coalesce")
 	wireCol := colIndex(grid, "wire/op")
@@ -65,19 +91,9 @@ func main() {
 	type rowVals struct{ wirePerOp, ppw float64 }
 	rows := map[string]map[string]rowVals{} // batching -> coalesce -> values
 	for _, row := range grid.Rows {
-		b, c := row[batchCol], row[coalCol]
-		w, err := strconv.ParseFloat(row[wireCol], 64)
-		if err != nil {
-			fatal(fmt.Errorf("row %v: bad wire/op %q", row, row[wireCol]))
-		}
-		ppw, err := strconv.ParseFloat(row[ppwCol], 64)
-		if err != nil {
-			fatal(fmt.Errorf("row %v: bad payloads/wire %q", row, row[ppwCol]))
-		}
-		if rows[b] == nil {
-			rows[b] = map[string]rowVals{}
-		}
-		rows[b][c] = rowVals{wirePerOp: w, ppw: ppw}
+		rows[row[batchCol]] = appendRow(rows[row[batchCol]], row[coalCol], rowVals{
+			wirePerOp: cell(row, wireCol), ppw: cell(row, ppwCol),
+		})
 	}
 	failed := false
 	for _, b := range []string{"on", "off"} {
@@ -100,8 +116,8 @@ func main() {
 		if b != "off" {
 			continue // the batching-on pair has nothing to merge; informational only
 		}
-		if perPayload < *minReduction {
-			fmt.Printf("FAIL: batching=off per-payload reduction %.1f%% < required %.1f%%\n", perPayload, *minReduction)
+		if perPayload < minReduction {
+			fmt.Printf("FAIL: batching=off per-payload reduction %.1f%% < required %.1f%%\n", perPayload, minReduction)
 			failed = true
 		}
 		if on.wirePerOp >= off.wirePerOp {
@@ -110,9 +126,71 @@ func main() {
 			failed = true
 		}
 	}
-	if failed {
-		os.Exit(1)
+	return failed
+}
+
+// checkABLTL2 verifies the invisible-read claim: on every read-mostly
+// workload row pair, tl2 must cut wire messages per operation by at least
+// minReduction percent vs visible, without losing throughput. Returns true
+// on failure.
+func checkABLTL2(res *benchResult, grid *table, minReduction float64) bool {
+	workCol := colIndex(grid, "workload")
+	protoCol := colIndex(grid, "protocol")
+	tputCol := colIndex(grid, "ops/ms")
+	wireCol := colIndex(grid, "wire/op")
+
+	type rowVals struct{ tput, wirePerOp float64 }
+	rows := map[string]map[string]rowVals{} // workload -> protocol -> values
+	order := []string{}
+	for _, row := range grid.Rows {
+		w := row[workCol]
+		if rows[w] == nil {
+			order = append(order, w)
+		}
+		rows[w] = appendRow(rows[w], row[protoCol], rowVals{
+			tput: cell(row, tputCol), wirePerOp: cell(row, wireCol),
+		})
 	}
+	failed := false
+	for _, w := range order {
+		vis, okVis := rows[w]["visible"]
+		tl2, okTL2 := rows[w]["tl2"]
+		if !okVis || !okTL2 {
+			fatal(fmt.Errorf("missing visible/tl2 pair for workload=%s", w))
+		}
+		if vis.wirePerOp <= 0 {
+			fatal(fmt.Errorf("workload=%s: visible row reports %v wire msgs/op", w, vis.wirePerOp))
+		}
+		reduction := 100 * (1 - tl2.wirePerOp/vis.wirePerOp)
+		fmt.Printf("%s backend=%s workload=%s: wire msgs/op %v -> %v (%.1f%% reduction), throughput %v -> %v ops/ms\n",
+			res.ID, res.Backend, w, vis.wirePerOp, tl2.wirePerOp, reduction, vis.tput, tl2.tput)
+		if reduction < minReduction {
+			fmt.Printf("FAIL: workload=%s: tl2 wire-msgs/op reduction %.1f%% < required %.1f%%\n", w, reduction, minReduction)
+			failed = true
+		}
+		if tl2.tput < vis.tput {
+			fmt.Printf("FAIL: workload=%s: tl2 throughput %v below visible %v\n", w, tl2.tput, vis.tput)
+			failed = true
+		}
+	}
+	return failed
+}
+
+func appendRow[V any](m map[string]V, key string, v V) map[string]V {
+	if m == nil {
+		m = map[string]V{}
+	}
+	m[key] = v
+	return m
+}
+
+// cell parses one numeric table cell.
+func cell(row []string, col int) float64 {
+	v, err := strconv.ParseFloat(row[col], 64)
+	if err != nil {
+		fatal(fmt.Errorf("row %v: bad numeric cell %q", row, row[col]))
+	}
+	return v
 }
 
 func findTable(ts []*table, id string) *table {

@@ -11,6 +11,8 @@
 //	tm2c-bench -run ablbatch -coalesce
 //	tm2c-bench -run ablplace -placement adaptive
 //	tm2c-bench -run ablro -readonly
+//	tm2c-bench -run abltl2 -scale quick
+//	tm2c-bench -run fig5a -protocol tl2
 //	tm2c-bench -run fig5a -scale quick -backend live
 //	tm2c-bench -run fig5a -json results/
 //
@@ -26,6 +28,8 @@
 // experiment; the ablplace ablation compares the three policies directly.
 // -readonly runs every bank balance scan as a declared read-only
 // transaction; the ablro ablation compares the two kinds directly.
+// -protocol forces a read-visibility protocol (visible | tl2) in every
+// experiment; the abltl2 ablation compares the two protocols directly.
 // -backend selects the execution backend: the deterministic simulator
 // (sim, the default; durations are virtual and reproducible) or the
 // real-concurrency goroutine backend (live; durations are wall-clock and
@@ -72,6 +76,7 @@ func main() {
 		coalesce   = flag.Bool("coalesce", false, "enable the coalescing message plane (per-destination wire batching) in every experiment")
 		placementF = flag.String("placement", "", "force a placement policy (hash | range | adaptive) in every experiment")
 		readonly   = flag.Bool("readonly", false, "run every bank balance scan as a declared read-only transaction")
+		protocolF  = flag.String("protocol", "", "force a read-visibility protocol (visible | tl2) in every experiment")
 		backendF   = flag.String("backend", "sim", "execution backend: sim (deterministic simulator) | live (real goroutines, wall-clock)")
 		jsonDir    = flag.String("json", "", "directory to write one BENCH_<id>.json per experiment into")
 		timings    = flag.Bool("timings", false, "print wall-clock time per experiment")
@@ -90,6 +95,12 @@ func main() {
 		}
 		ov.Placement = &k
 	}
+	proto, err := core.ParseProtocol(*protocolF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tm2c-bench: %v\n", err)
+		os.Exit(2)
+	}
+	ov.Protocol = proto
 	backend, err := core.ParseBackend(*backendF)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tm2c-bench: %v\n", err)

@@ -9,6 +9,7 @@
 //	tm2c-sim -app hashset -deployment multitask -update 50
 //	tm2c-sim -app mapreduce -size 4194304 -chunk 8192
 //	tm2c-sim -app bank -backend live -duration 50ms
+//	tm2c-sim -app bank -protocol tl2 -balance 90 -zipf 0.85
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 		epoch    = flag.Int("epoch", 0, "adaptive placement: lock accesses per repartition epoch (0 = default)")
 		platform = flag.String("platform", "scc", "scc | scc800 | opteron | scc:N (setting N)")
 		backendF = flag.String("backend", "sim", "execution backend: sim (deterministic, virtual time) | live (real goroutines, wall-clock)")
+		protoF   = flag.String("protocol", "visible", "read-visibility protocol: visible (per-read DTM round trips) | tl2 (invisible reads, commit-time validation)")
 		duration = flag.Duration("duration", 20*time.Millisecond, "virtual run length")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 
@@ -68,8 +70,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	proto, err := repro.ParseProtocol(*protoF)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := repro.Config{
 		Backend:          backend,
+		Protocol:         proto,
 		Seed:             *seed,
 		TotalCores:       *cores,
 		ServiceCores:     *svc,
@@ -185,6 +192,7 @@ func report(sys *repro.System, st *repro.Stats) {
 		cfg.TotalCores, sys.NumAppCores(), sys.NumServiceCores(), cfg.Deployment)
 	fmt.Printf("contention manager  %v\n", cfg.Policy)
 	fmt.Printf("backend             %v\n", cfg.Backend)
+	fmt.Printf("protocol            %v\n", cfg.Protocol)
 	if cfg.Backend == repro.BackendLive {
 		fmt.Printf("wall duration       %v\n", st.Duration)
 	} else {
@@ -200,8 +208,8 @@ func report(sys *repro.System, st *repro.Stats) {
 	if dir := sys.Placement(); dir != nil {
 		fmt.Printf("placement           %s", dir.PolicyName())
 		if dir.Kind() == repro.PlacementAdaptive {
-			fmt.Printf(": epoch %d, %d rounds, %d migrations (%d completed), %d stale NACKs, %d placement aborts",
-				dir.Epoch(), st.RepartitionRounds, st.Migrations, st.Handoffs, st.StaleNacks, st.PlacementAborts)
+			fmt.Printf(": epoch %d, %d rounds, %d migrations (%d completed), %d stale NACKs (%d retries hint-steered), %d placement aborts",
+				dir.Epoch(), st.RepartitionRounds, st.Migrations, st.Handoffs, st.StaleNacks, st.StaleNackHints, st.PlacementAborts)
 		}
 		fmt.Println()
 	}
@@ -216,6 +224,16 @@ func report(sys *repro.System, st *repro.Stats) {
 	if st.Commits > 0 {
 		fmt.Printf("commit round trips  %d (%.2f awaited/commit)\n",
 			st.CommitRoundTrips, float64(st.CommitRoundTrips)/float64(st.Commits))
+	}
+	if cfg.Protocol == repro.ProtocolTL2 {
+		fmt.Printf("tl2 local reads     %d (served from the local version table; zero wire traffic)\n", st.LocalReads)
+		fmt.Printf("tl2 doomed reads    %d (snapshot-staleness aborts at read time)\n", st.DoomedReads)
+		fmt.Printf("tl2 revalidations   %d", st.Revalidations)
+		if st.Commits > 0 {
+			fmt.Printf(" (%.2f read-set stripes checked/commit)", float64(st.Revalidations)/float64(st.Commits))
+		}
+		fmt.Println()
+		fmt.Printf("tl2 clock advances  %d (one global-clock tick per update commit)\n", st.ClockAdvances)
 	}
 	if sys.TxLifespans.Count() > 0 {
 		fmt.Printf("tx lifespan         %s\n", sys.TxLifespans.String())

@@ -29,6 +29,7 @@ type auditRecord struct {
 	core   int
 	txID   uint64
 	kind   TxKind
+	strict bool // reads must match the serial state at the commit instant
 	commit sim.Time
 	seq    uint64 // tie-break for equal commit instants
 	reads  []auditAccess
@@ -70,9 +71,16 @@ func (s *System) recordCommit(tx *Tx, commit sim.Time) {
 	}
 	a.seq++
 	rec := auditRecord{
-		core:   tx.rt.core,
-		txID:   tx.id,
-		kind:   tx.kind,
+		core: tx.rt.core,
+		txID: tx.id,
+		kind: tx.kind,
+		// Visible protocol: Normal and ReadOnly hold read locks at their
+		// commit instant, so their reads are checked strictly; the elastic
+		// kinds deliberately relax read atomicity and are exempt. TL2:
+		// every kind's reads are snapshot-validated (elastic relaxations
+		// degenerate to plain TL2), so ALL kinds are checked strictly —
+		// updates at their clock tick, pure readers at their snapshot.
+		strict: s.tl2() || tx.kind == Normal || tx.kind == ReadOnly,
 		commit: commit,
 		seq:    a.seq,
 	}
@@ -136,13 +144,11 @@ func (s *System) CheckAudit(initial map[mem.Addr]uint64) error {
 		model[k] = v
 	}
 	for _, rec := range recs {
-		// Declared ReadOnly transactions hold visible read locks exactly
-		// like Normal ones, so they get the same read check; their recorded
-		// instant is the last read (the one moment every lock is provably
-		// held — the same instant a Normal transaction with an empty write
-		// set records). Only the elastic kinds are exempt: their reads are
-		// deliberately not atomic at any single instant.
-		if rec.kind == Normal || rec.kind == ReadOnly {
+		// Strictness is decided at record time (recordCommit): under the
+		// visible protocol Normal and ReadOnly are strict (their recorded
+		// instant is the one moment every lock is provably held) and the
+		// elastic kinds are exempt; under TL2 every kind is strict.
+		if rec.strict {
 			for _, rd := range rec.reads {
 				for i, got := range rd.vals {
 					addr := rd.base + mem.Addr(i)

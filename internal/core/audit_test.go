@@ -61,9 +61,9 @@ func TestAuditCatchesFabricatedViolation(t *testing.T) {
 	s := testSystem(t, nil)
 	s.EnableAudit()
 	s.audit.records = append(s.audit.records,
-		auditRecord{core: 0, txID: 1, commit: 10, seq: 1,
+		auditRecord{core: 0, txID: 1, strict: true, commit: 10, seq: 1,
 			writes: []auditAccess{{base: 100, vals: []uint64{5}}}},
-		auditRecord{core: 1, txID: 2, commit: 20, seq: 2,
+		auditRecord{core: 1, txID: 2, strict: true, commit: 20, seq: 2,
 			reads: []auditAccess{{base: 100, vals: []uint64{4}}}}, // stale read
 	)
 	err := s.CheckAudit(nil)

@@ -58,6 +58,51 @@ func ParseBackend(s string) (Backend, error) {
 	return BackendSim, fmt.Errorf("core: unknown backend %q (want sim|live)", s)
 }
 
+// Protocol selects the read/commit protocol transactions run under. The
+// whole DTM plane (placement, contention management, message transports) is
+// shared; what changes is when the network is consulted.
+type Protocol uint8
+
+const (
+	// ProtocolVisible (the default) is TM2C's visible-read protocol: every
+	// read acquires a read lock from the responsible DTM node (one
+	// request/grant round trip per first read of a stripe), writes acquire
+	// write locks lazily at commit, and conflicts are resolved eagerly by
+	// the distributed contention managers. Bit-identical to the pre-TL2
+	// engine; all figure fingerprints pin this mode.
+	ProtocolVisible Protocol = iota
+	// ProtocolTL2 is the invisible-read mode in the TL2 style: reads are
+	// local (read the object and its version, validate against the
+	// transaction's snapshot of the sharded global version clock — zero
+	// wire messages), writes buffer locally, and commit does the only
+	// network work: scatter write-lock acquisition, a clock tick, read-set
+	// revalidation against versions piggybacked on the grants, write-back,
+	// release. Doomed reads (version newer than the snapshot, or a write-
+	// back in flight) abort immediately, which is what preserves opacity.
+	// Elastic kinds degenerate to plain TL2 (reads are already invisible);
+	// irrevocable transactions are unsupported (invisible readers cannot be
+	// blocked by exclusivity tokens).
+	ProtocolTL2
+)
+
+func (p Protocol) String() string {
+	if p == ProtocolTL2 {
+		return "tl2"
+	}
+	return "visible"
+}
+
+// ParseProtocol parses a protocol name (visible|tl2).
+func ParseProtocol(s string) (Protocol, error) {
+	switch s {
+	case "", "visible":
+		return ProtocolVisible, nil
+	case "tl2":
+		return ProtocolTL2, nil
+	}
+	return ProtocolVisible, fmt.Errorf("core: unknown protocol %q (want visible|tl2)", s)
+}
+
 // Deployment selects how the APP and DTM services share the cores (§3.1).
 type Deployment uint8
 
@@ -147,6 +192,12 @@ type Costs struct {
 	// back, plus the cache disturbance it causes (§3.1). Dedicated
 	// deployments never pay it.
 	MultitaskSwitch time.Duration
+	// ClockSnap and ClockTick are the TL2 version-clock register-plane
+	// costs: loading the per-shard counters at transaction begin, and the
+	// atomic increment of one shard at an update commit. The visible
+	// protocol never pays either.
+	ClockSnap time.Duration
+	ClockTick time.Duration
 }
 
 // DefaultCosts are the calibrated nominal costs.
@@ -158,6 +209,8 @@ var DefaultCosts = Costs{
 	SvcLock:         300 * time.Nanosecond,
 	SvcRelease:      120 * time.Nanosecond,
 	MultitaskSwitch: 5 * time.Microsecond,
+	ClockSnap:       150 * time.Nanosecond,
+	ClockTick:       250 * time.Nanosecond,
 }
 
 // Config describes one TM2C system instance.
@@ -169,6 +222,9 @@ type Config struct {
 	// Backend selects the execution backend: the deterministic simulator
 	// (default) or the real-concurrency goroutine backend.
 	Backend Backend
+	// Protocol selects the read/commit protocol: the paper's visible-read
+	// default, or the invisible-read TL2 mode.
+	Protocol Protocol
 	// Seed drives all pseudo-randomness.
 	Seed uint64
 	// TotalCores is the number of cores used (default: all platform cores).
@@ -225,6 +281,9 @@ type Config struct {
 func (c *Config) normalize() error {
 	if c.Backend > BackendLive {
 		return fmt.Errorf("core: unknown backend %d", c.Backend)
+	}
+	if c.Protocol > ProtocolTL2 {
+		return fmt.Errorf("core: unknown protocol %d", c.Protocol)
 	}
 	if c.Platform.NumCores() == 0 {
 		c.Platform = noc.SCC(0)
@@ -319,10 +378,18 @@ type Stats struct {
 
 	// Placement activity (adaptive policy; see internal/placement).
 	StaleNacks        uint64 // lock requests NACKed for stale placement resolution
+	StaleNackHints    uint64 // stale-NACK retries steered by the piggybacked owner hint
 	PlacementAborts   uint64 // attempts aborted after chasing migrating ownership too long
 	RepartitionRounds uint64 // repartition rounds that initiated at least one migration
 	Migrations        uint64 // stripe migrations initiated by the directory
 	Handoffs          uint64 // stripe handoffs completed by DTM nodes
+
+	// TL2 protocol activity (Protocol=tl2; all zero under the visible
+	// default).
+	LocalReads    uint64 // invisible reads served from local memory, zero wire messages
+	DoomedReads   uint64 // reads aborted by snapshot validation (newer version or write-back in flight)
+	Revalidations uint64 // commit-time read-set stripe re-checks
+	ClockAdvances uint64 // version-clock ticks (one per update commit that reached write-back)
 
 	// NodeLoad counts the requests served by each DTM node, by node index
 	// (lock requests, releases and exclusivity traffic, including NACKed
@@ -364,7 +431,12 @@ func (s *Stats) addShard(o *Stats) {
 	s.Conflicts += o.Conflicts
 	s.Revocations += o.Revocations
 	s.StaleNacks += o.StaleNacks
+	s.StaleNackHints += o.StaleNackHints
 	s.PlacementAborts += o.PlacementAborts
+	s.LocalReads += o.LocalReads
+	s.DoomedReads += o.DoomedReads
+	s.Revalidations += o.Revalidations
+	s.ClockAdvances += o.ClockAdvances
 	s.Irrevocables += o.Irrevocables
 }
 

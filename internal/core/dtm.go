@@ -201,11 +201,20 @@ func (n *dtmNode) tryHandoffs() {
 	}
 }
 
-// nackStale rejects a lock request whose placement resolution went stale;
-// the requester re-resolves against the directory and retries.
-func (n *dtmNode) nackStale(p port.Port, reply port.Port, replyTo int, reqID uint64) {
+// nackStale rejects a lock request whose placement resolution went stale.
+// The NACK carries the directory epoch and — for single-key requests — the
+// key's current owner, so the requester can chase a migrated stripe without
+// a fresh resolution round; multi-key batches must re-partition against the
+// directory anyway (migration may split them) and get no owner hint. The
+// receiver's placeOK stays authoritative, so a hint gone stale in flight
+// costs at worst one more NACK, inside the same hop bound.
+func (n *dtmNode) nackStale(p port.Port, reply port.Port, replyTo int, reqID uint64, keys ...mem.Addr) {
 	n.shard.StaleNacks++
-	n.respond(p, reply, replyTo, &respLock{ReqID: reqID, Stale: true})
+	resp := &respLock{ReqID: reqID, Stale: true, NackEpoch: n.s.dir.Epoch(), NackOwner: -1}
+	if len(keys) == 1 {
+		resp.NackOwner = n.s.dir.Owner(keys[0])
+	}
+	n.respond(p, reply, replyTo, resp)
 }
 
 // handleReadLock implements Algorithm 1 (dsl_read_lock) plus the revocation
@@ -215,7 +224,7 @@ func (n *dtmNode) handleReadLock(p port.Port, r *reqReadLock) {
 	c := n.s.cfg.Costs
 	p.Advance(n.s.compute(c.SvcBase + c.SvcLock))
 	if !n.placeOK(r.Epoch, r.Addr) {
-		n.nackStale(p, r.Reply, r.ReplyTo, r.ReqID)
+		n.nackStale(p, r.Reply, r.ReplyTo, r.ReqID, r.Addr)
 		return
 	}
 	if n.excl.blocked() {
@@ -252,7 +261,7 @@ func (n *dtmNode) handleWriteLock(p port.Port, r *reqWriteLock) {
 	c := n.s.cfg.Costs
 	p.Advance(n.s.compute(c.SvcBase + c.SvcLock*time.Duration(len(r.Addrs))))
 	if !n.placeOK(r.Epoch, r.Addrs...) {
-		n.nackStale(p, r.Reply, r.ReplyTo, r.ReqID)
+		n.nackStale(p, r.Reply, r.ReplyTo, r.ReqID, r.Addrs...)
 		return
 	}
 	if n.excl.blocked() {
@@ -281,7 +290,18 @@ func (n *dtmNode) handleWriteLock(p port.Port, r *reqWriteLock) {
 			}
 		}
 	}
-	n.respond(p, r.Reply, r.ReplyTo, &respLock{ReqID: r.ReqID, OK: true})
+	resp := &respLock{ReqID: r.ReqID, OK: true}
+	if n.s.tl2() {
+		// Piggyback the granted stripes' current versions: the committer
+		// revalidates its read∩write stripes against these without touching
+		// memory again. Stable until the holder's own write-back — a marker
+		// could only be set by another lock holder, which cannot exist.
+		resp.Vers = make([]uint64, len(r.Addrs))
+		for i, a := range r.Addrs {
+			resp.Vers[i] = n.s.Mem.VersionRaw(a)
+		}
+	}
+	n.respond(p, r.Reply, r.ReplyTo, resp)
 }
 
 // abortEnemies tries to remotely abort every enemy transaction via its
@@ -346,8 +366,8 @@ func (n *dtmNode) respond(p port.Port, reply port.Port, replyCore int, resp *res
 	}
 	n.shard.Responses++
 	if n.s.cfg.Coalesce {
-		n.out.Stage(reply, replyCore, resp, msgRespBytes)
+		n.out.Stage(reply, replyCore, resp, respBytes(resp))
 		return
 	}
-	n.s.send(&n.shard, p, n.core, reply, replyCore, resp, msgRespBytes)
+	n.s.send(&n.shard, p, n.core, reply, replyCore, resp, respBytes(resp))
 }

@@ -130,7 +130,15 @@ func (ir *Irrevocable) Compute(d sim.Time) { ir.rt.proc.Advance(d.Duration()) }
 // RunIrrevocable executes fn as an irrevocable transaction: it blocks until
 // every DTM node has granted exclusive access, runs fn pessimistically, and
 // releases the tokens. It never aborts and therefore runs fn exactly once.
+//
+// Irrevocability is a visible-protocol facility: the exclusivity tokens
+// stop transactions at the DTM nodes, but a TL2 reader never consults a
+// node, so it could observe an irrevocable transaction's direct writes
+// mid-flight. RunIrrevocable therefore panics under Protocol=tl2.
 func (rt *Runtime) RunIrrevocable(fn func(*Irrevocable)) {
+	if rt.s.tl2() {
+		panic("core: irrevocable transactions require the visible protocol (tl2 readers bypass the DTM exclusivity tokens)")
+	}
 	rt.nextTxID++
 	id := rt.nextTxID
 	// The status register stays in Committing: an irrevocable transaction

@@ -87,6 +87,27 @@ type respLock struct {
 	OK    bool
 	Stale bool
 	Kind  cm.Kind
+
+	// Vers piggybacks the current version of every granted key (in request
+	// order) on a TL2 write-lock grant, so commit-time revalidation of
+	// read∩write stripes needs no extra memory traffic. Nil under the
+	// visible protocol; each version adds one modeled address-sized word to
+	// the response (respBytes).
+	Vers []uint64
+
+	// NackEpoch and NackOwner piggyback the directory state on a Stale NACK
+	// (NackOwner < 0 when no single new owner applies, e.g. a multi-key
+	// batch): a requester chasing a migrated stripe can follow the hint
+	// directly instead of paying a fresh directory resolution. Both ride in
+	// the modeled 16-byte response body, so NACK sizes are unchanged.
+	NackEpoch uint64
+	NackOwner int
+}
+
+// respBytes is the modeled size of a lock response: the fixed body plus one
+// word per piggybacked version (zero except on TL2 write-lock grants).
+func respBytes(resp *respLock) int {
+	return msgRespBytes + msgAddrBytes*len(resp.Vers)
 }
 
 // relLocks releases the given read and write locks of attempt (Core, TxID).

@@ -99,29 +99,39 @@ func (rt *Runtime) placementAbort() {
 }
 
 // rpcReadLock sends a read-lock request and waits for the response,
-// re-resolving the key and retrying when a migration NACKs the request.
-// The access is recorded once per logical acquisition — NACK-chasing
-// resends must not inflate the stripe heat the adaptive policy reads.
+// retrying when a migration NACKs the request. A NACK carrying an owner
+// hint (nackStale) steers the retry directly — the epoch and owner the
+// NACKing node saw — saving the re-resolution against the directory; a
+// hintless NACK re-resolves as before. The access is recorded once per
+// logical acquisition — NACK-chasing resends must not inflate the stripe
+// heat the adaptive policy reads.
 func (rt *Runtime) rpcReadLock(tx *Tx, key mem.Addr) *respLock {
 	rt.s.dir.Record(key)
+	node, epoch := rt.s.nodeFor(key), rt.s.dir.Epoch()
 	for hop := 0; ; hop++ {
 		id := rt.nextReqID()
 		req := &reqReadLock{
 			ReqID:   id,
-			Epoch:   rt.s.dir.Epoch(),
+			Epoch:   epoch,
 			Addr:    key,
 			Meta:    rt.local.RequestMeta(tx.id, rt.proc.Now()),
 			Reply:   rt.proc,
 			ReplyTo: rt.core,
 		}
 		rt.shard.ReadLockReqs++
-		rt.sendToNode(rt.s.nodeFor(key), req)
+		rt.sendToNode(node, req)
 		resp := rt.awaitOne(id)
 		if !resp.Stale {
 			return resp
 		}
 		if hop >= maxPlacementHops {
 			rt.placementAbort()
+		}
+		if resp.NackOwner >= 0 {
+			node, epoch = resp.NackOwner, resp.NackEpoch
+			rt.shard.StaleNackHints++
+		} else {
+			node, epoch = rt.s.nodeFor(key), rt.s.dir.Epoch()
 		}
 	}
 }
@@ -168,17 +178,24 @@ func (rt *Runtime) rpcWriteLock(tx *Tx, node int, epoch uint64, keys []mem.Addr)
 }
 
 // rpcWriteLockEager acquires the write lock of a single key (eager mode),
-// re-resolving and retrying when a migration NACKs the request.
+// retrying when a migration NACKs the request; like rpcReadLock, a NACK's
+// owner hint steers the retry without a fresh directory resolution.
 func (rt *Runtime) rpcWriteLockEager(tx *Tx, key mem.Addr) *respLock {
 	rt.s.dir.Record(key)
+	node, epoch := rt.s.nodeFor(key), rt.s.dir.Epoch()
 	for hop := 0; ; hop++ {
-		epoch := rt.s.dir.Epoch()
-		resp := rt.rpcWriteLock(tx, rt.s.nodeFor(key), epoch, []mem.Addr{key})
+		resp := rt.rpcWriteLock(tx, node, epoch, []mem.Addr{key})
 		if !resp.Stale {
 			return resp
 		}
 		if hop >= maxPlacementHops {
 			rt.placementAbort()
+		}
+		if resp.NackOwner >= 0 {
+			node, epoch = resp.NackOwner, resp.NackEpoch
+			rt.shard.StaleNackHints++
+		} else {
+			node, epoch = rt.s.nodeFor(key), rt.s.dir.Epoch()
 		}
 	}
 }

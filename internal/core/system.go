@@ -52,6 +52,7 @@ type System struct {
 	nodePorts []port.Port
 	runtimes  []*Runtime
 	dir       *placement.Directory // key→DTM-node directory (nil on raw-only systems)
+	clock     *mem.VClock          // TL2 global version clock (nil under the visible protocol)
 
 	// workersDone counts the application workload loops (SpawnWorkers
 	// bodies and SpawnRaw procs) still running; the live backend's Run
@@ -85,6 +86,9 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	s.Mem = mem.New(&s.cfg.Platform)
 	s.Regs = mem.NewRegisters(&s.cfg.Platform)
+	if s.tl2() {
+		s.clock = mem.NewVClock(tl2ClockShards)
+	}
 
 	if cfg.Deployment == Multitask {
 		for c := 0; c < cfg.TotalCores; c++ {

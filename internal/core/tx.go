@@ -42,6 +42,10 @@ type Runtime struct {
 	// wire message. Unused (always empty) when coalescing is off.
 	out port.Outbox
 
+	// rvBuf is the reusable TL2 clock-snapshot buffer (tl2.go); only one
+	// attempt is ever live per runtime, so attempts may share it.
+	rvBuf []uint64
+
 	barrierEpoch uint64
 	barrierSeen  map[uint64]int
 }
@@ -114,6 +118,14 @@ type Tx struct {
 	// used by the auditor: a read-only transaction serializes at its last
 	// read, the only instant all of its locks are provably held.
 	lastGrant sim.Time
+
+	// TL2 state (tl2.go), untouched under the visible protocol: the clock
+	// snapshot and its instant, the version each read stripe was first
+	// observed at, and the versions piggybacked on write-lock grants.
+	rv        []uint64
+	snapAt    sim.Time
+	readVers  map[mem.Addr]uint64
+	grantVers map[mem.Addr]uint64
 }
 
 type winEntry struct {
@@ -176,6 +188,9 @@ func (rt *Runtime) runLoop(kind TxKind, fn func(*Tx) error) (attempts int, userE
 			kind:  kind,
 			reads: make(map[mem.Addr][]uint64),
 		}
+		if rt.s.tl2() {
+			tx.readVers = make(map[mem.Addr]uint64)
+		}
 		if kind != ReadOnly {
 			// The declared read-only fast path never buffers writes, so it
 			// skips the write-set allocation entirely.
@@ -198,6 +213,12 @@ func (rt *Runtime) runLoop(kind TxKind, fn func(*Tx) error) (attempts int, userE
 		bound := 257 << uint(min(attempts-1, 6))
 		jitter := time.Duration(rt.proc.Rand().Intn(bound)) * time.Nanosecond
 		rt.proc.Advance(rt.s.compute(rt.s.cfg.Costs.TxBegin + jitter))
+		if rt.s.tl2() {
+			// Each attempt gets a fresh clock snapshot: retrying with the
+			// aborted attempt's snapshot would doom every read of a stripe
+			// committed since.
+			rt.snapshotTL2(tx)
+		}
 		switch outcome, err := rt.attempt(tx, fn); outcome {
 		case attemptCommitted:
 			rt.local.OnCommit(rt.proc.Now())
@@ -290,6 +311,11 @@ func (tx *Tx) ReadN(base mem.Addr, n int) []uint64 {
 	}
 	if v, ok := tx.reads[base]; ok {
 		return cloneWords(v)
+	}
+	if rt.s.tl2() {
+		// Every kind reads invisibly under TL2: the elastic relaxations
+		// exist to soften visible read locking, which TL2 never performs.
+		return tx.readTL2(base, n)
 	}
 	if tx.kind == ElasticRead {
 		return tx.elasticRead(base, n)
@@ -387,6 +413,7 @@ func (tx *Tx) WriteN(base mem.Addr, vals []uint64) {
 				panic(abortSignal{kind: resp.Kind, hasKind: true})
 			}
 			tx.wlocked = append(tx.wlocked, key)
+			tx.recordGrantVers([]mem.Addr{key}, resp.Vers)
 		}
 	}
 	if _, ok := tx.writes[base]; !ok {
@@ -402,6 +429,11 @@ func (tx *Tx) EarlyRelease(bases ...mem.Addr) {
 	rt := tx.rt
 	if tx.kind != ElasticEarly {
 		panic(fmt.Sprintf("core: EarlyRelease on %v transaction", tx.kind))
+	}
+	if rt.s.tl2() {
+		// Invisible reads hold no locks to release; the reads stay in the
+		// set and remain snapshot-validated (strictly stronger semantics).
+		return
 	}
 	var keys []mem.Addr
 	for _, b := range bases {
@@ -426,6 +458,10 @@ func (tx *Tx) EarlyRelease(bases ...mem.Addr) {
 // committing state, persist the write set, release every lock. Declared
 // read-only transactions branch into the leaner commitReadOnly instead.
 func (tx *Tx) commit() {
+	if tx.rt.s.tl2() {
+		tx.commitTL2()
+		return
+	}
 	if tx.kind == ReadOnly {
 		tx.commitReadOnly()
 		return
@@ -556,6 +592,7 @@ func (tx *Tx) serialAcquire(keys []mem.Addr) (stale []mem.Addr) {
 		switch {
 		case resp.OK:
 			tx.wlocked = append(tx.wlocked, b.addrs...)
+			tx.recordGrantVers(b.addrs, resp.Vers)
 		case resp.Stale:
 			stale = append(stale, b.addrs...)
 		default:
@@ -580,6 +617,7 @@ func (tx *Tx) scatterAcquire(keys []mem.Addr) (stale []mem.Addr) {
 		switch {
 		case resp.OK:
 			tx.wlocked = append(tx.wlocked, batches[i].addrs...)
+			tx.recordGrantVers(batches[i].addrs, resp.Vers)
 		case resp.Stale:
 			stale = append(stale, batches[i].addrs...)
 		case fail == nil:
@@ -644,7 +682,8 @@ func (rt *Runtime) releaseAll(tx *Tx) {
 		}
 		return r
 	}
-	if tx.kind != ElasticRead {
+	if tx.kind != ElasticRead && !rt.s.tl2() {
+		// Elastic-read and TL2 reads are invisible: no read locks exist.
 		for _, base := range tx.readOrder {
 			if _, held := tx.reads[base]; !held {
 				continue // early-released

@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig5a", "fig5b", "fig5c", "fig5d",
 		"fig6a", "fig6b", "fig7a", "fig7b",
 		"fig8a", "fig8b", "fig8c", "fig8d",
-		"ablbatch", "ablpoll", "ablgran", "ablrpc", "ablplace", "ablro",
+		"ablbatch", "ablpoll", "ablgran", "ablrpc", "ablplace", "ablro", "abltl2",
 		"extskip", "extirrev",
 	}
 	ids := IDs()
@@ -156,6 +156,29 @@ func TestShapeScatterGatherCutsRoundTrips(t *testing.T) {
 		if scatterRT >= serialRT {
 			t.Errorf("%s dtm nodes: scatter rt/commit %v, serial %v: want strict reduction",
 				rows[i][0], scatterRT, serialRT)
+		}
+	}
+}
+
+// TestShapeTL2KillsReadTraffic checks the abltl2 headline at shape scale:
+// on both read-mostly workloads TL2 sends at least 60% fewer wire messages
+// per operation than the visible protocol — the per-read round trips are
+// the traffic, and TL2 deletes them.
+func TestShapeTL2KillsReadTraffic(t *testing.T) {
+	sc := Scale{Duration: 3 * time.Millisecond, SizeDiv: 8, Cores: []int{48}, Seed: 5}
+	tabs := ablTL2(sc, Overrides{})
+	rows := tabs[0].Rows // (visible, tl2) row pairs per workload
+	if len(rows) == 0 || len(rows)%2 != 0 {
+		t.Fatalf("abltl2 produced %d rows, want non-empty pairs", len(rows))
+	}
+	for i := 0; i+1 < len(rows); i += 2 {
+		if rows[i][1] != "visible" || rows[i+1][1] != "tl2" {
+			t.Fatalf("row pair %d is (%s, %s), want (visible, tl2)", i, rows[i][1], rows[i+1][1])
+		}
+		visWire, tl2Wire := parse(t, rows[i][3]), parse(t, rows[i+1][3])
+		if tl2Wire > 0.4*visWire {
+			t.Errorf("%s: tl2 wire/op %v vs visible %v: reduction below 60%%",
+				rows[i][0], tl2Wire, visWire)
 		}
 	}
 }

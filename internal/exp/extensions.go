@@ -60,6 +60,10 @@ func extSkip(sc Scale, ov Overrides) []*Table {
 // fraction of operations run pessimistically (acquiring every DTM node's
 // exclusivity token), the rest are ordinary optimistic transfers.
 func extIrrev(sc Scale, ov Overrides) []*Table {
+	// Irrevocability is a visible-protocol facility (TL2 readers bypass the
+	// DTM exclusivity tokens), so this experiment pins the protocol rather
+	// than crashing under a forced -protocol tl2.
+	ov.Protocol = core.ProtocolVisible
 	accounts := sc.div(1024, 64)
 	t := &Table{
 		ID:      "extirrev",

@@ -44,6 +44,14 @@ type Overrides struct {
 	// ping-pong microbenchmark measures the simulator's timing model and
 	// always runs on sim.
 	Backend core.Backend
+	// Protocol selects the read-visibility protocol (visible reads vs
+	// invisible-read TL2) in every system an experiment builds — wired to
+	// the -protocol flag for A/B-ing any figure. The abltl2 ablation
+	// compares both protocols itself; under the flag its visible rows
+	// degenerate to the forced protocol. The zero value is the visible
+	// default, so existing experiments (and their pinned fingerprints) are
+	// untouched.
+	Protocol core.Protocol
 }
 
 // sysConfig carries the per-run knobs shared by the experiment helpers.
@@ -60,6 +68,7 @@ type sysConfig struct {
 	gran      int
 	place     placement.Kind
 	repEpoch  int // adaptive placement epoch length (0 = default)
+	protocol  core.Protocol
 	seed      uint64
 }
 
@@ -83,9 +92,13 @@ func (c sysConfig) build(ov Overrides) *core.System {
 		LockGranule:      c.gran,
 		Placement:        c.place,
 		RepartitionEpoch: c.repEpoch,
+		Protocol:         c.protocol,
 	}
 	if ov.Placement != nil {
 		cfg.Placement = *ov.Placement
+	}
+	if ov.Protocol != core.ProtocolVisible {
+		cfg.Protocol = ov.Protocol
 	}
 	s, err := core.NewSystem(cfg)
 	if err != nil {

@@ -8,6 +8,9 @@
 // Every app runs once per message plane — the uncoalesced default and the
 // coalescing transport (Config.Coalesce) — so batch envelopes, the outbox
 // flush points and the per-sender DTM dispatch all race real goroutines.
+// The app tests additionally run once per read-visibility protocol: the
+// invisible-read TL2 mode's version-table reads, write-back markers, clock
+// ticks and commit-time revalidation race real goroutines too.
 package live_test
 
 import (
@@ -31,13 +34,25 @@ import (
 // is exercising real concurrency, not throughput.
 const liveWindow = 40 * time.Millisecond
 
-// bothPlanes runs body once per message plane, as subtests.
+// bothPlanes runs body once per message plane, as subtests. Used by the
+// tests that are visible-protocol-only (irrevocability); app tests use
+// eachVariant to cover the protocols too.
 func bothPlanes(t *testing.T, body func(t *testing.T, coalesce bool)) {
 	t.Run("plain", func(t *testing.T) { body(t, false) })
 	t.Run("coalesce", func(t *testing.T) { body(t, true) })
 }
 
-func liveSystem(t *testing.T, coalesce bool, mut func(*core.Config)) *core.System {
+// eachVariant runs body once per message plane × read-visibility protocol.
+func eachVariant(t *testing.T, body func(t *testing.T, coalesce bool, proto core.Protocol)) {
+	bothPlanes(t, func(t *testing.T, coalesce bool) {
+		for _, proto := range []core.Protocol{core.ProtocolVisible, core.ProtocolTL2} {
+			proto := proto
+			t.Run(proto.String(), func(t *testing.T) { body(t, coalesce, proto) })
+		}
+	})
+}
+
+func liveSystem(t *testing.T, coalesce bool, proto core.Protocol, mut func(*core.Config)) *core.System {
 	t.Helper()
 	cfg := core.Config{
 		Backend:    core.BackendLive,
@@ -48,6 +63,7 @@ func liveSystem(t *testing.T, coalesce bool, mut func(*core.Config)) *core.Syste
 		// hot keys — on live that is real spinning, not virtual time).
 		Policy:   cm.FairCM,
 		Coalesce: coalesce,
+		Protocol: proto,
 	}
 	if mut != nil {
 		mut(&cfg)
@@ -72,8 +88,8 @@ func checkQuiesced(t *testing.T, s *core.System, st *core.Stats) {
 }
 
 func TestLiveBank(t *testing.T) {
-	bothPlanes(t, func(t *testing.T, coalesce bool) {
-		s := liveSystem(t, coalesce, nil)
+	eachVariant(t, func(t *testing.T, coalesce bool, proto core.Protocol) {
+		s := liveSystem(t, coalesce, proto, nil)
 		const accounts = 128
 		b := bank.New(s, accounts)
 		s.SpawnWorkers(b.TransferWorker(10))
@@ -88,8 +104,8 @@ func TestLiveBank(t *testing.T) {
 func TestLiveBankZipfAdaptive(t *testing.T) {
 	// Skewed writes against the adaptive directory: migrations, stale
 	// NACKs and handoffs all race real goroutines here.
-	bothPlanes(t, func(t *testing.T, coalesce bool) {
-		s := liveSystem(t, coalesce, func(c *core.Config) {
+	eachVariant(t, func(t *testing.T, coalesce bool, proto core.Protocol) {
+		s := liveSystem(t, coalesce, proto, func(c *core.Config) {
 			c.Placement = placement.Adaptive
 			c.RepartitionEpoch = 512
 		})
@@ -108,8 +124,8 @@ func TestLiveBankZipfAdaptive(t *testing.T) {
 }
 
 func TestLiveHashSet(t *testing.T) {
-	bothPlanes(t, func(t *testing.T, coalesce bool) {
-		s := liveSystem(t, coalesce, nil)
+	eachVariant(t, func(t *testing.T, coalesce bool, proto core.Protocol) {
+		s := liveSystem(t, coalesce, proto, nil)
 		set := hashset.New(s, 32)
 		r := sim.NewRand(11)
 		keys := set.InitFill(128, 512, &r)
@@ -133,8 +149,8 @@ func TestLiveIntSet(t *testing.T) {
 	for _, mode := range []intset.Mode{intset.Normal, intset.ElasticEarly, intset.ElasticRead} {
 		mode := mode
 		t.Run(mode.String(), func(t *testing.T) {
-			bothPlanes(t, func(t *testing.T, coalesce bool) {
-				s := liveSystem(t, coalesce, nil)
+			eachVariant(t, func(t *testing.T, coalesce bool, proto core.Protocol) {
+				s := liveSystem(t, coalesce, proto, nil)
 				l := intset.New(s)
 				r := sim.NewRand(13)
 				l.InitFill(96, 384, &r)
@@ -156,8 +172,8 @@ func TestLiveIntSet(t *testing.T) {
 }
 
 func TestLiveSkipList(t *testing.T) {
-	bothPlanes(t, func(t *testing.T, coalesce bool) {
-		s := liveSystem(t, coalesce, nil)
+	eachVariant(t, func(t *testing.T, coalesce bool, proto core.Protocol) {
+		s := liveSystem(t, coalesce, proto, nil)
 		l := skiplist.New(s)
 		r := sim.NewRand(17)
 		l.InitFill(96, 384, &r)
@@ -171,8 +187,8 @@ func TestLiveSkipList(t *testing.T) {
 }
 
 func TestLiveMapReduce(t *testing.T) {
-	bothPlanes(t, func(t *testing.T, coalesce bool) {
-		s := liveSystem(t, coalesce, func(c *core.Config) { c.ServiceCores = 2 })
+	eachVariant(t, func(t *testing.T, coalesce bool, proto core.Protocol) {
+		s := liveSystem(t, coalesce, proto, func(c *core.Config) { c.ServiceCores = 2 })
 		const size = 96 << 10
 		j := mapreduce.NewJob(s, 7, size, 8<<10)
 		s.SpawnWorkers(func(rt *core.Runtime) { j.Worker(rt) })
@@ -188,8 +204,8 @@ func TestLiveMapReduce(t *testing.T) {
 }
 
 func TestLiveMultitaskDeployment(t *testing.T) {
-	bothPlanes(t, func(t *testing.T, coalesce bool) {
-		s := liveSystem(t, coalesce, func(c *core.Config) { c.Deployment = core.Multitask; c.TotalCores = 8 })
+	eachVariant(t, func(t *testing.T, coalesce bool, proto core.Protocol) {
+		s := liveSystem(t, coalesce, proto, func(c *core.Config) { c.Deployment = core.Multitask; c.TotalCores = 8 })
 		b := bank.New(s, 64)
 		s.SpawnWorkers(b.TransferWorker(5))
 		st := s.Run(liveWindow)
@@ -205,7 +221,7 @@ func TestLiveMultitaskDeployment(t *testing.T) {
 // per-node envelopes by the outbox, with the per-sender DTM dispatch
 // coalescing the grants on the way back.
 func TestLiveCoalescedNoBatching(t *testing.T) {
-	s := liveSystem(t, true, func(c *core.Config) { c.NoBatching = true; c.ServiceCores = 4 })
+	s := liveSystem(t, true, core.ProtocolVisible, func(c *core.Config) { c.NoBatching = true; c.ServiceCores = 4 })
 	const accounts = 128
 	b := bank.New(s, accounts)
 	s.SpawnWorkers(b.TransferWorker(10))
@@ -225,7 +241,7 @@ func TestLiveCoalescedNoBatching(t *testing.T) {
 func TestLiveRawBaseline(t *testing.T) {
 	// SpawnRaw + global lock on the live backend: TAS mutual exclusion
 	// must hold under real concurrency.
-	s := liveSystem(t, false, func(c *core.Config) { c.ServiceCores = -1; c.TotalCores = 8 })
+	s := liveSystem(t, false, core.ProtocolVisible, func(c *core.Config) { c.ServiceCores = -1; c.TotalCores = 8 })
 	b := bank.New(s, 32)
 	l := bank.NewGlobalLock(s)
 	deadline := sim.Time(liveWindow)
@@ -250,8 +266,8 @@ func TestLiveBarrier(t *testing.T) {
 	// The §8 privatization barrier across really-concurrent workers: every
 	// core increments its slot transactionally, meets the barrier, then
 	// reads everyone else's slot directly (privatized by the barrier).
-	bothPlanes(t, func(t *testing.T, coalesce bool) {
-		s := liveSystem(t, coalesce, func(c *core.Config) { c.TotalCores = 8 })
+	eachVariant(t, func(t *testing.T, coalesce bool, proto core.Protocol) {
+		s := liveSystem(t, coalesce, proto, func(c *core.Config) { c.TotalCores = 8 })
 		n := s.NumAppCores()
 		slots := core.NewTArray(s, core.Uint64Codec(), n, 0)
 		s.SpawnWorkers(func(rt *core.Runtime) {
@@ -270,9 +286,11 @@ func TestLiveBarrier(t *testing.T) {
 	})
 }
 
+// TestLiveIrrevocable stays on the visible protocol: irrevocability
+// requires it (RunIrrevocable panics under tl2).
 func TestLiveIrrevocable(t *testing.T) {
 	bothPlanes(t, func(t *testing.T, coalesce bool) {
-		s := liveSystem(t, coalesce, func(c *core.Config) { c.TotalCores = 8 })
+		s := liveSystem(t, coalesce, core.ProtocolVisible, func(c *core.Config) { c.TotalCores = 8 })
 		const accounts = 64
 		accts := core.NewTArray(s, core.Uint64Codec(), accounts, 1000)
 		s.SpawnWorkers(func(rt *core.Runtime) {

@@ -55,8 +55,9 @@ type Memory struct {
 
 	mu    sync.Mutex
 	words map[Addr]uint64
-	brk   []Addr     // per-region bump pointer
-	busy  []sim.Time // per-controller queue: time the MC is busy until
+	vers  map[Addr]objVer // per-lock-stripe TL2 version metadata (see version.go)
+	brk   []Addr          // per-region bump pointer
+	busy  []sim.Time      // per-controller queue: time the MC is busy until
 
 	// Stats accumulates access counters (guarded by mu); read them after a
 	// run, once the machine has quiesced.
@@ -76,6 +77,7 @@ func New(pl *noc.Platform) *Memory {
 	m := &Memory{
 		pl:    pl,
 		words: make(map[Addr]uint64),
+		vers:  make(map[Addr]objVer),
 		brk:   make([]Addr, n),
 		busy:  make([]sim.Time, n),
 	}

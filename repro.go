@@ -101,6 +101,10 @@ type (
 	// Backend selects the execution backend of a System: the
 	// deterministic simulator or the real-concurrency goroutine backend.
 	Backend = core.Backend
+	// Protocol selects the read-visibility protocol of a System: visible
+	// reads (per-read DTM round trips) or invisible-read TL2 (local reads
+	// against a sharded version clock, commit-time validation).
+	Protocol = core.Protocol
 	// Proc is a simulated process (the sim backend's Port implementation
 	// wraps it; advanced simulator-level tooling only).
 	Proc = sim.Proc
@@ -120,6 +124,16 @@ const (
 const (
 	BackendSim  = core.BackendSim
 	BackendLive = core.BackendLive
+)
+
+// Read-visibility protocols. ProtocolVisible is the paper's protocol —
+// every first read of an object costs one DTM round trip and installs a
+// visible read lock; ProtocolTL2 serves reads from a local version table
+// validated against a sharded global version clock, moving all network
+// work to commit time (see internal/core/tl2.go).
+const (
+	ProtocolVisible = core.ProtocolVisible
+	ProtocolTL2     = core.ProtocolTL2
 )
 
 // Write-lock acquisition modes (§3.3).
@@ -256,6 +270,10 @@ func ParsePlacement(s string) (PlacementKind, error) { return placement.Parse(s)
 
 // ParseBackend parses an execution backend name (sim|live).
 func ParseBackend(s string) (Backend, error) { return core.ParseBackend(s) }
+
+// ParseProtocol parses a read-visibility protocol name (visible|tl2; the
+// empty string is the visible default).
+func ParseProtocol(s string) (Protocol, error) { return core.ParseProtocol(s) }
 
 // NewRand returns a deterministic random source seeded from seed, suitable
 // for building workloads outside the simulated machine.
