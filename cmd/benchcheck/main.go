@@ -15,12 +15,28 @@
 // live backend, where each row's wall-clock window covers a different
 // amount of work.
 //
+// Two further modes bypass the table dispatch:
+//
+//   - -trace validates a flight-recorder chrome trace_event JSON file:
+//     every event must carry a known phase type and non-negative timestamp.
+//     -requireabort additionally demands at least one abort span carrying a
+//     taxonomy reason; -requireenvelope demands at least one coalesced
+//     envelope instant (an envelope instant is only emitted for >= 2
+//     payloads, so its presence proves real coalescing).
+//   - -baseline gates a fresh tm2c-bench artifact against a committed one:
+//     deterministic sim tables must be cell-for-cell identical (the
+//     trace-off no-regression guarantee), and with -maxslowdown > 0 the
+//     fresh run's wall-clock may not exceed baseline elapsed_ms by more
+//     than that factor.
+//
 // Usage:
 //
 //	tm2c-bench -run ablbatch -scale quick -json out/
 //	benchcheck -file out/BENCH_ablbatch.json -minreduction 20
 //	tm2c-bench -run abltl2 -scale quick -json out/
 //	benchcheck -file out/BENCH_abltl2.json -mintl2reduction 60
+//	benchcheck -trace out/traces/run-0000.json -requireabort
+//	benchcheck -file fresh/BENCH_fig5a.json -baseline BENCH_fig5a.json
 package main
 
 import (
@@ -29,6 +45,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 )
 
 // table mirrors the exp.Table JSON schema (only what the check needs).
@@ -39,9 +56,10 @@ type table struct {
 }
 
 type benchResult struct {
-	ID      string   `json:"id"`
-	Backend string   `json:"backend"`
-	Tables  []*table `json:"tables"`
+	ID        string   `json:"id"`
+	Backend   string   `json:"backend"`
+	ElapsedMS int64    `json:"elapsed_ms"`
+	Tables    []*table `json:"tables"`
 }
 
 func main() {
@@ -49,8 +67,19 @@ func main() {
 		file            = flag.String("file", "", "tm2c-bench JSON artifact to check")
 		minReduction    = flag.Float64("minreduction", 20, "ablbatch: minimum percent wire-message reduction required on the batching-off pair")
 		minTL2Reduction = flag.Float64("mintl2reduction", 60, "abltl2: minimum percent wire-messages-per-op reduction required of tl2 vs visible on every workload")
+		traceFile       = flag.String("trace", "", "validate a flight-recorder chrome trace_event JSON file instead of a bench artifact")
+		requireAbort    = flag.Bool("requireabort", false, "-trace: require at least one abort span with a taxonomy reason")
+		requireEnvelope = flag.Bool("requireenvelope", false, "-trace: require at least one coalesced envelope instant")
+		baseline        = flag.String("baseline", "", "committed artifact to gate -file against (sim tables must be cell-identical)")
+		maxSlowdown     = flag.Float64("maxslowdown", 0, "-baseline: max allowed elapsed_ms ratio fresh/baseline (0 disables the wall-clock gate)")
 	)
 	flag.Parse()
+	if *traceFile != "" {
+		if checkTrace(*traceFile, *requireAbort, *requireEnvelope) {
+			os.Exit(1)
+		}
+		return
+	}
 	if *file == "" {
 		fatal(fmt.Errorf("-file is required"))
 	}
@@ -61,6 +90,12 @@ func main() {
 	var res benchResult
 	if err := json.Unmarshal(buf, &res); err != nil {
 		fatal(fmt.Errorf("%s: %v", *file, err))
+	}
+	if *baseline != "" {
+		if checkBaseline(&res, *file, *baseline, *maxSlowdown) {
+			os.Exit(1)
+		}
+		return
 	}
 	checked, failed := false, false
 	if grid := findTable(res.Tables, "ablbatch"); grid != nil {
@@ -172,6 +207,130 @@ func checkABLTL2(res *benchResult, grid *table, minReduction float64) bool {
 			fmt.Printf("FAIL: workload=%s: tl2 throughput %v below visible %v\n", w, tl2.tput, vis.tput)
 			failed = true
 		}
+	}
+	return failed
+}
+
+// chromeEvent mirrors the trace_event fields the validator needs.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   *float64       `json:"ts"`
+	Args map[string]any `json:"args"`
+}
+
+// checkTrace validates a chrome trace_event JSON file's schema and, on
+// request, the presence of taxonomy abort spans and coalesced envelopes.
+// Returns true on failure.
+func checkTrace(path string, requireAbort, requireEnvelope bool) bool {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var f struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf, &f); err != nil {
+		fatal(fmt.Errorf("%s: not valid trace_event JSON: %v", path, err))
+	}
+	if len(f.TraceEvents) == 0 {
+		fatal(fmt.Errorf("%s: empty traceEvents array", path))
+	}
+	known := map[string]bool{"X": true, "i": true, "s": true, "f": true, "M": true}
+	abortSpans, envelopes := 0, 0
+	failed := false
+	for i, e := range f.TraceEvents {
+		if !known[e.Ph] {
+			fmt.Printf("FAIL: event %d (%q): unknown phase type %q\n", i, e.Name, e.Ph)
+			failed = true
+		}
+		if e.Ph != "M" && (e.Ts == nil || *e.Ts < 0) {
+			fmt.Printf("FAIL: event %d (%q): missing or negative ts\n", i, e.Name)
+			failed = true
+		}
+		if e.Ph == "X" {
+			if outcome, ok := e.Args["outcome"].(string); ok && outcome == "abort" {
+				if reason, ok := e.Args["reason"].(string); ok && reason != "" {
+					abortSpans++
+				}
+			}
+		}
+		if e.Ph == "i" && strings.HasPrefix(e.Name, "envelope(") {
+			envelopes++
+		}
+	}
+	fmt.Printf("%s: %d events, %d taxonomy abort spans, %d coalesced envelopes\n",
+		path, len(f.TraceEvents), abortSpans, envelopes)
+	if requireAbort && abortSpans == 0 {
+		fmt.Println("FAIL: no abort span carrying a taxonomy reason")
+		failed = true
+	}
+	if requireEnvelope && envelopes == 0 {
+		fmt.Println("FAIL: no coalesced envelope instant (>= 2 payloads sharing a wire message)")
+		failed = true
+	}
+	return failed
+}
+
+// checkBaseline gates a fresh artifact against a committed one. Sim-backend
+// tables are deterministic, so any cell difference is a real behavior change
+// — exactly what the trace-off no-regression guarantee forbids. Returns true
+// on failure.
+func checkBaseline(fresh *benchResult, freshPath, basePath string, maxSlowdown float64) bool {
+	buf, err := os.ReadFile(basePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base benchResult
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fatal(fmt.Errorf("%s: %v", basePath, err))
+	}
+	failed := false
+	if fresh.ID != base.ID || fresh.Backend != base.Backend {
+		fmt.Printf("FAIL: artifact mismatch: fresh %s/%s vs baseline %s/%s\n",
+			fresh.ID, fresh.Backend, base.ID, base.Backend)
+		return true
+	}
+	if base.Backend != "sim" {
+		fatal(fmt.Errorf("%s: -baseline gates deterministic sim artifacts only (got backend %q)", basePath, base.Backend))
+	}
+	if len(fresh.Tables) != len(base.Tables) {
+		fmt.Printf("FAIL: table count %d vs baseline %d\n", len(fresh.Tables), len(base.Tables))
+		return true
+	}
+	for ti, bt := range base.Tables {
+		ft := fresh.Tables[ti]
+		if ft.ID != bt.ID || fmt.Sprint(ft.Columns) != fmt.Sprint(bt.Columns) {
+			fmt.Printf("FAIL: table %d schema changed: %s%v vs baseline %s%v\n",
+				ti, ft.ID, ft.Columns, bt.ID, bt.Columns)
+			failed = true
+			continue
+		}
+		if len(ft.Rows) != len(bt.Rows) {
+			fmt.Printf("FAIL: table %s: %d rows vs baseline %d\n", bt.ID, len(ft.Rows), len(bt.Rows))
+			failed = true
+			continue
+		}
+		for ri, brow := range bt.Rows {
+			for ci, bcell := range brow {
+				if ft.Rows[ri][ci] != bcell {
+					fmt.Printf("FAIL: table %s row %d col %q: %q vs baseline %q\n",
+						bt.ID, ri, bt.Columns[ci], ft.Rows[ri][ci], bcell)
+					failed = true
+				}
+			}
+		}
+	}
+	if maxSlowdown > 0 && base.ElapsedMS > 0 {
+		ratio := float64(fresh.ElapsedMS) / float64(base.ElapsedMS)
+		fmt.Printf("%s: elapsed %dms vs baseline %dms (%.2fx)\n", fresh.ID, fresh.ElapsedMS, base.ElapsedMS, ratio)
+		if ratio > maxSlowdown {
+			fmt.Printf("FAIL: elapsed ratio %.2fx exceeds -maxslowdown %.2fx\n", ratio, maxSlowdown)
+			failed = true
+		}
+	}
+	if !failed {
+		fmt.Printf("%s: identical to baseline %s (%d tables)\n", freshPath, basePath, len(base.Tables))
 	}
 	return failed
 }

@@ -37,20 +37,29 @@
 // one machine-readable BENCH_<id>.json (BENCH_<id>_live.json for live
 // results) per experiment into the given directory, seeding the bench
 // trajectory.
+// -trace-dir enables the flight recorder in every experiment and writes one
+// chrome://tracing JSON per system run into the directory. -pprof serves
+// net/http/pprof while the experiments run and dumps runtime/metrics at
+// quiesce.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime/metrics"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/placement"
+	"repro/internal/trace"
 )
 
 // benchResult is the schema of one BENCH_<id>.json file.
@@ -80,8 +89,19 @@ func main() {
 		backendF   = flag.String("backend", "sim", "execution backend: sim (deterministic simulator) | live (real goroutines, wall-clock)")
 		jsonDir    = flag.String("json", "", "directory to write one BENCH_<id>.json per experiment into")
 		timings    = flag.Bool("timings", false, "print wall-clock time per experiment")
+		traceDir   = flag.String("trace-dir", "", "directory to write one chrome trace_event JSON per system run into (enables the flight recorder)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) and dump runtime/metrics after the experiments finish")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "tm2c-bench: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	var ov exp.Overrides
 	ov.SerialRPC = *serialRPC
@@ -107,6 +127,14 @@ func main() {
 		os.Exit(2)
 	}
 	ov.Backend = backend
+
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "tm2c-bench: %v\n", err)
+			os.Exit(1)
+		}
+		ov.Trace = &trace.Options{Sink: traceSink(*traceDir)}
+	}
 
 	if *list {
 		for _, e := range exp.All {
@@ -202,6 +230,65 @@ func main() {
 		}
 		if *timings {
 			fmt.Fprintf(os.Stderr, "[%s took %v]\n", e.ID, elapsed.Round(time.Millisecond))
+		}
+	}
+	if *pprofAddr != "" {
+		dumpRuntimeMetrics(os.Stderr)
+	}
+}
+
+// traceSink returns an Options.Sink that writes every system run's merged
+// trace as a sequentially-numbered chrome trace_event file in dir. The
+// counter is mutex-guarded: live-backend experiments may finish runs from
+// more than one goroutine.
+func traceSink(dir string) func(*trace.Trace) {
+	var mu sync.Mutex
+	var n int
+	return func(t *trace.Trace) {
+		mu.Lock()
+		seq := n
+		n++
+		mu.Unlock()
+		path := filepath.Join(dir, fmt.Sprintf("run-%04d.json", seq))
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tm2c-bench: trace: %v\n", err)
+			return
+		}
+		err = trace.WriteChrome(f, t)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tm2c-bench: trace %s: %v\n", path, err)
+		}
+	}
+}
+
+// dumpRuntimeMetrics prints the Go runtime's own health counters at quiesce
+// — scheduler latency, GC cycles, heap size — so a profiling session ends
+// with the numbers that contextualize its pprof captures.
+func dumpRuntimeMetrics(w *os.File) {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+	fmt.Fprintln(w, "--- runtime/metrics at quiesce ---")
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			fmt.Fprintf(w, "%-60s %d\n", s.Name, s.Value.Uint64())
+		case metrics.KindFloat64:
+			fmt.Fprintf(w, "%-60s %g\n", s.Name, s.Value.Float64())
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			var count uint64
+			for _, c := range h.Counts {
+				count += c
+			}
+			fmt.Fprintf(w, "%-60s histogram, %d samples\n", s.Name, count)
 		}
 	}
 }

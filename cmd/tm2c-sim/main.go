@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/apps/hashset"
 	"repro/internal/apps/intset"
 	"repro/internal/apps/mapreduce"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -35,6 +37,7 @@ func main() {
 		acquire  = flag.String("acquire", "lazy", "lazy | eager")
 		serial   = flag.Bool("serialrpc", false, "serial commit lock acquisition instead of scatter-gather")
 		coalesce = flag.Bool("coalesce", false, "coalescing message plane: same-destination payloads of one burst share a wire message")
+		nobatch  = flag.Bool("nobatching", false, "disable per-node write-lock batching (one request per object; the ablbatch ablation's off arm)")
 		place    = flag.String("placement", "hash", "hash | range | adaptive object→DTM-node placement")
 		epoch    = flag.Int("epoch", 0, "adaptive placement: lock accesses per repartition epoch (0 = default)")
 		platform = flag.String("platform", "scc", "scc | scc800 | opteron | scc:N (setting N)")
@@ -42,6 +45,10 @@ func main() {
 		protoF   = flag.String("protocol", "visible", "read-visibility protocol: visible (per-read DTM round trips) | tl2 (invisible reads, commit-time validation)")
 		duration = flag.Duration("duration", 20*time.Millisecond, "virtual run length")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		traceF   = flag.String("trace", "", "write a flight-recorder trace of the run: .json for chrome://tracing, anything else for a plain-text timeline")
+		traceCap = flag.Int("trace-events", 0, "flight recorder: ring capacity per core/DTM node in events (0 = default)")
+		snapF    = flag.String("snapshot", "", "live backend: write interval-sampled throughput snapshots (JSONL) to this file")
+		snapInt  = flag.Duration("snapshot-every", 0, "live backend: snapshot sampling interval (0 = default 10ms)")
 
 		// workload knobs
 		update   = flag.Int("update", 20, "hashset/list: update percentage")
@@ -83,8 +90,24 @@ func main() {
 		Policy:           pol,
 		SerialRPC:        *serial,
 		Coalesce:         *coalesce,
+		NoBatching:       *nobatch,
 		Placement:        placeKind,
 		RepartitionEpoch: *epoch,
+	}
+	if *traceF != "" {
+		cfg.Trace = &trace.Options{ActorEvents: *traceCap}
+	}
+	var snapFile *os.File
+	if *snapF != "" {
+		if backend != repro.BackendLive {
+			fatal(fmt.Errorf("-snapshot requires -backend live (the sim has no wall-clock to sample on)"))
+		}
+		f, err := os.Create(*snapF)
+		if err != nil {
+			fatal(err)
+		}
+		snapFile = f
+		cfg.Snapshot = &trace.SnapshotOptions{W: f, Every: *snapInt}
 	}
 	switch *platform {
 	case "scc":
@@ -183,6 +206,42 @@ func main() {
 		}
 		fmt.Println("verification: OK")
 	}
+	if snapFile != nil {
+		if err := snapFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("snapshots written to %s\n", *snapF)
+	}
+	if *traceF != "" {
+		if err := writeTrace(*traceF, sys.Trace()); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeTrace renders the run's merged trace: chrome trace_event JSON for
+// .json paths, the plain-text timeline otherwise.
+func writeTrace(path string, t *trace.Trace) error {
+	if t == nil {
+		return fmt.Errorf("no trace collected")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = trace.WriteChrome(f, t)
+	} else {
+		err = trace.WriteText(f, t)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d events (%d dropped) written to %s\n", len(t.Events), t.Dropped, path)
+	return nil
 }
 
 func report(sys *repro.System, st *repro.Stats) {
@@ -202,7 +261,11 @@ func report(sys *repro.System, st *repro.Stats) {
 	fmt.Printf("commits / aborts    %d / %d (commit rate %.1f%%)\n", st.Commits, st.Aborts, st.CommitRate())
 	fmt.Printf("read-only commits   %d (declared read-only transactions; zero write-lock traffic)\n", st.ReadOnlyCommits)
 	fmt.Printf("user aborts         %d (withdrawn via Tx.Abort; not retried)\n", st.UserAborts)
-	fmt.Printf("aborts by kind      RAW=%d WAW=%d WAR=%d\n",
+	fmt.Printf("aborts by reason    conflict=%d revoked=%d doomed-read=%d stale-placement=%d user=%d\n",
+		st.AbortReasons[trace.ReasonConflict], st.AbortReasons[trace.ReasonRevoked],
+		st.AbortReasons[trace.ReasonDoomedRead], st.AbortReasons[trace.ReasonStalePlacement],
+		st.AbortReasons[trace.ReasonUser])
+	fmt.Printf("  conflict kinds    RAW=%d WAW=%d WAR=%d\n",
 		st.AbortsByKind[0], st.AbortsByKind[1], st.AbortsByKind[2])
 	fmt.Printf("conflicts/revokes   %d / %d\n", st.Conflicts, st.Revocations)
 	if dir := sys.Placement(); dir != nil {
@@ -240,6 +303,15 @@ func report(sys *repro.System, st *repro.Stats) {
 	}
 	if sys.CommitLatency.Count() > 0 {
 		fmt.Printf("commit latency      %s\n", sys.CommitLatency.String())
+	}
+	if sys.ScatterLatency.Count() > 0 {
+		fmt.Printf("scatter phase       %s\n", sys.ScatterLatency.String())
+	}
+	if sys.GatherLatency.Count() > 0 {
+		fmt.Printf("gather phase        %s\n", sys.GatherLatency.String())
+	}
+	if sys.RevalidateLatency.Count() > 0 {
+		fmt.Printf("tl2 revalidation    %s\n", sys.RevalidateLatency.String())
 	}
 	if sys.K != nil {
 		fmt.Printf("kernel events       %d\n", sys.K.EventsRun())

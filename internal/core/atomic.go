@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // Error-based transactional control flow. The word-level Run/RunKind
@@ -78,12 +79,15 @@ func (tx *Tx) runHooks(hooks []func()) {
 // so it backs off and retries like a conflict.
 func (rt *Runtime) finishUserAbort(tx *Tx, err error) (attemptOutcome, error) {
 	if errors.Is(err, ErrRetry) {
-		rt.abortCleanup(tx, abortSignal{})
+		rt.abortCleanup(tx, abortSignal{reason: trace.ReasonUser})
 		return attemptAborted, nil
 	}
 	rt.s.Regs.SetStatusLocal(rt.core, tx.id, mem.TxAborted)
 	rt.releaseAll(tx)
 	rt.shard.UserAborts++
+	rt.shard.AbortReasons[trace.ReasonUser]++
+	rt.emit(trace.KAbort, tx.id, uint64(trace.ReasonUser), 0, 0)
+	rt.s.snap.AddAbort()
 	tx.runHooks(tx.onAbort)
 	return attemptUserAborted, err
 }

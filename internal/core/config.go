@@ -19,6 +19,7 @@ import (
 	"repro/internal/noc"
 	"repro/internal/placement"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Backend selects the execution backend a System runs on. The whole DTM
@@ -276,6 +277,19 @@ type Config struct {
 	RepartitionEpoch int
 	// Costs overrides the nominal software costs (default DefaultCosts).
 	Costs *Costs
+	// Trace enables the flight recorder (internal/trace): every runtime,
+	// DTM node and the placement directory gets a ring buffer of fixed-size
+	// event records, assembled into a Trace at snapshot time (System.Trace,
+	// and Trace.Sink if set). Nil — the default — disables tracing; every
+	// emit site then costs exactly one nil comparison, which is what keeps
+	// trace-off runs bit-identical to the pinned fingerprints.
+	Trace *trace.Options
+	// Snapshot enables the live backend's periodic metrics snapshotter:
+	// interval-sampled commit/abort/op counters written as a JSONL time
+	// series while the run is in flight. Ignored on the sim backend (the
+	// sim is single-threaded virtual time; mid-run wall-clock sampling is
+	// meaningless there).
+	Snapshot *trace.SnapshotOptions
 }
 
 func (c *Config) normalize() error {
@@ -346,7 +360,16 @@ type Stats struct {
 	// aborted attempts that go back around the retry loop).
 	UserAborts uint64
 
-	AbortsByKind [3]uint64 // indexed by cm.Kind
+	// AbortsByKind sub-classifies conflict aborts by the conflict kind the
+	// losing lock request reported (indexed by cm.Kind). AbortReasons is
+	// the complete taxonomy; this array refines its ReasonConflict bucket.
+	AbortsByKind [3]uint64
+
+	// AbortReasons partitions every abort — retried attempts and withdrawn
+	// transactions alike — by why it died (indexed by trace.Reason:
+	// conflict, revoked, doomed-read, stale-placement, user). Invariant:
+	// the sum over AbortReasons equals Aborts + UserAborts.
+	AbortReasons [trace.NumReasons]uint64
 
 	// Message traffic. Msgs counts protocol payloads (the logical message
 	// plane); WireMsgs counts physical wire messages. Without coalescing
@@ -417,6 +440,9 @@ func (s *Stats) addShard(o *Stats) {
 	s.UserAborts += o.UserAborts
 	for i, v := range o.AbortsByKind {
 		s.AbortsByKind[i] += v
+	}
+	for i, v := range o.AbortReasons {
+		s.AbortReasons[i] += v
 	}
 	s.Msgs += o.Msgs
 	s.MsgBytes += o.MsgBytes

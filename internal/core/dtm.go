@@ -9,6 +9,7 @@ import (
 	"repro/internal/dslock"
 	"repro/internal/mem"
 	"repro/internal/port"
+	"repro/internal/trace"
 )
 
 // dtmNode is one DTM service node: it owns the lock table for the slice of
@@ -28,6 +29,11 @@ type dtmNode struct {
 	excl  exclState // irrevocable-transaction exclusivity token
 	reqs  uint64    // requests served (Stats.NodeLoad)
 	shard Stats     // this node's counters, merged at snapshot
+
+	// rec is the node's flight-recorder lane (nil when Config.Trace is
+	// unset). Touched only from the serving execution context, like every
+	// other mutable field above.
+	rec *trace.Recorder
 
 	// Drained-stripe scan gate (maybeHandoffs): the directory freeze
 	// generation covered by the last tryHandoffs scan, and whether the lock
@@ -97,7 +103,7 @@ func (n *dtmNode) dispatchBurst(p port.Port, m port.Msg) {
 // the requester awaiting it.
 func (n *dtmNode) flushOut(p port.Port) {
 	n.out.Flush(func(e *port.OutEntry) {
-		n.s.sendEntry(&n.shard, p, n.core, e)
+		n.s.sendEntry(&n.shard, n.rec, p, n.core, e)
 	})
 }
 
@@ -214,6 +220,7 @@ func (n *dtmNode) nackStale(p port.Port, reply port.Port, replyTo int, reqID uin
 	if len(keys) == 1 {
 		resp.NackOwner = n.s.dir.Owner(keys[0])
 	}
+	n.emit(p, trace.KLockStale, 0, trace.FlowID(replyTo, reqID), resp.NackEpoch, uint64(resp.NackOwner+1))
 	n.respond(p, reply, replyTo, resp)
 }
 
@@ -230,6 +237,7 @@ func (n *dtmNode) handleReadLock(p port.Port, r *reqReadLock) {
 	if n.excl.blocked() {
 		// An irrevocable transaction holds or awaits this node's
 		// exclusivity token: reject so the table drains (§2 extension).
+		n.emit(p, trace.KLockNack, r.Meta.TxID, trace.FlowID(r.ReplyTo, r.ReqID), uint64(cm.RAW), 0)
 		n.respond(p, r.Reply, r.ReplyTo, &respLock{ReqID: r.ReqID, OK: false, Kind: cm.RAW})
 		return
 	}
@@ -239,12 +247,14 @@ func (n *dtmNode) handleReadLock(p port.Port, r *reqReadLock) {
 		conf := n.table.ReadConflict(r.Addr, meta)
 		if conf == nil {
 			n.table.AddReader(r.Addr, meta)
+			n.emit(p, trace.KLockGrant, r.Meta.TxID, trace.FlowID(r.ReplyTo, r.ReqID), 1, 0)
 			n.respond(p, r.Reply, r.ReplyTo, &respLock{ReqID: r.ReqID, OK: true})
 			return
 		}
 		n.shard.Conflicts++
 		if n.s.cfg.Policy.Resolve(meta, conf.Enemies, conf.Kind) == cm.AbortRequester ||
 			!n.abortEnemies(p, r.Addr, conf.Enemies) {
+			n.emit(p, trace.KLockNack, r.Meta.TxID, trace.FlowID(r.ReplyTo, r.ReqID), uint64(conf.Kind), 0)
 			n.respond(p, r.Reply, r.ReplyTo, &respLock{ReqID: r.ReqID, OK: false, Kind: conf.Kind})
 			return
 		}
@@ -265,6 +275,7 @@ func (n *dtmNode) handleWriteLock(p port.Port, r *reqWriteLock) {
 		return
 	}
 	if n.excl.blocked() {
+		n.emit(p, trace.KLockNack, r.Meta.TxID, trace.FlowID(r.ReplyTo, r.ReqID), uint64(cm.WAW), 0)
 		n.respond(p, r.Reply, r.ReplyTo, &respLock{ReqID: r.ReqID, OK: false, Kind: cm.WAW})
 		return
 	}
@@ -285,11 +296,13 @@ func (n *dtmNode) handleWriteLock(p port.Port, r *reqWriteLock) {
 				for _, a := range acquired {
 					n.table.ReleaseWrite(a, meta.Core, meta.TxID)
 				}
+				n.emit(p, trace.KLockNack, r.Meta.TxID, trace.FlowID(r.ReplyTo, r.ReqID), uint64(conf.Kind), 0)
 				n.respond(p, r.Reply, r.ReplyTo, &respLock{ReqID: r.ReqID, OK: false, Kind: conf.Kind})
 				return
 			}
 		}
 	}
+	n.emit(p, trace.KLockGrant, r.Meta.TxID, trace.FlowID(r.ReplyTo, r.ReqID), uint64(len(r.Addrs)), 0)
 	resp := &respLock{ReqID: r.ReqID, OK: true}
 	if n.s.tl2() {
 		// Piggyback the granted stripes' current versions: the committer
@@ -315,6 +328,7 @@ func (n *dtmNode) abortEnemies(p port.Port, addr mem.Addr, enemies []cm.Meta) bo
 			p, n.core, e.Core, e.TxID, mem.TxPending, mem.TxAborted)
 		if swapped {
 			n.shard.Revocations++
+			n.emit(p, trace.KRevoke, 0, uint64(e.Core), e.TxID, uint64(addr))
 			n.table.Revoke(addr, e.Core, e.TxID)
 			n.shrunk = true
 			continue
@@ -369,5 +383,5 @@ func (n *dtmNode) respond(p port.Port, reply port.Port, replyCore int, resp *res
 		n.out.Stage(reply, replyCore, resp, respBytes(resp))
 		return
 	}
-	n.s.send(&n.shard, p, n.core, reply, replyCore, resp, respBytes(resp))
+	n.s.send(&n.shard, n.rec, p, n.core, reply, replyCore, resp, respBytes(resp))
 }

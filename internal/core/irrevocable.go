@@ -87,7 +87,7 @@ func (n *dtmNode) tryGrantExclusive(p port.Port) {
 	n.excl.owner = r.Core
 	n.excl.ownerTx = r.TxID
 	n.shard.Responses++
-	n.s.send(&n.shard, p, n.core, r.Reply, r.Core, &respExclusive{}, msgRespBytes)
+	n.s.send(&n.shard, n.rec, p, n.core, r.Reply, r.Core, &respExclusive{}, msgRespBytes)
 }
 
 // Irrevocable is the handle passed to an irrevocable transaction body. Its

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/port"
+	"repro/internal/trace"
 )
 
 // The application-side RPC layer of the DTM protocol. Every lock request
@@ -58,7 +59,7 @@ func (rt *Runtime) nextReqID() uint64 {
 // sendToNode transmits one protocol message to DTM node ni, charging the
 // platform's message latency. It does not block.
 func (rt *Runtime) sendToNode(ni int, msg wireMsg) {
-	rt.s.send(&rt.shard, rt.proc, rt.core, rt.s.nodePorts[ni], rt.s.nodes[ni].core, msg, msg.bytes())
+	rt.s.send(&rt.shard, rt.rec, rt.proc, rt.core, rt.s.nodePorts[ni], rt.s.nodes[ni].core, msg, msg.bytes())
 }
 
 // burstToNode queues one protocol message of a burst for DTM node ni:
@@ -80,7 +81,7 @@ func (rt *Runtime) burstToNode(ni int, msg wireMsg) {
 // traffic.
 func (rt *Runtime) flushOut() {
 	rt.out.Flush(func(e *port.OutEntry) {
-		rt.s.sendEntry(&rt.shard, rt.proc, rt.core, e)
+		rt.s.sendEntry(&rt.shard, rt.rec, rt.proc, rt.core, e)
 	})
 }
 
@@ -95,7 +96,7 @@ const maxPlacementHops = 8
 // budget.
 func (rt *Runtime) placementAbort() {
 	rt.shard.PlacementAborts++
-	panic(abortSignal{})
+	panic(abortSignal{reason: trace.ReasonStalePlacement})
 }
 
 // rpcReadLock sends a read-lock request and waits for the response,
@@ -119,6 +120,7 @@ func (rt *Runtime) rpcReadLock(tx *Tx, key mem.Addr) *respLock {
 			ReplyTo: rt.core,
 		}
 		rt.shard.ReadLockReqs++
+		rt.emit(trace.KLockReq, tx.id, trace.FlowID(rt.core, id), uint64(key), 1)
 		rt.sendToNode(node, req)
 		resp := rt.awaitOne(id)
 		if !resp.Stale {
@@ -166,6 +168,7 @@ func (rt *Runtime) writeLockReq(tx *Tx, epoch uint64, keys []mem.Addr) *reqWrite
 		ReplyTo: rt.core,
 	}
 	rt.shard.WriteLockReqs++
+	rt.emit(trace.KLockReq, tx.id, trace.FlowID(rt.core, req.ReqID), uint64(keys[0]), uint64(len(keys)))
 	return req
 }
 
@@ -207,6 +210,8 @@ func (rt *Runtime) rpcWriteLockEager(tx *Tx, key mem.Addr) *respLock {
 // (the NoBatching ablation splits per object) share one wire message; the
 // flush marks the end of the scatter burst, before the gather phase blocks.
 func (rt *Runtime) scatterWriteLocks(tx *Tx, epoch uint64, batches []nodeGroup) []*respLock {
+	scStart := rt.proc.Now()
+	rt.emit(trace.KPhaseBegin, tx.id, uint64(trace.PhaseScatter), 0, 0)
 	ids := make([]uint64, len(batches))
 	for i, b := range batches {
 		req := rt.writeLockReq(tx, epoch, b.addrs)
@@ -214,6 +219,10 @@ func (rt *Runtime) scatterWriteLocks(tx *Tx, epoch uint64, batches []nodeGroup) 
 		ids[i] = req.ReqID
 	}
 	rt.flushOut()
+	rt.emit(trace.KPhaseEnd, tx.id, uint64(trace.PhaseScatter), 0, 0)
+	rt.scatterLat.Observe(rt.proc.Now() - scStart)
+	gaStart := rt.proc.Now()
+	rt.emit(trace.KPhaseBegin, tx.id, uint64(trace.PhaseGather), 0, 0)
 	out := make([]*respLock, len(ids))
 	rt.awaitIDs = append(rt.awaitIDs[:0], ids...)
 	for remaining := len(ids); remaining > 0; {
@@ -231,6 +240,8 @@ func (rt *Runtime) scatterWriteLocks(tx *Tx, epoch uint64, batches []nodeGroup) 
 		}
 	}
 	rt.awaitIDs = rt.awaitIDs[:0]
+	rt.emit(trace.KPhaseEnd, tx.id, uint64(trace.PhaseGather), 0, 0)
+	rt.gatherLat.Observe(rt.proc.Now() - gaStart)
 	return out
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/placement"
 	"repro/internal/port"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // System is one TM2C instance: a many-core with a DTM service partition and
@@ -44,6 +45,17 @@ type System struct {
 	// serial against scatter-gather lock acquisition. Valid after Run.
 	CommitLatency hist.Histogram
 
+	// Per-commit-phase latency breakdowns, populated like CommitLatency.
+	// ScatterLatency covers the scatter-gather commit's send burst (batch
+	// build through outbox flush), GatherLatency its response-await phase;
+	// both stay empty under SerialRPC, whose round trips have no distinct
+	// phases. RevalidateLatency covers the TL2 commit's read-set
+	// revalidation (successful ones; a failed revalidation aborts the
+	// commit). Valid after Run.
+	ScatterLatency    hist.Histogram
+	GatherLatency     hist.Histogram
+	RevalidateLatency hist.Histogram
+
 	appCores []int // physical IDs of application cores
 	svcCores []int // physical IDs of DTM cores (== appCores under Multitask)
 	isSvc    map[int]bool
@@ -60,6 +72,13 @@ type System struct {
 	// kernel's event queue already encodes quiescence, so it is never
 	// waited on there.
 	workersDone sync.WaitGroup
+
+	// Flight-recorder state (Config.Trace; see tracing.go): the placement
+	// directory's lane, the trace assembled at snapshot time, and the live
+	// backend's periodic metrics snapshotter (Config.Snapshot).
+	placeRec *trace.Recorder
+	traceOut *trace.Trace
+	snap     *trace.Snapshotter
 
 	deadline sim.Time
 	stats    Stats
@@ -123,11 +142,16 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		s.dir = dir
 	}
+	s.setupTrace()
+	if cfg.Snapshot != nil && cfg.Backend == BackendLive {
+		s.snap = trace.NewSnapshotter(*cfg.Snapshot)
+	}
 	s.nodePorts = make([]port.Port, len(s.nodes))
 	if cfg.Deployment == Dedicated {
 		for _, n := range s.nodes {
 			n := n
 			s.nodePorts[n.idx] = s.spawnPort(fmt.Sprintf("dtm%d", n.core), n.serveLoop)
+			s.hookBatches(s.nodePorts[n.idx], n.rec)
 		}
 	}
 	return s, nil
@@ -184,6 +208,9 @@ func (s *System) SpawnWorkers(worker func(rt *Runtime)) {
 		if s.cfg.Deployment == Multitask {
 			rt.node = s.nodes[i] // svcCores == appCores, same index
 		}
+		if s.cfg.Trace != nil {
+			rt.rec = trace.NewRecorder(appActor(c), s.cfg.Trace.ActorEvents)
+		}
 		s.runtimes = append(s.runtimes, rt)
 	}
 	for _, rt := range s.runtimes {
@@ -224,6 +251,9 @@ func (s *System) SpawnWorkers(worker func(rt *Runtime)) {
 		// backend's Spawn returns before the proc runs, and the live
 		// engine's goroutines block until Run, so this is always ordered.
 		rt.proc = p
+		// Envelope delivers land on the physical core's app lane; under
+		// Multitask the co-located node shares the port and the lane.
+		s.hookBatches(p, rt.rec)
 		if rt.node != nil {
 			s.nodePorts[rt.node.idx] = p
 		}
@@ -252,7 +282,10 @@ func (s *System) SpawnRaw(worker func(p Port, core int)) {
 // AddOps records n completed application-level operations (used by
 // non-transactional baselines, which may run concurrently on the live
 // backend; transactional workers use Runtime.AddOps).
-func (s *System) AddOps(n int) { atomic.AddUint64(&s.stats.Ops, uint64(n)) }
+func (s *System) AddOps(n int) {
+	atomic.AddUint64(&s.stats.Ops, uint64(n))
+	s.snap.AddOps(uint64(n))
+}
 
 // Deadline returns the stop time (set by Run): virtual on sim, monotonic
 // nanoseconds since Run on live.
@@ -324,6 +357,7 @@ func (s *System) liveDrainExpired() bool {
 // proc panics do.
 func (s *System) runLive(watchdog time.Duration) {
 	s.eng.Start()
+	s.snap.Start()
 	done := make(chan struct{})
 	go func() {
 		s.workersDone.Wait()
@@ -339,6 +373,7 @@ func (s *System) runLive(watchdog time.Duration) {
 	}
 	dur := s.eng.Now()
 	s.eng.Shutdown()
+	s.snap.Stop()
 	s.snapshot(dur)
 }
 
@@ -355,6 +390,9 @@ func (s *System) snapshot(d sim.Time) {
 		s.stats.addShard(&rt.shard)
 		s.TxLifespans.Merge(&rt.life)
 		s.CommitLatency.Merge(&rt.commitLat)
+		s.ScatterLatency.Merge(&rt.scatterLat)
+		s.GatherLatency.Merge(&rt.gatherLat)
+		s.RevalidateLatency.Merge(&rt.revalLat)
 	}
 	for _, n := range s.nodes {
 		s.stats.NodeLoad = append(s.stats.NodeLoad, n.reqs)
@@ -365,6 +403,7 @@ func (s *System) snapshot(d sim.Time) {
 		s.stats.Migrations = s.dir.Migrations
 		s.stats.Handoffs = s.dir.Handoffs
 	}
+	s.assembleTrace()
 }
 
 // Stats returns the snapshot taken by Run. Valid only after Run.
@@ -412,8 +451,12 @@ func (s *System) recvPeers(dstCore int) int {
 
 // send transmits payload from srcCore (running on port p) to dstPort on
 // dstCore, charging the platform's message latency (modeled on sim, ignored
-// on live). The message counters land in the sender's shard st.
-func (s *System) send(st *Stats, p port.Port, srcCore int, dstPort port.Port, dstCore int, payload any, nbytes int) {
+// on live). The message counters land in the sender's shard st; rec is the
+// sender's flight-recorder lane (nil when tracing is off).
+func (s *System) send(st *Stats, rec *trace.Recorder, p port.Port, srcCore int, dstPort port.Port, dstCore int, payload any, nbytes int) {
+	if rec != nil {
+		rec.Emit(p.Now(), trace.KWireSend, 0, uint64(dstCore), uint64(nbytes), 1)
+	}
 	delay := s.cfg.Platform.MsgDelay(srcCore, dstCore, nbytes, s.recvPeers(dstCore))
 	p.Send(dstPort, payload, delay)
 	st.Msgs++
@@ -428,11 +471,16 @@ func (s *System) send(st *Stats, p port.Port, srcCore int, dstPort port.Port, ds
 // cost model (fixed overheads once, payload bytes summed). The receiving
 // backend unpacks the envelope into individual mailbox messages, so
 // selective receive never observes it.
-func (s *System) sendEntry(st *Stats, p port.Port, srcCore int, e *port.OutEntry) {
+func (s *System) sendEntry(st *Stats, rec *trace.Recorder, p port.Port, srcCore int, e *port.OutEntry) {
 	dstCore := e.DstTag
 	if len(e.Payloads) == 1 {
-		s.send(st, p, srcCore, e.Dst, dstCore, e.Payloads[0], e.Bytes)
+		s.send(st, rec, p, srcCore, e.Dst, dstCore, e.Payloads[0], e.Bytes)
 		return
+	}
+	if rec != nil {
+		// A payload count >= 2 marks this wire message as a coalesced
+		// envelope; the receiver's lane answers with KEnvelopeDeliver.
+		rec.Emit(p.Now(), trace.KWireSend, 0, uint64(dstCore), uint64(e.Bytes), uint64(len(e.Payloads)))
 	}
 	delay := s.cfg.Platform.BatchDelay(srcCore, dstCore, e.Bytes, len(e.Payloads), s.recvPeers(dstCore))
 	// Flush transfers ownership of e.Payloads, so the envelope may carry

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // The invisible-read protocol mode (Config.Protocol == ProtocolTL2), in the
@@ -73,14 +74,16 @@ func (tx *Tx) readTL2(base mem.Addr, n int) []uint64 {
 		// write-back is in flight. Returning the value could tear the
 		// snapshot, so the attempt dies here.
 		rt.shard.DoomedReads++
-		panic(abortSignal{})
+		rt.emit(trace.KDoomedRead, tx.id, uint64(key), 0, 0)
+		panic(abortSignal{reason: trace.ReasonDoomedRead})
 	}
 	if prev, seen := tx.readVers[key]; seen {
 		if prev != ver {
 			// A second object on the same stripe observed a different
 			// version: the stripe changed between our reads.
 			rt.shard.DoomedReads++
-			panic(abortSignal{})
+			rt.emit(trace.KDoomedRead, tx.id, uint64(key), 0, 0)
+			panic(abortSignal{reason: trace.ReasonDoomedRead})
 		}
 	} else {
 		tx.readVers[key] = ver
@@ -120,7 +123,7 @@ func (tx *Tx) commitTL2() {
 	}
 	// Become non-abortable. If the CAS fails, a CM got to us first.
 	if !rt.s.Regs.CASStatusLocal(rt.core, tx.id, mem.TxPending, mem.TxCommitting) {
-		panic(abortSignal{})
+		panic(abortSignal{reason: trace.ReasonRevoked})
 	}
 	// Mark the write stripes. Safe: we hold their DTM write locks and are
 	// already Committing, so no CM can revoke them (abortEnemies refuses),
@@ -131,10 +134,16 @@ func (tx *Tx) commitTL2() {
 	rt.proc.Advance(rt.s.compute(rt.s.cfg.Costs.ClockTick))
 	wv := rt.s.clock.Tick(rt.core)
 	rt.shard.ClockAdvances++
+	rt.emit(trace.KClockTick, tx.id, wv, 0, 0)
 	tickAt := rt.proc.Now()
+	rvStart := rt.proc.Now()
+	rt.emit(trace.KPhaseBegin, tx.id, uint64(trace.PhaseRevalidate), 0, 0)
 	tx.revalidateTL2(keys)
+	rt.emit(trace.KPhaseEnd, tx.id, uint64(trace.PhaseRevalidate), 0, 0)
+	rt.revalLat.Observe(rt.proc.Now() - rvStart)
 	// Persist the write set, then publish the new version: readers see the
 	// marker until the very instant the new data is fully in place.
+	rt.emit(trace.KPhaseBegin, tx.id, uint64(trace.PhaseWriteBack), 0, 0)
 	var addrs []mem.Addr
 	var vals []uint64
 	for _, base := range tx.writeOrd {
@@ -145,6 +154,7 @@ func (tx *Tx) commitTL2() {
 	}
 	rt.s.Mem.WriteBatch(rt.proc, rt.core, addrs, vals)
 	rt.s.Mem.PublishVersions(rt.proc, rt.core, keys, wv)
+	rt.emit(trace.KPhaseEnd, tx.id, uint64(trace.PhaseWriteBack), 0, 0)
 	rt.s.Regs.SetStatusLocal(rt.core, tx.id, mem.TxCommitted)
 	if rt.s.audit != nil {
 		rt.s.recordCommit(tx, tickAt) // serializes at the clock tick
@@ -192,7 +202,8 @@ func (tx *Tx) revalidateTL2(writeKeys []mem.Addr) {
 		if !ok {
 			rt.s.Mem.UnlockVersions(writeKeys)
 			rt.s.Regs.SetStatusLocal(rt.core, tx.id, mem.TxAborted)
-			panic(abortSignal{})
+			rt.emit(trace.KDoomedRead, tx.id, uint64(key), 0, 0)
+			panic(abortSignal{reason: trace.ReasonDoomedRead})
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/port"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Runtime is the transactional runtime of one application core: the APP
@@ -24,11 +25,18 @@ type Runtime struct {
 	local  *cm.Local
 	node   *dtmNode // co-located DTM node (Multitask only)
 
-	nextTxID  uint64
-	stats     CoreStats
-	shard     Stats          // this core's counters, merged at snapshot
-	life      hist.Histogram // committed-transaction lifespans
-	commitLat hist.Histogram // commit-phase latencies
+	nextTxID   uint64
+	stats      CoreStats
+	shard      Stats          // this core's counters, merged at snapshot
+	life       hist.Histogram // committed-transaction lifespans
+	commitLat  hist.Histogram // commit-phase latencies
+	scatterLat hist.Histogram // commit write-lock scatter-burst latencies
+	gatherLat  hist.Histogram // commit response-gather latencies
+	revalLat   hist.Histogram // TL2 read-set revalidation latencies
+
+	// rec is the core's flight-recorder lane (nil when Config.Trace is
+	// unset; every emit is then a single nil comparison).
+	rec *trace.Recorder
 
 	// RPC-layer state (rpc.go): the correlation-ID generator, the IDs
 	// currently awaited, and the reusable selective-receive predicate.
@@ -81,14 +89,20 @@ func (rt *Runtime) Stopped() bool { return rt.proc.Now() >= rt.s.deadline }
 func (rt *Runtime) Compute(d time.Duration) { rt.proc.Advance(rt.s.compute(d)) }
 
 // AddOps records n completed application-level operations.
-func (rt *Runtime) AddOps(n int) { rt.stats.Ops += uint64(n) }
+func (rt *Runtime) AddOps(n int) {
+	rt.stats.Ops += uint64(n)
+	rt.s.snap.AddOps(uint64(n))
+}
 
 // abortSignal is panicked out of transactional wrappers to unwind an
 // aborted attempt; Runtime.attempt recovers it. It never escapes the
-// package.
+// package. Every panic site sets reason explicitly — the taxonomy
+// (trace.Reason) partitions all aborts, and abortCleanup counts it into
+// Stats.AbortReasons.
 type abortSignal struct {
 	kind    cm.Kind
 	hasKind bool // false for elastic-read validation aborts and remote aborts
+	reason  trace.Reason
 }
 
 // Tx is one transaction attempt. All accesses are at object granularity: an
@@ -219,6 +233,7 @@ func (rt *Runtime) runLoop(kind TxKind, fn func(*Tx) error) (attempts int, userE
 			// committed since.
 			rt.snapshotTL2(tx)
 		}
+		rt.emit(trace.KAttemptStart, tx.id, uint64(attempts), 0, 0)
 		switch outcome, err := rt.attempt(tx, fn); outcome {
 		case attemptCommitted:
 			rt.local.OnCommit(rt.proc.Now())
@@ -229,6 +244,8 @@ func (rt *Runtime) runLoop(kind TxKind, fn func(*Tx) error) (attempts int, userE
 			// Lifespan = start of the first attempt to commit, across
 			// aborts — the paper's §4.1 definition.
 			rt.life.Observe(rt.proc.Now() - lifeStart)
+			rt.emit(trace.KCommit, tx.id, uint64(attempts), 0, 0)
+			rt.s.snap.AddCommit()
 			tx.runHooks(tx.onCommit)
 			return attempts, nil
 		case attemptUserAborted:
@@ -291,7 +308,7 @@ func (rt *Runtime) attempt(tx *Tx, fn func(*Tx) error) (outcome attemptOutcome, 
 // register locally, which is free.
 func (tx *Tx) checkAborted() {
 	if _, st := tx.rt.s.Regs.LoadStatusLocal(tx.rt.core); st == mem.TxAborted {
-		panic(abortSignal{})
+		panic(abortSignal{reason: trace.ReasonRevoked})
 	}
 }
 
@@ -324,7 +341,7 @@ func (tx *Tx) ReadN(base mem.Addr, n int) []uint64 {
 	key := rt.s.lockKey(base)
 	resp := rt.rpcReadLock(tx, key)
 	if !resp.OK {
-		panic(abortSignal{kind: resp.Kind, hasKind: true})
+		panic(abortSignal{kind: resp.Kind, hasKind: true, reason: trace.ReasonConflict})
 	}
 	// Record the grant before anything can abort the attempt: if the lock
 	// were not in the read set when the post-read abort check fires, the
@@ -334,6 +351,7 @@ func (tx *Tx) ReadN(base mem.Addr, n int) []uint64 {
 	tx.reads[base] = vals
 	tx.readOrder = append(tx.readOrder, base)
 	tx.lastGrant = rt.proc.Now()
+	rt.emit(trace.KRead, tx.id, uint64(key), 0, 0)
 	tx.checkAborted()
 	return cloneWords(vals)
 }
@@ -385,7 +403,8 @@ func (tx *Tx) validateWindow(charged bool) {
 		}
 		for j := range cur {
 			if cur[j] != w.vals[j] {
-				panic(abortSignal{})
+				rt.emit(trace.KDoomedRead, tx.id, uint64(w.base), 0, 0)
+				panic(abortSignal{reason: trace.ReasonDoomedRead})
 			}
 		}
 	}
@@ -410,7 +429,7 @@ func (tx *Tx) WriteN(base mem.Addr, vals []uint64) {
 			tx.checkAborted()
 			resp := rt.rpcWriteLockEager(tx, key)
 			if !resp.OK {
-				panic(abortSignal{kind: resp.Kind, hasKind: true})
+				panic(abortSignal{kind: resp.Kind, hasKind: true, reason: trace.ReasonConflict})
 			}
 			tx.wlocked = append(tx.wlocked, key)
 			tx.recordGrantVers([]mem.Addr{key}, resp.Vers)
@@ -478,7 +497,7 @@ func (tx *Tx) commit() {
 	if len(tx.writeOrd) > 0 {
 		// Become non-abortable. If the CAS fails, a CM got to us first.
 		if !rt.s.Regs.CASStatusLocal(rt.core, tx.id, mem.TxPending, mem.TxCommitting) {
-			panic(abortSignal{})
+			panic(abortSignal{reason: trace.ReasonRevoked})
 		}
 		if tx.kind == ElasticRead {
 			// Final consecutive-read validation at the persist instant.
@@ -494,6 +513,7 @@ func (tx *Tx) commit() {
 			}()
 		}
 		// Persist the write set to shared memory.
+		rt.emit(trace.KPhaseBegin, tx.id, uint64(trace.PhaseWriteBack), 0, 0)
 		var addrs []mem.Addr
 		var vals []uint64
 		for _, base := range tx.writeOrd {
@@ -503,6 +523,7 @@ func (tx *Tx) commit() {
 			}
 		}
 		rt.s.Mem.WriteBatch(rt.proc, rt.core, addrs, vals)
+		rt.emit(trace.KPhaseEnd, tx.id, uint64(trace.PhaseWriteBack), 0, 0)
 	}
 
 	rt.s.Regs.SetStatusLocal(rt.core, tx.id, mem.TxCommitted)
@@ -596,7 +617,7 @@ func (tx *Tx) serialAcquire(keys []mem.Addr) (stale []mem.Addr) {
 		case resp.Stale:
 			stale = append(stale, b.addrs...)
 		default:
-			panic(abortSignal{kind: resp.Kind, hasKind: true})
+			panic(abortSignal{kind: resp.Kind, hasKind: true, reason: trace.ReasonConflict})
 		}
 	}
 	return stale
@@ -625,7 +646,7 @@ func (tx *Tx) scatterAcquire(keys []mem.Addr) (stale []mem.Addr) {
 		}
 	}
 	if fail != nil {
-		panic(abortSignal{kind: fail.Kind, hasKind: true})
+		panic(abortSignal{kind: fail.Kind, hasKind: true, reason: trace.ReasonConflict})
 	}
 	return stale
 }
@@ -658,9 +679,16 @@ func (rt *Runtime) abortCleanup(tx *Tx, sig abortSignal) {
 	rt.s.Regs.SetStatusLocal(rt.core, tx.id, mem.TxAborted)
 	rt.releaseAll(tx)
 	rt.stats.Aborts++
+	rt.shard.AbortReasons[sig.reason]++
 	if sig.hasKind {
 		rt.shard.AbortsByKind[sig.kind]++
 	}
+	kindEnc := uint64(0)
+	if sig.hasKind {
+		kindEnc = uint64(sig.kind) + 1
+	}
+	rt.emit(trace.KAbort, tx.id, uint64(sig.reason), kindEnc, 0)
+	rt.s.snap.AddAbort()
 	tx.runHooks(tx.onAbort)
 }
 
@@ -670,6 +698,7 @@ func (rt *Runtime) abortCleanup(tx *Tx, sig abortSignal) {
 // order (reads in read order, then write locks in acquisition order) so
 // identical runs schedule identical events.
 func (rt *Runtime) releaseAll(tx *Tx) {
+	rt.emit(trace.KPhaseBegin, tx.id, uint64(trace.PhaseRelease), 0, 0)
 	type rel struct{ reads, writes []mem.Addr }
 	perNode := make(map[int]*rel)
 	var order []int
@@ -704,6 +733,7 @@ func (rt *Runtime) releaseAll(tx *Tx) {
 		rt.burstToNode(ni, msg)
 	}
 	rt.flushOut()
+	rt.emit(trace.KPhaseEnd, tx.id, uint64(trace.PhaseRelease), 0, 0)
 }
 
 // writeKeys returns the deduplicated lock keys of the write set, in first-
@@ -780,7 +810,7 @@ func (rt *Runtime) Barrier() {
 		if other == rt {
 			continue
 		}
-		rt.s.send(&rt.shard, rt.proc, rt.core, other.proc, other.core, msg, msg.bytes())
+		rt.s.send(&rt.shard, rt.rec, rt.proc, rt.core, other.proc, other.core, msg, msg.bytes())
 	}
 	for rt.barrierSeen[epoch] < len(rt.s.runtimes)-1 {
 		m := rt.proc.Recv()

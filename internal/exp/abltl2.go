@@ -7,6 +7,7 @@ import (
 	"repro/internal/apps/intset"
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func init() {
@@ -28,7 +29,8 @@ func ablTL2(sc Scale, ov Overrides) []*Table {
 			"Invisible-read TL2 vs visible reads, read-mostly mixes (%d accounts / %d list elems, 48 cores)",
 			accounts, elems),
 		Columns: []string{"workload", "protocol", "ops/ms", "wire/op", "commit %",
-			"local rd/op", "reval/commit", "clock ticks", "doomed"},
+			"local rd/op", "reval/commit", "clock ticks", "doomed",
+			"ab-conflict/op", "ab-revoked/op", "ab-doomed/op", "ab-stale/op", "ab-user/op"},
 	}
 	protocols := []core.Protocol{core.ProtocolVisible, core.ProtocolTL2}
 
@@ -63,6 +65,7 @@ func ablTL2(sc Scale, ov Overrides) []*Table {
 	}
 
 	t.Notes = append(t.Notes,
+		"ab-*/op: aborts per completed operation by taxonomy reason (conflict, CM revocation, doomed snapshot read, stale placement, user)",
 		"wire/op: physical wire messages per completed operation; tl2 reads are local, so only commit-time write-lock traffic remains",
 		"local rd/op counts reads served from the local version table; doomed counts snapshot-staleness aborts (the opacity mechanism)",
 		"pure read-only transactions under tl2 send zero messages: no locks, no validation traffic, just a clock snapshot")
@@ -75,12 +78,18 @@ func addTL2Row(t *Table, workload string, proto core.Protocol, st *core.Stats) {
 	if st.Commits > 0 {
 		revalPerCommit = float64(st.Revalidations) / float64(st.Commits)
 	}
+	ops := float64(st.Ops)
 	t.AddRow(workload, proto.String(),
 		perMs(st.Ops, st.Duration),
-		ratio(float64(st.WireMsgs), float64(st.Ops)),
+		ratio(float64(st.WireMsgs), ops),
 		st.CommitRate(),
-		ratio(float64(st.LocalReads), float64(st.Ops)),
+		ratio(float64(st.LocalReads), ops),
 		revalPerCommit,
 		st.ClockAdvances,
-		st.DoomedReads)
+		st.DoomedReads,
+		ratio(float64(st.AbortReasons[trace.ReasonConflict]), ops),
+		ratio(float64(st.AbortReasons[trace.ReasonRevoked]), ops),
+		ratio(float64(st.AbortReasons[trace.ReasonDoomedRead]), ops),
+		ratio(float64(st.AbortReasons[trace.ReasonStalePlacement]), ops),
+		ratio(float64(st.AbortReasons[trace.ReasonUser]), ops))
 }

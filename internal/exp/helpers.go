@@ -8,6 +8,7 @@ import (
 	"repro/internal/noc"
 	"repro/internal/placement"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Overrides are cross-cutting knobs applied to every system an experiment
@@ -52,6 +53,11 @@ type Overrides struct {
 	// default, so existing experiments (and their pinned fingerprints) are
 	// untouched.
 	Protocol core.Protocol
+	// Trace, when non-nil, enables the flight recorder (Config.Trace) in
+	// every system an experiment builds — wired to the -trace-dir flag of
+	// cmd/tm2c-bench. Options.Sink receives each run's merged trace; nil
+	// Trace keeps the recorder compiled out (a nil check per emit site).
+	Trace *trace.Options
 }
 
 // sysConfig carries the per-run knobs shared by the experiment helpers.
@@ -100,6 +106,7 @@ func (c sysConfig) build(ov Overrides) *core.System {
 	if ov.Protocol != core.ProtocolVisible {
 		cfg.Protocol = ov.Protocol
 	}
+	cfg.Trace = ov.Trace
 	s, err := core.NewSystem(cfg)
 	if err != nil {
 		panic(fmt.Sprintf("exp: bad system config: %v", err))

@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/placement"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // liveWindow is the wall-clock measurement window per app. Short: the point
@@ -64,6 +65,9 @@ func liveSystem(t *testing.T, coalesce bool, proto core.Protocol, mut func(*core
 		Policy:   cm.FairCM,
 		Coalesce: coalesce,
 		Protocol: proto,
+		// Every live app test runs with the flight recorder on, so the
+		// emit paths race real goroutines under -race in CI.
+		Trace: &trace.Options{ActorEvents: 1024},
 	}
 	if mut != nil {
 		mut(&cfg)
@@ -84,6 +88,11 @@ func checkQuiesced(t *testing.T, s *core.System, st *core.Stats) {
 	}
 	if leaked := s.LockedAddrs(); leaked != 0 {
 		t.Errorf("%d addresses still locked after drain", leaked)
+	}
+	if tr := s.Trace(); tr == nil {
+		t.Error("flight recorder enabled but no trace assembled")
+	} else if len(tr.Events) == 0 {
+		t.Error("flight recorder enabled but trace is empty")
 	}
 }
 

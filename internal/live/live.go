@@ -188,7 +188,18 @@ type Port struct {
 	// everything RecvMatch/TryRecvMatch skipped — the same MsgQueue the
 	// sim kernel's procs use as their mailbox.
 	stash sim.MsgQueue
+
+	// onBatch, when set, observes every Batch envelope unpacked into the
+	// stash (the payload count). deliver runs on the port's own goroutine,
+	// so the hook shares the port's single-consumer discipline.
+	onBatch func(n int)
 }
+
+// SetBatchHook installs fn to observe every multi-payload Batch envelope
+// this port unpacks (called with the envelope's payload count). It must be
+// installed before Engine.Start releases the goroutines; a nil fn disables
+// it.
+func (p *Port) SetBatchHook(fn func(n int)) { p.onBatch = fn }
 
 var _ port.Port = (*Port)(nil)
 
@@ -276,6 +287,9 @@ func (p *Port) deliver(m port.Msg) {
 	if b, ok := m.Payload.(*port.Batch); ok {
 		for _, pl := range b.Payloads {
 			p.stash.Push(port.Msg{From: m.From, Payload: pl})
+		}
+		if p.onBatch != nil {
+			p.onBatch(len(b.Payloads))
 		}
 		return
 	}

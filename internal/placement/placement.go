@@ -132,6 +132,17 @@ type Move struct {
 	Stripe, From, To int
 }
 
+// TraceOp identifies one observable directory transition for SetTracer.
+type TraceOp uint8
+
+const (
+	// TraceFreeze: a stripe was frozen for migration; its owner will NACK
+	// new lock requests on it until it drains.
+	TraceFreeze TraceOp = iota
+	// TraceHandoff: a drained stripe's ownership flipped to its target.
+	TraceHandoff
+)
+
 // Directory owns the key→node mapping and drives the epoch-numbered remap
 // protocol. Methods are safe for concurrent use: a mutex linearizes every
 // resolution, record and migration step. On the single-threaded simulation
@@ -156,6 +167,20 @@ type Directory struct {
 	Epochs     uint64 // repartition rounds that initiated at least one move
 	Migrations uint64 // stripe migrations initiated
 	Handoffs   uint64 // stripe handoffs completed
+
+	// tracer, when set, observes every freeze and handoff. Called with mu
+	// held (serialized, in transition order); it must not call back into
+	// the directory or block.
+	tracer func(op TraceOp, stripe, from, to int)
+}
+
+// SetTracer installs fn to observe stripe freezes and handoffs. Install
+// before the system runs; the callback fires with the directory lock held,
+// so it must be fast, non-blocking, and must not re-enter the directory.
+func (d *Directory) SetTracer(fn func(op TraceOp, stripe, from, to int)) {
+	d.mu.Lock()
+	d.tracer = fn
+	d.mu.Unlock()
 }
 
 // New builds a directory. The zero Kind is the paper's static hash.
@@ -311,6 +336,9 @@ func (d *Directory) initiateMove(s, to int) bool {
 	d.freezeGen[owner]++
 	d.epoch++
 	d.Migrations++
+	if d.tracer != nil {
+		d.tracer(TraceFreeze, s, owner, to)
+	}
 	return true
 }
 
@@ -334,6 +362,9 @@ func (d *Directory) CompleteHandoff(s int) {
 	d.pending[s] = -1
 	d.epoch++
 	d.Handoffs++
+	if d.tracer != nil {
+		d.tracer(TraceHandoff, s, owner, int(d.owner[s]))
+	}
 }
 
 // HasPending reports whether node still has frozen stripes to hand off.

@@ -117,3 +117,9 @@ func (s SimPort) TryRecvMatch(pred func(Msg) bool) (Msg, bool) { return s.P.TryR
 
 // RecvTimeout waits up to d for a message.
 func (s SimPort) RecvTimeout(d time.Duration) (Msg, bool) { return s.P.RecvTimeout(d) }
+
+// SetBatchHook forwards the envelope-deliver observer to the proc (see
+// sim.Proc.SetBatchHook). Backends expose this method outside the Port
+// interface; observers discover it by type assertion, so a backend without
+// envelope visibility simply has no hook.
+func (s SimPort) SetBatchHook(fn func(n int)) { s.P.SetBatchHook(fn) }

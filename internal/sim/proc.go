@@ -47,8 +47,18 @@ type Proc struct {
 	waiting bool
 	tgen    uint64 // generation counter cancelling stale RecvTimeout timers
 
+	// onBatch, when set, observes every Batch envelope unpacked into this
+	// proc's mailbox (the payload count). It runs in kernel context at the
+	// delivery instant; it must not touch kernel state or block.
+	onBatch func(n int)
+
 	rng Rand
 }
+
+// SetBatchHook installs fn to observe every multi-payload Batch envelope
+// delivered to this proc (called with the envelope's payload count at the
+// delivery instant). Install before the kernel runs; a nil fn disables it.
+func (p *Proc) SetBatchHook(fn func(n int)) { p.onBatch = fn }
 
 // Spawn creates a new proc running fn and schedules it to start at the
 // current virtual time. Spawn may be called from kernel context or from a
@@ -162,6 +172,9 @@ func (k *Kernel) SendFrom(src int, dst *Proc, payload any, delay time.Duration) 
 		if b, ok := payload.(*Batch); ok {
 			for _, pl := range b.Payloads {
 				dst.mbox.Push(Msg{From: src, SentAt: sent, At: k.now, Payload: pl})
+			}
+			if dst.onBatch != nil {
+				dst.onBatch(len(b.Payloads))
 			}
 		} else {
 			dst.mbox.Push(Msg{From: src, SentAt: sent, At: k.now, Payload: payload})

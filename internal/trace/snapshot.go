@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// SnapshotOptions configures the live backend's periodic metrics
+// snapshotter (core.Config.Snapshot). A nil *SnapshotOptions disables it.
+type SnapshotOptions struct {
+	// W receives one JSON object per line per sample interval.
+	W io.Writer
+	// Every is the sample interval (default 10ms).
+	Every time.Duration
+}
+
+// snapLine is one JSONL sample: cumulative counters plus deltas since the
+// previous sample, so throughput collapse and livelock onset are visible
+// mid-run instead of only at quiesce.
+type snapLine struct {
+	TMs      float64 `json:"t_ms"`
+	Commits  uint64  `json:"commits"`
+	Aborts   uint64  `json:"aborts"`
+	Ops      uint64  `json:"ops"`
+	DCommits uint64  `json:"d_commits"`
+	DAborts  uint64  `json:"d_aborts"`
+	DOps     uint64  `json:"d_ops"`
+}
+
+// Snapshotter samples a small set of shared atomic counters on a fixed
+// interval and writes a JSONL time series. Runtimes bump the counters with
+// the Add* methods (atomic adds — safe from any goroutine, and nil-safe so
+// call sites stay a single comparison when snapshotting is off). Only the
+// live backend runs a Snapshotter: the sim is single-threaded virtual time,
+// where mid-run wall-clock sampling is meaningless.
+type Snapshotter struct {
+	w     io.Writer
+	every time.Duration
+	start time.Time
+
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+	ops     atomic.Uint64
+
+	prev snapLine
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewSnapshotter returns a snapshotter writing to opts.W every opts.Every.
+func NewSnapshotter(opts SnapshotOptions) *Snapshotter {
+	every := opts.Every
+	if every <= 0 {
+		every = 10 * time.Millisecond
+	}
+	return &Snapshotter{w: opts.W, every: every}
+}
+
+// AddCommit records one committed transaction.
+func (s *Snapshotter) AddCommit() {
+	if s != nil {
+		s.commits.Add(1)
+	}
+}
+
+// AddAbort records one aborted attempt or withdrawn transaction.
+func (s *Snapshotter) AddAbort() {
+	if s != nil {
+		s.aborts.Add(1)
+	}
+}
+
+// AddOps records n completed application operations.
+func (s *Snapshotter) AddOps(n uint64) {
+	if s != nil {
+		s.ops.Add(n)
+	}
+}
+
+// Start launches the sampling goroutine. No-op on a nil receiver.
+func (s *Snapshotter) Start() {
+	if s == nil || s.w == nil {
+		return
+	}
+	s.start = time.Now()
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(s.every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				s.sample()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts sampling, writes one final sample, and waits for the
+// goroutine to exit. No-op on a nil receiver or before Start.
+func (s *Snapshotter) Stop() {
+	if s == nil || s.stop == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+	s.sample()
+	s.stop = nil
+}
+
+func (s *Snapshotter) sample() {
+	line := snapLine{
+		TMs:     float64(time.Since(s.start)) / 1e6,
+		Commits: s.commits.Load(),
+		Aborts:  s.aborts.Load(),
+		Ops:     s.ops.Load(),
+	}
+	line.DCommits = line.Commits - s.prev.Commits
+	line.DAborts = line.Aborts - s.prev.Aborts
+	line.DOps = line.Ops - s.prev.Ops
+	s.prev = line
+	if data, err := json.Marshal(line); err == nil {
+		data = append(data, '\n')
+		s.w.Write(data)
+	}
+}
