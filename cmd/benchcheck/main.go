@@ -28,6 +28,9 @@
 //     trace-off no-regression guarantee), and with -maxslowdown > 0 the
 //     fresh run's wall-clock may not exceed baseline elapsed_ms by more
 //     than that factor.
+//   - -netsmoke validates a cross-process net-backend artifact: backend tag
+//     "net", rectangular non-empty tables, and at least one positive numeric
+//     cell (an all-zero grid means the processes never handed off work).
 //
 // Usage:
 //
@@ -37,6 +40,8 @@
 //	benchcheck -file out/BENCH_abltl2.json -mintl2reduction 60
 //	benchcheck -trace out/traces/run-0000.json -requireabort
 //	benchcheck -file fresh/BENCH_fig5a.json -baseline BENCH_fig5a.json
+//	tm2c-bench -run fig5a -scale quick -backend net -json out/
+//	benchcheck -file out/BENCH_fig5a_net.json -netsmoke
 package main
 
 import (
@@ -72,6 +77,7 @@ func main() {
 		requireEnvelope = flag.Bool("requireenvelope", false, "-trace: require at least one coalesced envelope instant")
 		baseline        = flag.String("baseline", "", "committed artifact to gate -file against (sim tables must be cell-identical)")
 		maxSlowdown     = flag.Float64("maxslowdown", 0, "-baseline: max allowed elapsed_ms ratio fresh/baseline (0 disables the wall-clock gate)")
+		netSmoke        = flag.Bool("netsmoke", false, "validate -file as a cross-process net-backend artifact (backend tag, table shape, nonzero throughput) instead of the table dispatch")
 	)
 	flag.Parse()
 	if *traceFile != "" {
@@ -93,6 +99,12 @@ func main() {
 	}
 	if *baseline != "" {
 		if checkBaseline(&res, *file, *baseline, *maxSlowdown) {
+			os.Exit(1)
+		}
+		return
+	}
+	if *netSmoke {
+		if checkNetSmoke(&res, *file) {
 			os.Exit(1)
 		}
 		return
@@ -207,6 +219,51 @@ func checkABLTL2(res *benchResult, grid *table, minReduction float64) bool {
 			fmt.Printf("FAIL: workload=%s: tl2 throughput %v below visible %v\n", w, tl2.tput, vis.tput)
 			failed = true
 		}
+	}
+	return failed
+}
+
+// checkNetSmoke validates a cross-process net-backend artifact: the backend
+// tag must read "net", every table must be rectangular and non-empty, and at
+// least one numeric cell must be positive — a run whose processes failed to
+// hand off a single transaction produces all-zero throughput grids even when
+// the JSON parses. Returns true on failure.
+func checkNetSmoke(res *benchResult, path string) bool {
+	failed := false
+	if res.Backend != "net" {
+		fmt.Printf("FAIL: %s: backend %q, want \"net\"\n", path, res.Backend)
+		failed = true
+	}
+	if len(res.Tables) == 0 {
+		fmt.Printf("FAIL: %s: no tables\n", path)
+		return true
+	}
+	positive := 0
+	for _, t := range res.Tables {
+		if len(t.Columns) == 0 || len(t.Rows) == 0 {
+			fmt.Printf("FAIL: table %s: empty (%d columns, %d rows)\n", t.ID, len(t.Columns), len(t.Rows))
+			failed = true
+			continue
+		}
+		for ri, row := range t.Rows {
+			if len(row) != len(t.Columns) {
+				fmt.Printf("FAIL: table %s row %d: %d cells for %d columns\n", t.ID, ri, len(row), len(t.Columns))
+				failed = true
+				continue
+			}
+			for _, c := range row {
+				if v, err := strconv.ParseFloat(c, 64); err == nil && v > 0 {
+					positive++
+				}
+			}
+		}
+	}
+	if positive == 0 {
+		fmt.Printf("FAIL: %s: no positive numeric cell in any table (zero-commit run?)\n", path)
+		failed = true
+	}
+	if !failed {
+		fmt.Printf("%s: net artifact OK (%d tables, %d positive cells)\n", path, len(res.Tables), positive)
 	}
 	return failed
 }

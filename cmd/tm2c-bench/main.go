@@ -31,12 +31,15 @@
 // -protocol forces a read-visibility protocol (visible | tl2) in every
 // experiment; the abltl2 ablation compares the two protocols directly.
 // -backend selects the execution backend: the deterministic simulator
-// (sim, the default; durations are virtual and reproducible) or the
+// (sim, the default; durations are virtual and reproducible), the
 // real-concurrency goroutine backend (live; durations are wall-clock and
-// throughput columns read operations per wall millisecond). -json writes
-// one machine-readable BENCH_<id>.json (BENCH_<id>_live.json for live
-// results) per experiment into the given directory, seeding the bench
-// trajectory.
+// throughput columns read operations per wall millisecond), or the
+// cross-process backend (net; like live but the cores are spread over
+// -groups OS processes connected by framed sockets — rank 0 forks the
+// worker ranks by default, or launch each rank standalone with
+// -peers/-rank/-listen). -json writes one machine-readable BENCH_<id>.json
+// (BENCH_<id>_live.json / BENCH_<id>_net.json for live / net results) per
+// experiment into the given directory, seeding the bench trajectory.
 // -trace-dir enables the flight recorder in every experiment and writes one
 // chrome://tracing JSON per system run into the directory. -pprof serves
 // net/http/pprof while the experiments run and dumps runtime/metrics at
@@ -51,6 +54,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime"
 	"runtime/metrics"
 	"strings"
 	"sync"
@@ -58,6 +62,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/netboot"
 	"repro/internal/placement"
 	"repro/internal/trace"
 )
@@ -91,6 +96,11 @@ func main() {
 		timings    = flag.Bool("timings", false, "print wall-clock time per experiment")
 		traceDir   = flag.String("trace-dir", "", "directory to write one chrome trace_event JSON per system run into (enables the flight recorder)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) and dump runtime/metrics after the experiments finish")
+		arrivalF   = flag.Bool("arrivalstamp", false, "timestamp contending payloads at envelope arrival instead of per-payload service instant in every experiment (the ablarrival ablation compares both)")
+		groups     = flag.Int("groups", 2, "net backend: number of OS processes (forked from this one by default)")
+		rankF      = flag.Int("rank", 0, "net backend: this process's rank when launched standalone with -peers")
+		listenF    = flag.String("listen", "", "net backend: override this rank's bind address in the -peers list")
+		peersF     = flag.String("peers", "", "net backend: full rank-ordered address list (unix:<path> or host:port) for standalone launches; empty forks -groups local workers over unix sockets")
 	)
 	flag.Parse()
 
@@ -127,13 +137,36 @@ func main() {
 		os.Exit(2)
 	}
 	ov.Backend = backend
+	ov.ArrivalStamp = *arrivalF
+
+	// Net backend: resolve this process's place in the process group. In the
+	// default fork mode rank 0 spawns the worker ranks below; forked children
+	// and standalone rank>0 processes run the identical experiment sequence
+	// but suppress the rank-0-only reporting.
+	var plan *netboot.Plan
+	isChild := false
+	if backend == core.BackendNet {
+		plan, err = netboot.Resolve(*groups, *rankF, *listenF, *peersF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tm2c-bench: %v\n", err)
+			os.Exit(2)
+		}
+		ov.Net = plan.NetConfig()
+		isChild = plan.Rank != 0
+	}
 
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "tm2c-bench: %v\n", err)
 			os.Exit(1)
 		}
-		ov.Trace = &trace.Options{Sink: traceSink(*traceDir)}
+		// On the net backend every process records its own cores; a rank
+		// prefix keeps the per-process files from clobbering each other.
+		prefix := "run-"
+		if plan != nil {
+			prefix = fmt.Sprintf("run-r%d-", plan.Rank)
+		}
+		ov.Trace = &trace.Options{Sink: traceSink(*traceDir, prefix)}
 	}
 
 	if *list {
@@ -164,8 +197,30 @@ func main() {
 		}
 	}
 	unit := "ops/vms" // operations per virtual millisecond
-	if backend == core.BackendLive {
+	if backend == core.BackendLive || backend == core.BackendNet {
 		unit = "ops/ms" // operations per wall-clock millisecond
+	}
+
+	maxCores := 0
+	for _, n := range sc.Cores {
+		if n > maxCores {
+			maxCores = n
+		}
+	}
+	perProc := maxCores
+	if plan != nil {
+		// Each process only runs its own rank's share of the cores.
+		perProc = (maxCores + plan.Ranks - 1) / plan.Ranks
+	}
+	if w := netboot.OversubscriptionWarning(perProc, runtime.GOMAXPROCS(0), backend); w != "" && !isChild {
+		fmt.Fprintln(os.Stderr, "tm2c-bench: "+w)
+	}
+
+	if plan != nil {
+		if err := plan.Fork(); err != nil {
+			fmt.Fprintf(os.Stderr, "tm2c-bench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	var ids []string
@@ -183,6 +238,11 @@ func main() {
 		start := time.Now()
 		tables := e.Run(sc, ov)
 		elapsed := time.Since(start)
+		if isChild {
+			// Worker ranks participate in every system but rank 0 owns the
+			// merged stats report and artifacts.
+			continue
+		}
 		for _, t := range tables {
 			if *csv {
 				fmt.Printf("# %s — %s\n", t.ID, t.Title)
@@ -210,12 +270,16 @@ func main() {
 				ElapsedMS:      elapsed.Milliseconds(),
 				Tables:         tables,
 			}
-			// Sim results keep the historic BENCH_<id>.json name; live
-			// results carry a _live suffix so both backends' baselines can
-			// sit in one directory without clobbering each other.
+			// Sim results keep the historic BENCH_<id>.json name; live and
+			// net results carry a backend suffix so all three backends'
+			// baselines can sit in one directory without clobbering each
+			// other.
 			name := fmt.Sprintf("BENCH_%s.json", e.ID)
-			if resBackend == core.BackendLive.String() {
+			switch resBackend {
+			case core.BackendLive.String():
 				name = fmt.Sprintf("BENCH_%s_live.json", e.ID)
+			case core.BackendNet.String():
+				name = fmt.Sprintf("BENCH_%s_net.json", e.ID)
 			}
 			path := filepath.Join(*jsonDir, name)
 			buf, err := json.MarshalIndent(&res, "", "  ")
@@ -232,6 +296,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "[%s took %v]\n", e.ID, elapsed.Round(time.Millisecond))
 		}
 	}
+	if plan != nil {
+		if err := plan.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "tm2c-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *pprofAddr != "" {
 		dumpRuntimeMetrics(os.Stderr)
 	}
@@ -241,7 +311,7 @@ func main() {
 // trace as a sequentially-numbered chrome trace_event file in dir. The
 // counter is mutex-guarded: live-backend experiments may finish runs from
 // more than one goroutine.
-func traceSink(dir string) func(*trace.Trace) {
+func traceSink(dir, prefix string) func(*trace.Trace) {
 	var mu sync.Mutex
 	var n int
 	return func(t *trace.Trace) {
@@ -249,7 +319,7 @@ func traceSink(dir string) func(*trace.Trace) {
 		seq := n
 		n++
 		mu.Unlock()
-		path := filepath.Join(dir, fmt.Sprintf("run-%04d.json", seq))
+		path := filepath.Join(dir, fmt.Sprintf("%s%04d.json", prefix, seq))
 		f, err := os.Create(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tm2c-bench: trace: %v\n", err)

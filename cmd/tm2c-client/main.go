@@ -1,0 +1,216 @@
+// Command tm2c-client is the load generator and checker for tm2c-serve's
+// line protocol: N concurrent connections each issue a stream of random
+// operations against the hosted workload, then the conservation invariant
+// is verified over a final connection.
+//
+// Usage:
+//
+//	tm2c-client -addr 127.0.0.1:7344 -app bank -clients 4 -ops 500 -check
+//	tm2c-client -addr 127.0.0.1:7344 -cmd "TRANSFER 0 1 5"
+//	tm2c-client -addr 127.0.0.1:7344 -shutdown
+//
+// Exits non-zero on any protocol error, transport error, or failed check.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"strings"
+	"sync"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7344", "tm2c-serve address")
+		app      = flag.String("app", "bank", "workload to drive: bank | intset | kv")
+		clients  = flag.Int("clients", 4, "concurrent client connections")
+		ops      = flag.Int("ops", 500, "operations per connection")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		accounts = flag.Int("accounts", 1024, "bank: account range (must be <= the server's)")
+		keyRange = flag.Int64("keys", 512, "intset/kv: key range")
+		check    = flag.Bool("check", false, "bank: verify BALANCE == TOTAL after the run")
+		shutdown = flag.Bool("shutdown", false, "send SHUTDOWN when done")
+		rawCmd   = flag.String("cmd", "", "send one raw protocol line, print the response, exit")
+	)
+	flag.Parse()
+
+	if *rawCmd != "" {
+		c, err := dial(*addr)
+		if err != nil {
+			fatal(err)
+		}
+		defer c.close()
+		reply, err := c.roundTrip(*rawCmd)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(reply)
+		return
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, *clients)
+	for i := 0; i < *clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = driveOne(*addr, *app, *ops, rand.New(rand.NewSource(*seed+int64(i))), *accounts, *keyRange)
+		}()
+	}
+	wg.Wait()
+	failed := false
+	for i, err := range errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tm2c-client: client %d: %v\n", i, err)
+			failed = true
+		}
+	}
+
+	if *check || *shutdown {
+		c, err := dial(*addr)
+		if err != nil {
+			fatal(err)
+		}
+		defer c.close()
+		if *check && *app == "bank" {
+			if err := checkBank(c); err != nil {
+				fmt.Fprintf(os.Stderr, "tm2c-client: %v\n", err)
+				failed = true
+			} else {
+				fmt.Println("CHECK OK: money conserved")
+			}
+		}
+		if *shutdown {
+			if _, err := c.roundTrip("SHUTDOWN"); err != nil {
+				fmt.Fprintf(os.Stderr, "tm2c-client: shutdown: %v\n", err)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tm2c-client: %v\n", err)
+	os.Exit(1)
+}
+
+// conn is one line-protocol connection.
+type conn struct {
+	c  net.Conn
+	in *bufio.Scanner
+}
+
+func dial(addr string) (*conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{c: c, in: bufio.NewScanner(c)}, nil
+}
+
+func (c *conn) close() { c.c.Close() }
+
+// roundTrip sends one line and returns the one response line.
+func (c *conn) roundTrip(line string) (string, error) {
+	if _, err := fmt.Fprintln(c.c, line); err != nil {
+		return "", err
+	}
+	if !c.in.Scan() {
+		if err := c.in.Err(); err != nil {
+			return "", err
+		}
+		return "", fmt.Errorf("connection closed mid-request")
+	}
+	return c.in.Text(), nil
+}
+
+// must sends a line and fails unless the response is OK or NF.
+func (c *conn) must(line string) (string, error) {
+	reply, err := c.roundTrip(line)
+	if err != nil {
+		return "", fmt.Errorf("%s: %v", line, err)
+	}
+	if !strings.HasPrefix(reply, "OK") && reply != "NF" {
+		return "", fmt.Errorf("%s: server said %q", line, reply)
+	}
+	return reply, nil
+}
+
+// driveOne runs one connection's random op stream.
+func driveOne(addr, app string, ops int, r *rand.Rand, accounts int, keyRange int64) error {
+	c, err := dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.close()
+	if _, err := c.must("PING"); err != nil {
+		return err
+	}
+	for i := 0; i < ops; i++ {
+		var line string
+		switch app {
+		case "bank":
+			from := r.Intn(accounts)
+			to := r.Intn(accounts)
+			line = fmt.Sprintf("TRANSFER %d %d %d", from, to, 1+r.Intn(5))
+		case "intset":
+			key := 1 + r.Int63n(keyRange)
+			switch r.Intn(3) {
+			case 0:
+				line = fmt.Sprintf("ADD %d", key)
+			case 1:
+				line = fmt.Sprintf("DEL %d", key)
+			default:
+				line = fmt.Sprintf("HAS %d", key)
+			}
+		case "kv":
+			key := 1 + r.Int63n(keyRange)
+			switch r.Intn(3) {
+			case 0:
+				line = fmt.Sprintf("PUT %d %d", key, r.Int63())
+			case 1:
+				line = fmt.Sprintf("GET %d", key)
+			default:
+				line = fmt.Sprintf("DEL %d", key)
+			}
+		default:
+			return fmt.Errorf("unknown app %q", app)
+		}
+		if _, err := c.must(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkBank verifies the conservation invariant over the wire: the
+// transactional BALANCE scan must equal the static TOTAL.
+func checkBank(c *conn) error {
+	totalLine, err := c.must("TOTAL")
+	if err != nil {
+		return err
+	}
+	balLine, err := c.must("BALANCE")
+	if err != nil {
+		return err
+	}
+	var total, bal uint64
+	if _, err := fmt.Sscanf(totalLine, "OK %d", &total); err != nil {
+		return fmt.Errorf("bad TOTAL response %q", totalLine)
+	}
+	if _, err := fmt.Sscanf(balLine, "OK %d", &bal); err != nil {
+		return fmt.Errorf("bad BALANCE response %q", balLine)
+	}
+	if total != bal {
+		return fmt.Errorf("money not conserved: BALANCE %d != TOTAL %d", bal, total)
+	}
+	return nil
+}

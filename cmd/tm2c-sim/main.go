@@ -9,13 +9,21 @@
 //	tm2c-sim -app hashset -deployment multitask -update 50
 //	tm2c-sim -app mapreduce -size 4194304 -chunk 8192
 //	tm2c-sim -app bank -backend live -duration 50ms
+//	tm2c-sim -app bank -backend net -groups 2 -duration 50ms
 //	tm2c-sim -app bank -protocol tl2 -balance 90 -zipf 0.85
+//
+// -backend net spreads the cores over -groups OS processes connected by
+// framed sockets; rank 0 forks the worker ranks by default, or each rank is
+// launched standalone with -peers/-rank/-listen. Rank 0 prints the merged
+// report; worker ranks run silently (their traces, if any, get a .rN path
+// suffix).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,6 +32,7 @@ import (
 	"repro/internal/apps/hashset"
 	"repro/internal/apps/intset"
 	"repro/internal/apps/mapreduce"
+	"repro/internal/netboot"
 	"repro/internal/trace"
 )
 
@@ -41,7 +50,12 @@ func main() {
 		place    = flag.String("placement", "hash", "hash | range | adaptive object→DTM-node placement")
 		epoch    = flag.Int("epoch", 0, "adaptive placement: lock accesses per repartition epoch (0 = default)")
 		platform = flag.String("platform", "scc", "scc | scc800 | opteron | scc:N (setting N)")
-		backendF = flag.String("backend", "sim", "execution backend: sim (deterministic, virtual time) | live (real goroutines, wall-clock)")
+		backendF = flag.String("backend", "sim", "execution backend: sim (deterministic, virtual time) | live (real goroutines, wall-clock) | net (cores spread over OS processes)")
+		arrivalF = flag.Bool("arrivalstamp", false, "timestamp contending payloads at envelope arrival instead of per-payload service instant")
+		groups   = flag.Int("groups", 2, "net backend: number of OS processes (forked from this one by default)")
+		rankF    = flag.Int("rank", 0, "net backend: this process's rank when launched standalone with -peers")
+		listenF  = flag.String("listen", "", "net backend: override this rank's bind address in the -peers list")
+		peersF   = flag.String("peers", "", "net backend: full rank-ordered address list (unix:<path> or host:port) for standalone launches; empty forks -groups local workers over unix sockets")
 		protoF   = flag.String("protocol", "visible", "read-visibility protocol: visible (per-read DTM round trips) | tl2 (invisible reads, commit-time validation)")
 		duration = flag.Duration("duration", 20*time.Millisecond, "virtual run length")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
@@ -93,6 +107,24 @@ func main() {
 		NoBatching:       *nobatch,
 		Placement:        placeKind,
 		RepartitionEpoch: *epoch,
+		ArrivalStamp:     *arrivalF,
+	}
+	var plan *netboot.Plan
+	isChild := false
+	if backend == repro.BackendNet {
+		plan, err = netboot.Resolve(*groups, *rankF, *listenF, *peersF)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Net = plan.NetConfig()
+		isChild = plan.Rank != 0
+	}
+	perProc := *cores
+	if plan != nil {
+		perProc = (*cores + plan.Ranks - 1) / plan.Ranks
+	}
+	if w := netboot.OversubscriptionWarning(perProc, runtime.GOMAXPROCS(0), backend); w != "" && !isChild {
+		fmt.Fprintln(os.Stderr, "tm2c-sim: "+w)
 	}
 	if *traceF != "" {
 		cfg.Trace = &trace.Options{ActorEvents: *traceCap}
@@ -140,6 +172,13 @@ func main() {
 		fatal(fmt.Errorf("unknown acquire mode %q", *acquire))
 	}
 
+	if plan != nil {
+		// Fork before NewSystem: constructing a net-backend system blocks in
+		// the peer handshake until every rank is up.
+		if err := plan.Fork(); err != nil {
+			fatal(err)
+		}
+	}
 	sys, err := repro.NewSystem(cfg)
 	if err != nil {
 		fatal(err)
@@ -199,12 +238,16 @@ func main() {
 	}
 
 	st := sys.Run(*duration)
-	report(sys, st)
-	if verify != nil {
-		if err := verify(); err != nil {
-			fatal(err)
+	if !isChild {
+		report(sys, st)
+		// Verification reads raw memory, which is homed on rank 0 — worker
+		// ranks cannot check it after the group has shut down.
+		if verify != nil {
+			if err := verify(); err != nil {
+				fatal(err)
+			}
+			fmt.Println("verification: OK")
 		}
-		fmt.Println("verification: OK")
 	}
 	if snapFile != nil {
 		if err := snapFile.Close(); err != nil {
@@ -213,7 +256,18 @@ func main() {
 		fmt.Printf("snapshots written to %s\n", *snapF)
 	}
 	if *traceF != "" {
-		if err := writeTrace(*traceF, sys.Trace()); err != nil {
+		path := *traceF
+		if plan != nil && plan.Rank != 0 {
+			// Every process records its own cores; suffix the worker ranks'
+			// files so they don't clobber rank 0's.
+			path = fmt.Sprintf("%s.r%d", path, plan.Rank)
+		}
+		if err := writeTrace(path, sys.Trace()); err != nil {
+			fatal(err)
+		}
+	}
+	if plan != nil {
+		if err := plan.Wait(); err != nil {
 			fatal(err)
 		}
 	}
@@ -252,7 +306,7 @@ func report(sys *repro.System, st *repro.Stats) {
 	fmt.Printf("contention manager  %v\n", cfg.Policy)
 	fmt.Printf("backend             %v\n", cfg.Backend)
 	fmt.Printf("protocol            %v\n", cfg.Protocol)
-	if cfg.Backend == repro.BackendLive {
+	if cfg.Backend == repro.BackendLive || cfg.Backend == repro.BackendNet {
 		fmt.Printf("wall duration       %v\n", st.Duration)
 	} else {
 		fmt.Printf("virtual duration    %v\n", st.Duration)
@@ -261,10 +315,10 @@ func report(sys *repro.System, st *repro.Stats) {
 	fmt.Printf("commits / aborts    %d / %d (commit rate %.1f%%)\n", st.Commits, st.Aborts, st.CommitRate())
 	fmt.Printf("read-only commits   %d (declared read-only transactions; zero write-lock traffic)\n", st.ReadOnlyCommits)
 	fmt.Printf("user aborts         %d (withdrawn via Tx.Abort; not retried)\n", st.UserAborts)
-	fmt.Printf("aborts by reason    conflict=%d revoked=%d doomed-read=%d stale-placement=%d user=%d\n",
+	fmt.Printf("aborts by reason    conflict=%d revoked=%d doomed-read=%d stale-placement=%d timeout=%d user=%d\n",
 		st.AbortReasons[trace.ReasonConflict], st.AbortReasons[trace.ReasonRevoked],
 		st.AbortReasons[trace.ReasonDoomedRead], st.AbortReasons[trace.ReasonStalePlacement],
-		st.AbortReasons[trace.ReasonUser])
+		st.AbortReasons[trace.ReasonTimeout], st.AbortReasons[trace.ReasonUser])
 	fmt.Printf("  conflict kinds    RAW=%d WAW=%d WAR=%d\n",
 		st.AbortsByKind[0], st.AbortsByKind[1], st.AbortsByKind[2])
 	fmt.Printf("conflicts/revokes   %d / %d\n", st.Conflicts, st.Revocations)

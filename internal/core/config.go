@@ -39,24 +39,58 @@ const (
 	// and the audit is unavailable; correctness is checked with invariants
 	// (conservation, lock-table emptiness at quiesce, -race).
 	BackendLive
+	// BackendNet runs the system across separate OS processes: every rank
+	// builds the identical System from the identical Config, hosts the cores
+	// it owns as live-style goroutines, and reaches the others over
+	// length-prefixed binary frames on TCP or Unix sockets (internal/net,
+	// internal/wire). Like live, wall-clock time and invariant checking; in
+	// addition the real failure surfaces (per-RPC deadlines, reconnects,
+	// drain-then-close shutdown) are exercised.
+	BackendNet
 )
 
 func (b Backend) String() string {
-	if b == BackendLive {
+	switch b {
+	case BackendLive:
 		return "live"
+	case BackendNet:
+		return "net"
 	}
 	return "sim"
 }
 
-// ParseBackend parses a backend name (sim|live).
+// ParseBackend parses a backend name (sim|live|net).
 func ParseBackend(s string) (Backend, error) {
 	switch s {
 	case "", "sim":
 		return BackendSim, nil
 	case "live":
 		return BackendLive, nil
+	case "net":
+		return BackendNet, nil
 	}
-	return BackendSim, fmt.Errorf("core: unknown backend %q (want sim|live)", s)
+	return BackendSim, fmt.Errorf("core: unknown backend %q (want sim|live|net)", s)
+}
+
+// NetConfig places one process (rank) of a cross-process system. All ranks
+// must construct their System from the same Config differing only in Rank:
+// the net backend relies on replicated construction for its port table, so
+// every field that shapes spawn order must match.
+type NetConfig struct {
+	// Ranks is the number of cooperating processes (>= 2).
+	Ranks int
+	// Rank is this process's index in [0, Ranks).
+	Rank int
+	// Addrs lists every rank's listen address, indexed by rank. Two forms:
+	// "unix:<path>" for Unix domain sockets, "host:port" for TCP (loopback
+	// by default in the CLI front-ends).
+	Addrs []string
+	// Session distinguishes successive systems multiplexed over one address
+	// base (a bench process runs many systems back to back). Ranks must
+	// agree on the session of each system; -1 asks the backend to draw from
+	// its per-process counter, which stays aligned across ranks because all
+	// ranks construct the same deterministic sequence of systems.
+	Session int
 }
 
 // Protocol selects the read/commit protocol transactions run under. The
@@ -290,14 +324,56 @@ type Config struct {
 	// sim is single-threaded virtual time; mid-run wall-clock sampling is
 	// meaningless there).
 	Snapshot *trace.SnapshotOptions
+	// Net places this process within a cross-process system. Required (and
+	// only meaningful) on BackendNet.
+	Net *NetConfig
+	// RPCDeadline bounds every awaited lock-response round trip on the net
+	// backend: an RPC that outlives it aborts the attempt (ReasonTimeout,
+	// Stats.RPCTimeouts) with conservative lock release, mapping peer
+	// stalls and broken connections onto the ordinary retry machinery.
+	// Defaults to 2s on net; ignored on sim/live, whose transports cannot
+	// lose messages.
+	RPCDeadline time.Duration
+	// ArrivalStamp makes a DTM node timestamp contending requests at
+	// envelope arrival instead of each payload's service instant: every
+	// payload of one coalesced burst then carries the same OffsetGreedy
+	// arrival time. Answers the FairCM fairness question raised when the
+	// coalescing plane landed; see README. Sim-visible knob, off by
+	// default (per-payload service-instant stamping is the pinned
+	// historic behavior).
+	ArrivalStamp bool
 }
 
 func (c *Config) normalize() error {
-	if c.Backend > BackendLive {
+	if c.Backend > BackendNet {
 		return fmt.Errorf("core: unknown backend %d", c.Backend)
 	}
 	if c.Protocol > ProtocolTL2 {
 		return fmt.Errorf("core: unknown protocol %d", c.Protocol)
+	}
+	if c.Backend == BackendNet {
+		n := c.Net
+		if n == nil {
+			return errors.New("core: net backend requires Config.Net")
+		}
+		if n.Ranks < 2 {
+			return fmt.Errorf("core: net backend needs >= 2 ranks, got %d", n.Ranks)
+		}
+		if n.Rank < 0 || n.Rank >= n.Ranks {
+			return fmt.Errorf("core: net rank %d out of range [0,%d)", n.Rank, n.Ranks)
+		}
+		if len(n.Addrs) != n.Ranks {
+			return fmt.Errorf("core: net backend needs %d addresses, got %d", n.Ranks, len(n.Addrs))
+		}
+		if c.Protocol == ProtocolTL2 {
+			return errors.New("core: tl2 protocol needs a shared version clock; unsupported on the net backend")
+		}
+		if c.Placement == placement.Adaptive {
+			return errors.New("core: adaptive placement needs a shared directory; unsupported on the net backend")
+		}
+		if c.RPCDeadline == 0 {
+			c.RPCDeadline = 2 * time.Second
+		}
 	}
 	if c.Platform.NumCores() == 0 {
 		c.Platform = noc.SCC(0)
@@ -423,6 +499,11 @@ type Stats struct {
 	// extension).
 	Irrevocables uint64
 
+	// RPCTimeouts counts awaited lock-response RPCs that exceeded
+	// Config.RPCDeadline on the net backend (each one also aborts its
+	// attempt under AbortReasons[ReasonTimeout]). Zero on sim/live.
+	RPCTimeouts uint64
+
 	// Run length: virtual on the sim backend, wall-clock on live.
 	Duration sim.Time
 
@@ -464,6 +545,7 @@ func (s *Stats) addShard(o *Stats) {
 	s.Revalidations += o.Revalidations
 	s.ClockAdvances += o.ClockAdvances
 	s.Irrevocables += o.Irrevocables
+	s.RPCTimeouts += o.RPCTimeouts
 }
 
 // CoreStats is the per-application-core breakdown.

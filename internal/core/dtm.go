@@ -9,6 +9,7 @@ import (
 	"repro/internal/dslock"
 	"repro/internal/mem"
 	"repro/internal/port"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -40,6 +41,14 @@ type dtmNode struct {
 	// table has shrunk since (release, early release, or revocation).
 	handoffGen uint64
 	shrunk     bool
+
+	// arrival is the delivery instant of the message currently being
+	// handled (set by handle). Under Config.ArrivalStamp the contention
+	// managers timestamp contending requests with it instead of the
+	// service instant p.Now() — all payloads of one coalesced envelope
+	// then carry the same arrival time, so a burst's service order cannot
+	// skew their relative priorities.
+	arrival sim.Time
 
 	// out is the node's coalescing outbox (Config.Coalesce): responses
 	// stage into it during a dispatch and flush when the mailbox is
@@ -111,6 +120,7 @@ func (n *dtmNode) flushOut(p port.Port) {
 // was a DTM request (the multitask await loop uses this to distinguish
 // requests from transaction responses).
 func (n *dtmNode) handle(p port.Port, m port.Msg) bool {
+	n.arrival = m.At
 	switch r := m.Payload.(type) {
 	case *reqReadLock:
 		n.switchIn(p)
@@ -137,6 +147,17 @@ func (n *dtmNode) handle(p port.Port, m port.Msg) bool {
 	}
 	n.reqs++
 	return true
+}
+
+// stamp returns the instant the contention managers timestamp the request
+// being handled with: the per-payload service instant by default, the
+// payload's delivery instant under Config.ArrivalStamp (identical for
+// every payload of one coalesced envelope).
+func (n *dtmNode) stamp(p port.Port) sim.Time {
+	if n.s.cfg.ArrivalStamp {
+		return n.arrival
+	}
+	return p.Now()
 }
 
 // switchIn charges the coroutine-switch cost of serving a request on a
@@ -242,7 +263,7 @@ func (n *dtmNode) handleReadLock(p port.Port, r *reqReadLock) {
 		return
 	}
 	meta := r.Meta
-	n.s.cfg.Policy.ArrivalPrio(&meta, p.Now())
+	n.s.cfg.Policy.ArrivalPrio(&meta, n.stamp(p))
 	for {
 		conf := n.table.ReadConflict(r.Addr, meta)
 		if conf == nil {
@@ -280,7 +301,7 @@ func (n *dtmNode) handleWriteLock(p port.Port, r *reqWriteLock) {
 		return
 	}
 	meta := r.Meta
-	n.s.cfg.Policy.ArrivalPrio(&meta, p.Now())
+	n.s.cfg.Policy.ArrivalPrio(&meta, n.stamp(p))
 	var acquired []mem.Addr
 	for _, addr := range r.Addrs {
 		for {

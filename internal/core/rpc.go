@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/mem"
 	"repro/internal/port"
@@ -27,10 +28,23 @@ import (
 // wireMsg is any protocol message with a modeled on-wire size.
 type wireMsg interface{ bytes() int }
 
+// deadlineRecver is the optional port capability behind per-RPC deadlines:
+// a selective receive that gives up after d. Only the net backend's ports
+// provide it — sim and live transports never lose messages, so their
+// awaits may block indefinitely.
+type deadlineRecver interface {
+	RecvMatchTimeout(pred func(port.Msg) bool, d time.Duration) (port.Msg, bool)
+}
+
 // initRPC prepares the per-core RPC state. The selective-receive predicate
 // is built once and reads rt.awaitIDs, so the hot single-response path
 // (every read lock) performs no per-call heap allocation.
 func (rt *Runtime) initRPC() {
+	if rt.s.cfg.RPCDeadline > 0 {
+		if dr, ok := rt.proc.(deadlineRecver); ok {
+			rt.deadlineRecv = dr
+		}
+	}
 	rt.awaitPred = func(m port.Msg) bool {
 		if resp, ok := m.Payload.(*respLock); ok {
 			for _, id := range rt.awaitIDs {
@@ -123,6 +137,12 @@ func (rt *Runtime) rpcReadLock(tx *Tx, key mem.Addr) *respLock {
 		rt.emit(trace.KLockReq, tx.id, trace.FlowID(rt.core, id), uint64(key), 1)
 		rt.sendToNode(node, req)
 		resp := rt.awaitOne(id)
+		if resp == nil {
+			// Deadline expired: the request or its response is lost. The
+			// lock may nonetheless have been granted, so treat it as held
+			// and let the abort's release burst cover it.
+			rt.timeoutAbort(tx, []mem.Addr{key}, nil)
+		}
 		if !resp.Stale {
 			return resp
 		}
@@ -188,6 +208,9 @@ func (rt *Runtime) rpcWriteLockEager(tx *Tx, key mem.Addr) *respLock {
 	node, epoch := rt.s.nodeFor(key), rt.s.dir.Epoch()
 	for hop := 0; ; hop++ {
 		resp := rt.rpcWriteLock(tx, node, epoch, []mem.Addr{key})
+		if resp == nil {
+			rt.timeoutAbort(tx, nil, []mem.Addr{key})
+		}
 		if !resp.Stale {
 			return resp
 		}
@@ -226,7 +249,19 @@ func (rt *Runtime) scatterWriteLocks(tx *Tx, epoch uint64, batches []nodeGroup) 
 	out := make([]*respLock, len(ids))
 	rt.awaitIDs = append(rt.awaitIDs[:0], ids...)
 	for remaining := len(ids); remaining > 0; {
-		resp := rt.recvRPC()
+		resp, timedOut := rt.recvRPC()
+		if timedOut {
+			rt.awaitIDs = rt.awaitIDs[:0]
+			// Any batch — gathered or still in flight — may hold granted
+			// locks whose responses we will never process; hand them all to
+			// the abort's release burst (releasing an unheld lock is a no-op
+			// at the node).
+			var all []mem.Addr
+			for _, b := range batches {
+				all = append(all, b.addrs...)
+			}
+			rt.timeoutAbort(tx, nil, all)
+		}
 		if resp == nil {
 			continue
 		}
@@ -247,11 +282,18 @@ func (rt *Runtime) scatterWriteLocks(tx *Tx, epoch uint64, batches []nodeGroup) 
 
 // awaitOne blocks until the response with correlation ID id arrives — the
 // allocation-free fast path for the one-outstanding-request case (every
-// read lock, eager write locks, serial commits).
+// read lock, eager write locks, serial commits). It returns nil when the
+// per-RPC deadline expires (net backend only); the caller must then abort
+// via timeoutAbort with its awaited keys.
 func (rt *Runtime) awaitOne(id uint64) *respLock {
 	rt.awaitIDs = append(rt.awaitIDs[:0], id)
 	for {
-		if resp := rt.recvRPC(); resp != nil {
+		resp, timedOut := rt.recvRPC()
+		if timedOut {
+			rt.awaitIDs = rt.awaitIDs[:0]
+			return nil
+		}
+		if resp != nil {
 			rt.awaitIDs = rt.awaitIDs[:0]
 			return resp
 		}
@@ -263,11 +305,22 @@ func (rt *Runtime) awaitOne(id uint64) *respLock {
 // the co-located DTM node (served inline, nil returned). Serving while
 // awaiting is what keeps two cores gathering locks from each other's nodes
 // from deadlocking. Messages that are neither — e.g. barrier traffic —
-// stay queued for their own receive loops.
-func (rt *Runtime) recvRPC() *respLock {
-	m := rt.proc.RecvMatch(rt.awaitPred)
+// stay queued for their own receive loops. On the net backend the wait is
+// bounded by Config.RPCDeadline; timedOut reports an expiry (the awaited
+// response may be lost to a broken connection and never arrive).
+func (rt *Runtime) recvRPC() (resp *respLock, timedOut bool) {
+	var m port.Msg
+	if rt.deadlineRecv != nil {
+		var ok bool
+		m, ok = rt.deadlineRecv.RecvMatchTimeout(rt.awaitPred, rt.s.cfg.RPCDeadline)
+		if !ok {
+			return nil, true
+		}
+	} else {
+		m = rt.proc.RecvMatch(rt.awaitPred)
+	}
 	if resp, ok := m.Payload.(*respLock); ok {
-		return resp
+		return resp, false
 	}
 	if !rt.node.handle(rt.proc, m) {
 		panic(fmt.Sprintf("core: app%d matched unservable message %T", rt.core, m.Payload))
@@ -275,5 +328,24 @@ func (rt *Runtime) recvRPC() *respLock {
 	// One-request dispatch: the next loop turn blocks in RecvMatch, so the
 	// co-located node's staged response must leave now.
 	rt.node.flushOut(rt.proc)
-	return nil
+	return nil, false
+}
+
+// timeoutAbort aborts the attempt after an awaited lock RPC exceeded its
+// deadline. The awaited locks' grant state is unknowable — the request or
+// the response may be the lost frame — so the keys are conservatively
+// recorded as held before the abort unwinds: abortCleanup's release burst
+// then frees whatever the nodes actually granted, and a release for a lock
+// never granted is a no-op. Leaking the lock instead would block its object
+// until the run's drain.
+func (rt *Runtime) timeoutAbort(tx *Tx, readKeys, writeKeys []mem.Addr) {
+	rt.shard.RPCTimeouts++
+	for _, k := range readKeys {
+		if _, held := tx.reads[k]; !held {
+			tx.reads[k] = nil
+			tx.readOrder = append(tx.readOrder, k)
+		}
+	}
+	tx.wlocked = append(tx.wlocked, writeKeys...)
+	panic(abortSignal{reason: trace.ReasonTimeout})
 }

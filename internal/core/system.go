@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/hist"
 	"repro/internal/live"
 	"repro/internal/mem"
+	netbe "repro/internal/net"
 	"repro/internal/noc"
 	"repro/internal/placement"
 	"repro/internal/port"
@@ -25,10 +27,14 @@ import (
 type System struct {
 	cfg Config
 
-	// K is the simulation kernel (nil on the live backend).
+	// K is the simulation kernel (nil on the live and net backends).
 	K *sim.Kernel
-	// eng is the live engine (nil on the sim backend).
+	// eng is the live engine (nil on the sim and net backends).
 	eng *live.Engine
+	// neng is the cross-process engine (nil except on the net backend). It
+	// hosts the ports of the cores this rank owns; every other core's port
+	// is a Stub that serializes sends onto the owning rank's connection.
+	neng *netbe.Engine
 
 	Mem  *mem.Memory
 	Regs *mem.Registers
@@ -85,6 +91,10 @@ type System struct {
 	audit    *auditor
 	spawned  bool
 	ran      bool
+
+	// remoteLocked is the sum of the peers' leftover lock counts, learned
+	// from the post-run stats exchange (net backend; see LockedAddrs).
+	remoteLocked int
 }
 
 // NewSystem validates cfg and builds the system. Under Dedicated deployment
@@ -98,9 +108,26 @@ func NewSystem(cfg Config) (*System, error) {
 		cfg:   cfg,
 		isSvc: make(map[int]bool),
 	}
-	if cfg.Backend == BackendLive {
+	switch cfg.Backend {
+	case BackendLive:
 		s.eng = live.New(cfg.Seed)
-	} else {
+	case BackendNet:
+		sess := cfg.Net.Session
+		if sess < 0 {
+			sess = netbe.NextSession()
+		}
+		eng, err := netbe.New(netbe.Config{
+			Rank:    cfg.Net.Rank,
+			Ranks:   cfg.Net.Ranks,
+			Addrs:   cfg.Net.Addrs,
+			Session: sess,
+			Seed:    cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.neng = eng
+	default:
 		s.K = sim.New(cfg.Seed)
 	}
 	s.Mem = mem.New(&s.cfg.Platform)
@@ -150,21 +177,39 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Deployment == Dedicated {
 		for _, n := range s.nodes {
 			n := n
-			s.nodePorts[n.idx] = s.spawnPort(fmt.Sprintf("dtm%d", n.core), n.serveLoop)
+			s.nodePorts[n.idx] = s.spawnPort(fmt.Sprintf("dtm%d", n.core), n.core, n.serveLoop)
 			s.hookBatches(s.nodePorts[n.idx], n.rec)
 		}
 	}
 	return s, nil
 }
 
-// spawnPort starts fn on a fresh execution port of the configured backend.
-// On sim the proc is scheduled at the current virtual instant; on live the
-// goroutine blocks until Run starts the engine.
-func (s *System) spawnPort(name string, fn func(port.Port)) port.Port {
+// spawnPort starts fn on a fresh execution port of the configured backend,
+// for the actor bound to physical core. On sim the proc is scheduled at the
+// current virtual instant; on live the goroutine blocks until Run starts
+// the engine; on net only the rank owning core runs fn — every other rank
+// gets a Stub with the same spawn-order ID (replicated construction).
+func (s *System) spawnPort(name string, core int, fn func(port.Port)) port.Port {
+	if s.neng != nil {
+		return s.neng.Spawn(name, s.rankOf(core), fn)
+	}
 	if s.eng != nil {
 		return s.eng.Spawn(name, fn)
 	}
 	return port.SimPort{P: s.K.Spawn(name, func(p *sim.Proc) { fn(port.SimPort{P: p}) })}
+}
+
+// rankOf maps a physical core to the rank hosting it on the net backend:
+// contiguous groups, core c on rank c*Ranks/TotalCores. Only meaningful
+// when cfg.Net is set.
+func (s *System) rankOf(core int) int {
+	return core * s.cfg.Net.Ranks / s.cfg.TotalCores
+}
+
+// localCore reports whether core's execution contexts run in this process
+// (always true off the net backend).
+func (s *System) localCore(core int) bool {
+	return s.neng == nil || s.rankOf(core) == s.cfg.Net.Rank
 }
 
 // Config returns the normalized configuration.
@@ -215,8 +260,13 @@ func (s *System) SpawnWorkers(worker func(rt *Runtime)) {
 	}
 	for _, rt := range s.runtimes {
 		rt := rt
-		s.workersDone.Add(1)
-		p := s.spawnPort(fmt.Sprintf("app%d", rt.core), func(p port.Port) {
+		if s.localCore(rt.core) {
+			// Remote cores never run their worker here, so they must not
+			// count toward this rank's drain (the DONE barrier aligns the
+			// ranks afterwards).
+			s.workersDone.Add(1)
+		}
+		p := s.spawnPort(fmt.Sprintf("app%d", rt.core), rt.core, func(p port.Port) {
 			rt.initLocal()
 			func() {
 				// Mark the workload finished even if the worker panics, so
@@ -271,8 +321,10 @@ func (s *System) SpawnRaw(worker func(p Port, core int)) {
 	s.spawned = true
 	for _, c := range s.appCores {
 		c := c
-		s.workersDone.Add(1)
-		s.spawnPort(fmt.Sprintf("raw%d", c), func(p port.Port) {
+		if s.localCore(c) {
+			s.workersDone.Add(1)
+		}
+		s.spawnPort(fmt.Sprintf("raw%d", c), c, func(p port.Port) {
 			defer s.workersDone.Done()
 			worker(p, c)
 		})
@@ -306,6 +358,10 @@ func (s *System) Run(d time.Duration) *Stats {
 	}
 	s.ran = true
 	s.deadline = sim.Time(d)
+	if s.neng != nil {
+		s.runNet(20*d + 10*time.Second)
+		return &s.stats
+	}
 	if s.eng != nil {
 		// Watchdog: the drain tail must fit one last long transaction, but
 		// a pathological stall must not hang the host process forever.
@@ -332,6 +388,10 @@ func (s *System) RunToCompletion() *Stats {
 	}
 	s.ran = true
 	s.deadline = sim.Infinity
+	if s.neng != nil {
+		s.runNet(5 * time.Minute)
+		return &s.stats
+	}
 	if s.eng != nil {
 		s.runLive(5 * time.Minute)
 		return &s.stats
@@ -347,7 +407,16 @@ func (s *System) RunToCompletion() *Stats {
 // transactions that are still aborting then are killed at their next retry
 // boundary so the drain terminates even under livelock-prone policies.
 func (s *System) liveDrainExpired() bool {
-	return s.eng != nil && s.deadline != sim.Infinity && s.eng.Now() >= s.deadline*6
+	if s.deadline == sim.Infinity {
+		return false
+	}
+	switch {
+	case s.eng != nil:
+		return s.eng.Now() >= s.deadline*6
+	case s.neng != nil:
+		return s.neng.Now() >= s.deadline*6
+	}
+	return false
 }
 
 // runLive drives one live-backend run: release the goroutines, wait for
@@ -375,6 +444,98 @@ func (s *System) runLive(watchdog time.Duration) {
 	s.eng.Shutdown()
 	s.snap.Stop()
 	s.snapshot(dur)
+}
+
+// runNet drives one rank of a cross-process run: bind the state plane,
+// rendezvous with the peers, wait for this rank's local workload loops,
+// then run the drain protocol — DONE barrier (no process can issue new
+// requests), DRAIN barrier (per-connection FIFO means every release
+// already reached its destination mailbox), local drain-and-kill — and
+// finally snapshot and exchange statistics so every rank holds the merged
+// totals. The order is what makes the lock tables quiesce empty across
+// process boundaries.
+func (s *System) runNet(watchdog time.Duration) {
+	s.neng.BindState(s.Mem, s.Regs, s.rankOf)
+	if err := s.neng.Start(); err != nil {
+		panic(err)
+	}
+	s.snap.Start()
+	done := make(chan struct{})
+	go func() {
+		s.workersDone.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(watchdog):
+		if f := s.neng.Fault(); f != nil {
+			panic(f)
+		}
+		panic(fmt.Sprintf("core: net backend: local workers failed to drain within %v", watchdog))
+	}
+	// Peers may lag by their own drain tails; give them the same budget.
+	if err := s.neng.BarrierDone(watchdog); err != nil {
+		panic(err)
+	}
+	if err := s.neng.BarrierDrain(30 * time.Second); err != nil {
+		panic(err)
+	}
+	dur := s.neng.Now()
+	s.neng.Shutdown()
+	s.snap.Stop()
+	s.snapshot(dur)
+	s.mergeNetStats()
+	s.neng.Close()
+}
+
+// netShare is one rank's contribution to the merged post-run statistics.
+type netShare struct {
+	Stats  Stats
+	Locked int
+}
+
+// mergeNetStats runs the symmetric post-run stats exchange: every rank
+// broadcasts its local share and folds in every peer's, so all ranks
+// finish holding identical totals. Replicated construction makes the
+// merge elementwise — every rank's PerCore and NodeLoad cover all cores
+// and nodes, with zeros for the remote ones. Latency histograms are the
+// exception: they stay local-only (per-rank), since serializing full
+// histograms dwarfs the counters and no cross-rank consumer needs them.
+func (s *System) mergeNetStats() {
+	local, err := json.Marshal(netShare{Stats: s.stats, Locked: s.LockedAddrs()})
+	if err != nil {
+		panic(err)
+	}
+	shares, err := s.neng.ExchangeStats(local, 30*time.Second)
+	if err != nil {
+		panic(err)
+	}
+	for _, b := range shares {
+		var o netShare
+		if err := json.Unmarshal(b, &o); err != nil {
+			panic(fmt.Errorf("core: bad stats share from peer: %w", err))
+		}
+		s.stats.Commits += o.Stats.Commits
+		s.stats.Aborts += o.Stats.Aborts
+		s.stats.Ops += o.Stats.Ops
+		s.stats.addShard(&o.Stats)
+		if o.Stats.Duration > s.stats.Duration {
+			s.stats.Duration = o.Stats.Duration
+		}
+		for i, v := range o.Stats.NodeLoad {
+			if i < len(s.stats.NodeLoad) {
+				s.stats.NodeLoad[i] += v
+			}
+		}
+		for i, pc := range o.Stats.PerCore {
+			if i < len(s.stats.PerCore) {
+				s.stats.PerCore[i].Commits += pc.Commits
+				s.stats.PerCore[i].Aborts += pc.Aborts
+				s.stats.PerCore[i].Ops += pc.Ops
+			}
+		}
+		s.remoteLocked += o.Locked
+	}
 }
 
 // snapshot merges the per-runtime and per-node counter shards into the
@@ -419,7 +580,7 @@ func (s *System) LockedAddrs() int {
 	for _, n := range s.nodes {
 		total += n.table.Size()
 	}
-	return total
+	return total + s.remoteLocked
 }
 
 // lockKey maps an object base address to its lock stripe.

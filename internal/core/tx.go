@@ -39,10 +39,13 @@ type Runtime struct {
 	rec *trace.Recorder
 
 	// RPC-layer state (rpc.go): the correlation-ID generator, the IDs
-	// currently awaited, and the reusable selective-receive predicate.
-	reqID     uint64
-	awaitIDs  []uint64
-	awaitPred func(port.Msg) bool
+	// currently awaited, the reusable selective-receive predicate, and the
+	// net backend's bounded-receive capability (nil elsewhere; awaits then
+	// block indefinitely, which lossless transports permit).
+	reqID        uint64
+	awaitIDs     []uint64
+	awaitPred    func(port.Msg) bool
+	deadlineRecv deadlineRecver
 
 	// out is the core's coalescing outbox (Config.Coalesce): burst sends —
 	// commit scatter, release bursts — stage into it and flush at the end
@@ -610,6 +613,11 @@ func (tx *Tx) serialAcquire(keys []mem.Addr) (stale []mem.Addr) {
 		tx.checkAborted()
 		rt.shard.CommitRoundTrips++
 		resp := rt.rpcWriteLock(tx, b.node, epoch, b.addrs)
+		if resp == nil {
+			// Earlier batches are already in tx.wlocked; this one's grant
+			// state is unknown, so hand it to the release burst too.
+			rt.timeoutAbort(tx, nil, b.addrs)
+		}
 		switch {
 		case resp.OK:
 			tx.wlocked = append(tx.wlocked, b.addrs...)

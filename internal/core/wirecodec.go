@@ -1,0 +1,221 @@
+package core
+
+import (
+	"reflect"
+
+	"repro/internal/cm"
+	"repro/internal/mem"
+	"repro/internal/port"
+	"repro/internal/wire"
+)
+
+// Wire codec registration for the cross-process net backend. Exactly the
+// closed set of DTM protocol messages (messages.go, irrevocable.go) plus the
+// Batch coalescing envelope ever crosses a port boundary — applications go
+// through the typed transaction API, never Port.Send — so these ten codecs
+// are the complete wire vocabulary. Kind bytes are stable protocol
+// constants: never renumber one, add new ones at the end and bump
+// wire.Version.
+//
+// Encodings are little-endian and fixed-width (see internal/wire and
+// docs/WIRE.md). Ints are encoded as two's-complement u64 so negative
+// sentinels (respLock.NackOwner = -1) survive; port references travel as
+// spawn-order port IDs and are re-resolved against the receiving process's
+// replicated port table.
+const (
+	wkReqReadLock uint8 = iota + 1 // 0 reserved: catches zeroed buffers
+	wkReqWriteLock
+	wkRespLock
+	wkRelLocks
+	wkEarlyRelease
+	wkBarrier
+	wkReqExclusive
+	wkRespExclusive
+	wkRelExclusive
+	wkBatch
+)
+
+func encMeta(e *wire.Enc, m cm.Meta) {
+	e.Int(m.Core)
+	e.U64(m.TxID)
+	e.I64(m.Prio)
+	e.Time(m.Offset)
+}
+
+func decMeta(d *wire.Dec) cm.Meta {
+	return cm.Meta{Core: d.Int(), TxID: d.U64(), Prio: d.I64(), Offset: d.Time()}
+}
+
+func encAddrs(e *wire.Enc, as []mem.Addr) {
+	e.U32(uint32(len(as)))
+	for _, a := range as {
+		e.U64(uint64(a))
+	}
+}
+
+func decAddrs(d *wire.Dec) []mem.Addr {
+	vs := d.U64s()
+	if vs == nil {
+		return nil
+	}
+	as := make([]mem.Addr, len(vs))
+	for i, v := range vs {
+		as[i] = mem.Addr(v)
+	}
+	return as
+}
+
+func typeOf[T any]() reflect.Type { return reflect.TypeOf((*T)(nil)).Elem() }
+
+func init() {
+	wire.Register(wire.Codec{
+		Kind: wkReqReadLock, Type: typeOf[*reqReadLock](),
+		Encode: func(e *wire.Enc, v any) {
+			r := v.(*reqReadLock)
+			e.U64(r.ReqID)
+			e.U64(r.Epoch)
+			e.U64(uint64(r.Addr))
+			encMeta(e, r.Meta)
+			e.Port(r.Reply)
+			e.Int(r.ReplyTo)
+		},
+		Decode: func(d *wire.Dec) any {
+			return &reqReadLock{
+				ReqID: d.U64(), Epoch: d.U64(), Addr: mem.Addr(d.U64()),
+				Meta: decMeta(d), Reply: d.Port(), ReplyTo: d.Int(),
+			}
+		},
+	})
+	wire.Register(wire.Codec{
+		Kind: wkReqWriteLock, Type: typeOf[*reqWriteLock](),
+		Encode: func(e *wire.Enc, v any) {
+			r := v.(*reqWriteLock)
+			e.U64(r.ReqID)
+			e.U64(r.Epoch)
+			encAddrs(e, r.Addrs)
+			encMeta(e, r.Meta)
+			e.Port(r.Reply)
+			e.Int(r.ReplyTo)
+		},
+		Decode: func(d *wire.Dec) any {
+			return &reqWriteLock{
+				ReqID: d.U64(), Epoch: d.U64(), Addrs: decAddrs(d),
+				Meta: decMeta(d), Reply: d.Port(), ReplyTo: d.Int(),
+			}
+		},
+	})
+	wire.Register(wire.Codec{
+		Kind: wkRespLock, Type: typeOf[*respLock](),
+		Encode: func(e *wire.Enc, v any) {
+			r := v.(*respLock)
+			e.U64(r.ReqID)
+			e.Bool(r.OK)
+			e.Bool(r.Stale)
+			e.U8(uint8(r.Kind))
+			e.U64s(r.Vers)
+			e.U64(r.NackEpoch)
+			e.Int(r.NackOwner)
+		},
+		Decode: func(d *wire.Dec) any {
+			return &respLock{
+				ReqID: d.U64(), OK: d.Bool(), Stale: d.Bool(), Kind: cm.Kind(d.U8()),
+				Vers: d.U64s(), NackEpoch: d.U64(), NackOwner: d.Int(),
+			}
+		},
+	})
+	wire.Register(wire.Codec{
+		Kind: wkRelLocks, Type: typeOf[*relLocks](),
+		Encode: func(e *wire.Enc, v any) {
+			r := v.(*relLocks)
+			encAddrs(e, r.ReadAddrs)
+			encAddrs(e, r.WriteAddrs)
+			e.Int(r.Core)
+			e.U64(r.TxID)
+		},
+		Decode: func(d *wire.Dec) any {
+			return &relLocks{
+				ReadAddrs: decAddrs(d), WriteAddrs: decAddrs(d),
+				Core: d.Int(), TxID: d.U64(),
+			}
+		},
+	})
+	wire.Register(wire.Codec{
+		Kind: wkEarlyRelease, Type: typeOf[*earlyRelease](),
+		Encode: func(e *wire.Enc, v any) {
+			r := v.(*earlyRelease)
+			encAddrs(e, r.Addrs)
+			e.Int(r.Core)
+			e.U64(r.TxID)
+		},
+		Decode: func(d *wire.Dec) any {
+			return &earlyRelease{Addrs: decAddrs(d), Core: d.Int(), TxID: d.U64()}
+		},
+	})
+	wire.Register(wire.Codec{
+		// barrierMsg is the one value-type payload (messages.go sends it
+		// by value), so its codec round-trips a bare struct, not a pointer.
+		Kind: wkBarrier, Type: typeOf[barrierMsg](),
+		Encode: func(e *wire.Enc, v any) {
+			e.U64(v.(barrierMsg).Epoch)
+		},
+		Decode: func(d *wire.Dec) any {
+			return barrierMsg{Epoch: d.U64()}
+		},
+	})
+	wire.Register(wire.Codec{
+		Kind: wkReqExclusive, Type: typeOf[*reqExclusive](),
+		Encode: func(e *wire.Enc, v any) {
+			r := v.(*reqExclusive)
+			e.Int(r.Core)
+			e.U64(r.TxID)
+			e.Port(r.Reply)
+		},
+		Decode: func(d *wire.Dec) any {
+			return &reqExclusive{Core: d.Int(), TxID: d.U64(), Reply: d.Port()}
+		},
+	})
+	wire.Register(wire.Codec{
+		Kind: wkRespExclusive, Type: typeOf[*respExclusive](),
+		Encode: func(e *wire.Enc, v any) {},
+		Decode: func(d *wire.Dec) any { return &respExclusive{} },
+	})
+	wire.Register(wire.Codec{
+		Kind: wkRelExclusive, Type: typeOf[*relExclusive](),
+		Encode: func(e *wire.Enc, v any) {
+			r := v.(*relExclusive)
+			e.Int(r.Core)
+			e.U64(r.TxID)
+		},
+		Decode: func(d *wire.Dec) any {
+			return &relExclusive{Core: d.Int(), TxID: d.U64()}
+		},
+	})
+	wire.Register(wire.Codec{
+		// The coalescing envelope: a count followed by the nested encoding of
+		// each staged payload. Nesting reuses the registry, so an envelope
+		// may carry any mix of the message types above (but not another
+		// Batch: the Outbox never stages envelopes).
+		Kind: wkBatch, Type: typeOf[*port.Batch](),
+		Encode: func(e *wire.Enc, v any) {
+			b := v.(*port.Batch)
+			e.U32(uint32(len(b.Payloads)))
+			for _, pl := range b.Payloads {
+				if err := wire.EncodePayload(e, pl); err != nil {
+					panic(err)
+				}
+			}
+		},
+		Decode: func(d *wire.Dec) any {
+			n := int(d.U32())
+			b := &port.Batch{Payloads: make([]any, 0, n)}
+			for i := 0; i < n; i++ {
+				pl, err := wire.DecodePayload(d)
+				if err != nil {
+					return b // d carries the error; caller checks Err
+				}
+				b.Payloads = append(b.Payloads, pl)
+			}
+			return b
+		},
+	})
+}

@@ -58,6 +58,17 @@ type Overrides struct {
 	// cmd/tm2c-bench. Options.Sink receives each run's merged trace; nil
 	// Trace keeps the recorder compiled out (a nil check per emit site).
 	Trace *trace.Options
+	// Net places every system this process builds within a cross-process
+	// group (Config.Net); applied only under Backend == BackendNet. The
+	// template's Session should be -1 so each constructed system draws the
+	// next per-process session, which stays aligned across ranks because
+	// every rank runs the identical experiment sequence.
+	Net *core.NetConfig
+	// ArrivalStamp timestamps contending payloads at envelope arrival
+	// instead of the per-payload service instant (Config.ArrivalStamp) —
+	// the ablarrival ablation quantifies the commit-order difference this
+	// makes to timestamp-priority contention managers.
+	ArrivalStamp bool
 }
 
 // sysConfig carries the per-run knobs shared by the experiment helpers.
@@ -107,6 +118,13 @@ func (c sysConfig) build(ov Overrides) *core.System {
 		cfg.Protocol = ov.Protocol
 	}
 	cfg.Trace = ov.Trace
+	cfg.ArrivalStamp = ov.ArrivalStamp
+	if ov.Net != nil && cfg.Backend == core.BackendNet {
+		// Every build gets its own copy: normalization must not mutate the
+		// caller's template across runs.
+		n := *ov.Net
+		cfg.Net = &n
+	}
 	s, err := core.NewSystem(cfg)
 	if err != nil {
 		panic(fmt.Sprintf("exp: bad system config: %v", err))

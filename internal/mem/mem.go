@@ -59,10 +59,35 @@ type Memory struct {
 	brk   []Addr          // per-region bump pointer
 	busy  []sim.Time      // per-controller queue: time the MC is busy until
 
+	// remote, when set, redirects word storage and allocation to another
+	// process (the net backend homes all words on rank 0). Latency is still
+	// charged locally against the model; only the raw apply crosses the
+	// process boundary. See SetRemote.
+	remote Remote
+
 	// Stats accumulates access counters (guarded by mu); read them after a
 	// run, once the machine has quiesced.
 	Stats MemStats
 }
+
+// Remote is the net backend's cross-process storage hook: raw, latency-free
+// word operations executed in the owning process. Implementations must be
+// safe for concurrent use.
+type Remote interface {
+	ReadRaw(addr Addr) uint64
+	WriteRaw(addr Addr, v uint64)
+	ReadBatchRaw(base Addr, n int) []uint64
+	WriteBatchRaw(addrs []Addr, vals []uint64)
+	Alloc(n, mc int) Addr
+}
+
+// SetRemote redirects this replica's word storage and allocation to r
+// (rank 0's memory, on the net backend). Install it before the engine
+// releases any worker goroutine — the field is read without
+// synchronization after that point. Setup code that ran before SetRemote
+// wrote to the local replica; by replicated construction every rank ran the
+// identical setup, so the owning rank's copy already agrees.
+func (m *Memory) SetRemote(r Remote) { m.remote = r }
 
 // MemStats counts memory traffic.
 type MemStats struct {
@@ -107,6 +132,12 @@ func (m *Memory) Alloc(n int, mc int) Addr {
 		panic("mem: Alloc of non-positive size")
 	}
 	mc %= len(m.brk)
+	if m.remote != nil {
+		// The bump pointers are homed with the words: mid-run allocations
+		// (list/hash-set inserts) from different processes must never hand
+		// out overlapping addresses.
+		return m.remote.Alloc(n, mc)
+	}
 	m.mu.Lock()
 	base := m.brk[mc]
 	m.brk[mc] += Addr(n)
@@ -166,6 +197,9 @@ func (m *Memory) Read(p Ctx, core int, addr Addr) uint64 {
 	m.Stats.Reads++
 	m.mu.Unlock()
 	m.access(p, core, addr, 1)
+	if m.remote != nil {
+		return m.remote.ReadRaw(addr)
+	}
 	m.mu.Lock()
 	v := m.words[addr]
 	m.mu.Unlock()
@@ -178,6 +212,10 @@ func (m *Memory) Write(p Ctx, core int, addr Addr, v uint64) {
 	m.Stats.Writes++
 	m.mu.Unlock()
 	m.access(p, core, addr, 1)
+	if m.remote != nil {
+		m.remote.WriteRaw(addr, v)
+		return
+	}
 	m.mu.Lock()
 	m.setWord(addr, v)
 	m.mu.Unlock()
@@ -195,6 +233,9 @@ func (m *Memory) ReadBatch(p Ctx, core int, base Addr, n int) []uint64 {
 	m.Stats.Reads += uint64(n)
 	m.mu.Unlock()
 	m.access(p, core, base, n)
+	if m.remote != nil {
+		return m.remote.ReadBatchRaw(base, n)
+	}
 	out := make([]uint64, n)
 	m.mu.Lock()
 	for i := range out {
@@ -232,6 +273,10 @@ func (m *Memory) WriteBatch(p Ctx, core int, addrs []Addr, values []uint64) {
 		m.mu.Unlock()
 		p.Advance(busy.Duration() + m.pl.MemDelay(core, mc))
 	}
+	if m.remote != nil {
+		m.remote.WriteBatchRaw(addrs, values)
+		return
+	}
 	m.mu.Lock()
 	for i, a := range addrs {
 		m.setWord(a, values[i])
@@ -252,6 +297,9 @@ func (m *Memory) setWord(addr Addr, v uint64) {
 // setup and verification code outside the simulated machine, and for the
 // elastic-read validation window's free commit-time re-check.
 func (m *Memory) ReadRaw(addr Addr) uint64 {
+	if m.remote != nil {
+		return m.remote.ReadRaw(addr)
+	}
 	m.mu.Lock()
 	v := m.words[addr]
 	m.mu.Unlock()
@@ -261,8 +309,34 @@ func (m *Memory) ReadRaw(addr Addr) uint64 {
 // WriteRaw stores v at addr without charging latency. Intended for setup
 // code outside the simulated machine.
 func (m *Memory) WriteRaw(addr Addr, v uint64) {
+	if m.remote != nil {
+		m.remote.WriteRaw(addr, v)
+		return
+	}
 	m.mu.Lock()
 	m.setWord(addr, v)
+	m.mu.Unlock()
+}
+
+// ReadBatchRaw returns n contiguous words starting at base without charging
+// latency: the serving side of a forwarded ReadBatch.
+func (m *Memory) ReadBatchRaw(base Addr, n int) []uint64 {
+	out := make([]uint64, n)
+	m.mu.Lock()
+	for i := range out {
+		out[i] = m.words[base+Addr(i)]
+	}
+	m.mu.Unlock()
+	return out
+}
+
+// WriteBatchRaw stores values[i] at addrs[i] without charging latency: the
+// serving side of a forwarded WriteBatch.
+func (m *Memory) WriteBatchRaw(addrs []Addr, values []uint64) {
+	m.mu.Lock()
+	for i, a := range addrs {
+		m.setWord(a, values[i])
+	}
 	m.mu.Unlock()
 }
 

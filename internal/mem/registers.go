@@ -63,9 +63,35 @@ type Registers struct {
 	status []statusWord
 	tas    []bool
 
+	// owns/fwd, when set, forward operations on registers whose core lives
+	// in another process (the net backend partitions registers by the rank
+	// owning the core). Local-core operations (SetStatusLocal,
+	// LoadStatusLocal, CASStatusLocal) never forward: a core's own register
+	// always lives in its own process. See SetRemote.
+	owns func(core int) bool
+	fwd  RemoteRegs
+
 	// RemoteOps counts remote register operations (guarded by mu); read it
 	// after a run.
 	RemoteOps uint64
+}
+
+// RemoteRegs is the net backend's cross-process register hook: raw,
+// latency-free atomic operations executed in the process owning the target
+// core. Implementations must be safe for concurrent use.
+type RemoteRegs interface {
+	CASStatus(owner int, txID uint64, from, to TxState) (swapped bool, obsTxID uint64, obsState TxState)
+	TAS(reg int) bool
+	TASRelease(reg int)
+}
+
+// SetRemote installs the forwarding hook: operations targeting a core for
+// which owns reports false are executed remotely through fwd (after local
+// latency charging). Install before the engine releases any worker
+// goroutine; the fields are read without synchronization after that.
+func (r *Registers) SetRemote(owns func(core int) bool, fwd RemoteRegs) {
+	r.owns = owns
+	r.fwd = fwd
 }
 
 // NewRegisters returns registers for every core of the platform.
@@ -120,6 +146,10 @@ func (r *Registers) CASStatusRemote(p Ctx, src, owner int, txID uint64, from, to
 	r.RemoteOps++
 	r.mu.Unlock()
 	p.Advance(r.pl.AtomicDelay(src, owner))
+	if r.fwd != nil && !r.owns(owner) {
+		sw, _, _ := r.fwd.CASStatus(owner, txID, from, to)
+		return sw
+	}
 	return r.CASStatusLocal(owner, txID, from, to)
 }
 
@@ -133,6 +163,15 @@ func (r *Registers) CASStatusRemoteObserve(p Ctx, src, owner int, txID uint64, f
 	r.RemoteOps++
 	r.mu.Unlock()
 	p.Advance(r.pl.AtomicDelay(src, owner))
+	if r.fwd != nil && !r.owns(owner) {
+		return r.fwd.CASStatus(owner, txID, from, to)
+	}
+	return r.CASStatusObserveRaw(owner, txID, from, to)
+}
+
+// CASStatusObserveRaw is the latency-free swap-and-observe: the serving
+// side of a forwarded CASStatusRemoteObserve.
+func (r *Registers) CASStatusObserveRaw(owner int, txID uint64, from, to TxState) (swapped bool, obsTxID uint64, obsState TxState) {
 	r.mu.Lock()
 	swapped = r.casLocked(owner, txID, from, to)
 	w := r.status[owner]
@@ -148,6 +187,15 @@ func (r *Registers) TAS(p Ctx, src, reg int) bool {
 	r.RemoteOps++
 	r.mu.Unlock()
 	p.Advance(r.pl.AtomicDelay(src, reg))
+	if r.fwd != nil && !r.owns(reg) {
+		return r.fwd.TAS(reg)
+	}
+	return r.TASRaw(reg)
+}
+
+// TASRaw is the latency-free test-and-set: the serving side of a forwarded
+// TAS.
+func (r *Registers) TASRaw(reg int) bool {
 	r.mu.Lock()
 	old := r.tas[reg]
 	r.tas[reg] = true
@@ -161,6 +209,16 @@ func (r *Registers) TASRelease(p Ctx, src, reg int) {
 	r.RemoteOps++
 	r.mu.Unlock()
 	p.Advance(r.pl.AtomicDelay(src, reg))
+	if r.fwd != nil && !r.owns(reg) {
+		r.fwd.TASRelease(reg)
+		return
+	}
+	r.TASReleaseRaw(reg)
+}
+
+// TASReleaseRaw is the latency-free bit clear: the serving side of a
+// forwarded TASRelease.
+func (r *Registers) TASReleaseRaw(reg int) {
 	r.mu.Lock()
 	r.tas[reg] = false
 	r.mu.Unlock()

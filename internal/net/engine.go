@@ -1,0 +1,417 @@
+// Package net implements the cross-process execution backend of TM2C-Go:
+// the system's cores are partitioned over separate OS processes ("ranks"),
+// each rank hosts its share as live-style goroutine ports, and messages to
+// cores of other ranks travel as length-prefixed binary frames
+// (internal/wire) over persistent TCP or Unix-domain connections.
+//
+// The backend relies on replicated construction: every rank builds the
+// identical System from the identical Config (differing only in
+// NetConfig.Rank), so spawn order — and therefore every port ID — agrees
+// across processes without any name service. A port owned by another rank
+// is represented by a Stub that serializes sends onto the owning rank's
+// connection; everything else about the DTM protocol is unchanged.
+//
+// Shared state is partitioned the same way: memory words and allocation
+// bump pointers are homed on rank 0, per-core status/TAS registers on the
+// rank owning the core, both reached through synchronous state RPCs served
+// directly by the connection readers (see state.go, mem.SetRemote).
+//
+// Failure handling: a broken connection is redialed with backoff by the
+// higher-ranked side while the acceptor swaps in the replacement; frames in
+// flight at the moment of the break are lost, which the DTM layer absorbs
+// through per-RPC deadlines (Config.RPCDeadline → ReasonTimeout aborts with
+// conservative lock release). Shutdown is drain-then-close: ranks first
+// agree every worker finished (DONE barrier), then flush their connections
+// (DRAIN barrier — per-connection FIFO guarantees every release message has
+// been delivered), and only then kill the service loops, so lock tables
+// quiesce empty exactly like the live backend.
+package net
+
+import (
+	"fmt"
+	gonet "net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/port"
+	"repro/internal/sim"
+)
+
+// Frame kinds (the u8 after the length prefix; see docs/WIRE.md).
+const (
+	frHello     uint8 = 1 // handshake: magic, version, rank, session
+	frMsg       uint8 = 2 // port message: dst port, src port, payload
+	frStateReq  uint8 = 3 // state RPC request: corr ID, op, args
+	frStateResp uint8 = 4 // state RPC response: corr ID, result
+	frCtrl      uint8 = 5 // control: subkind (done | drain | stats)
+)
+
+// Control subkinds.
+const (
+	ctrlDone  uint8 = 1 // this rank's workers all finished
+	ctrlDrain uint8 = 2 // conn flush marker: no more port messages behind it
+	ctrlStats uint8 = 3 // this rank's serialized post-run statistics
+)
+
+// killSentinel unwinds a port goroutine blocked in a receive when the
+// engine shuts down; the spawn wrapper recovers it (same pattern as the sim
+// kernel and the live engine).
+type killSentinel struct{}
+
+// Config places one engine within a cross-process system.
+type Config struct {
+	Rank    int
+	Ranks   int
+	Addrs   []string // per-rank listen addresses ("unix:<path>" or TCP "host:port")
+	Session int      // distinguishes successive systems over one address base
+	Seed    uint64
+
+	// ConnectTimeout bounds the initial rendezvous and any reconnect
+	// attempt (default 30s).
+	ConnectTimeout time.Duration
+	// StateTimeout bounds one synchronous state RPC (default 10s); an
+	// expiry faults the run — unlike lock RPCs, memory has no retry path.
+	StateTimeout time.Duration
+}
+
+// sessionCounter auto-assigns sessions (NetConfig.Session == -1): every
+// process runs the same deterministic sequence of systems, so per-process
+// counters stay aligned across ranks.
+var sessionCounter atomic.Int64
+
+// NextSession draws from the per-process auto-session counter.
+func NextSession() int { return int(sessionCounter.Add(1) - 1) }
+
+// Engine owns one rank's goroutine ports and peer connections.
+type Engine struct {
+	cfg   Config
+	ports []port.Port // by spawn ID: *Port (local) or *Stub (remote)
+
+	started chan struct{} // closed by Start; gates every port goroutine
+	quit    chan struct{} // closed by Shutdown; drains and kills receivers
+	all     sync.WaitGroup
+
+	start time.Time // monotonic epoch, set just before started closes
+
+	mu      sync.Mutex
+	fault   any
+	running bool
+	down    bool
+	closed  bool
+
+	ln    gonet.Listener
+	links []*link // by peer rank; links[cfg.Rank] == nil
+
+	// State-RPC correlation: corr → waiting caller.
+	pendMu sync.Mutex
+	pend   map[uint64]chan []byte
+	corr   atomic.Uint64
+
+	// Control-plane rendezvous (one token per peer rank).
+	doneCh  chan struct{}
+	drainCh chan struct{}
+	statsCh chan []byte
+
+	// State plane (BindState).
+	st stateHooks
+
+	// Drops counts remote sends lost to broken connections (they surface
+	// as RPC timeouts at the protocol layer).
+	Drops atomic.Uint64
+}
+
+// New validates cfg and returns an engine. No sockets are opened until
+// Start.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Ranks < 2 {
+		return nil, fmt.Errorf("net: need >= 2 ranks, got %d", cfg.Ranks)
+	}
+	if cfg.Rank < 0 || cfg.Rank >= cfg.Ranks {
+		return nil, fmt.Errorf("net: rank %d out of range [0,%d)", cfg.Rank, cfg.Ranks)
+	}
+	if len(cfg.Addrs) != cfg.Ranks {
+		return nil, fmt.Errorf("net: need %d addresses, got %d", cfg.Ranks, len(cfg.Addrs))
+	}
+	if cfg.Session < 0 {
+		return nil, fmt.Errorf("net: unresolved session %d (use NextSession)", cfg.Session)
+	}
+	if cfg.ConnectTimeout <= 0 {
+		cfg.ConnectTimeout = 30 * time.Second
+	}
+	if cfg.StateTimeout <= 0 {
+		cfg.StateTimeout = 10 * time.Second
+	}
+	e := &Engine{
+		cfg:     cfg,
+		started: make(chan struct{}),
+		quit:    make(chan struct{}),
+		pend:    make(map[uint64]chan []byte),
+		doneCh:  make(chan struct{}, cfg.Ranks),
+		drainCh: make(chan struct{}, cfg.Ranks),
+		statsCh: make(chan []byte, cfg.Ranks),
+	}
+	e.links = make([]*link, cfg.Ranks)
+	for r := 0; r < cfg.Ranks; r++ {
+		if r == cfg.Rank {
+			continue
+		}
+		netw, addr, err := resolveAddr(cfg.Addrs[r], cfg.Session, cfg.Ranks)
+		if err != nil {
+			return nil, err
+		}
+		l := &link{eng: e, peer: r, dialer: cfg.Rank > r, netw: netw, addr: addr}
+		l.cond = sync.NewCond(&l.mu)
+		e.links[r] = l
+	}
+	return e, nil
+}
+
+// Rank returns this engine's rank.
+func (e *Engine) Rank() int { return e.cfg.Rank }
+
+// Spawn creates the port of spawn index len(ports). If owner is this rank
+// the port runs fn in its own goroutine (gated on Start, exactly like the
+// live engine); otherwise a Stub stands in and fn never runs here — the
+// owning rank, constructing the same system, spawns the real one. Spawn
+// must not be called after Start.
+func (e *Engine) Spawn(name string, owner int, fn func(port.Port)) port.Port {
+	e.mu.Lock()
+	if e.running {
+		e.mu.Unlock()
+		panic("net: Spawn after Start")
+	}
+	id := len(e.ports)
+	if owner != e.cfg.Rank {
+		st := &Stub{eng: e, id: id, rank: owner, name: name}
+		e.ports = append(e.ports, st)
+		e.mu.Unlock()
+		return st
+	}
+	p := &Port{
+		eng:  e,
+		id:   id,
+		name: name,
+		rng:  sim.NewRand(e.cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(id+1))),
+		wake: make(chan struct{}, 1),
+	}
+	e.ports = append(e.ports, p)
+	e.mu.Unlock()
+	e.all.Add(1)
+	go func() {
+		defer e.all.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killSentinel); !ok {
+					e.setFault(r)
+				}
+			}
+		}()
+		<-e.started
+		fn(p)
+	}()
+	return p
+}
+
+// resolvePort maps a wire port ID to the local replica (wire.PortResolver).
+func (e *Engine) resolvePort(id int) port.Port {
+	if id < 0 || id >= len(e.ports) {
+		return nil
+	}
+	return e.ports[id]
+}
+
+// Start opens the listener, establishes a connection to every peer (dialing
+// the lower-ranked side, accepting the higher), then releases the port
+// goroutines and starts the clock. The connection rendezvous doubles as the
+// start barrier: no rank proceeds until every peer it talks to exists.
+func (e *Engine) Start() error {
+	e.mu.Lock()
+	if e.running {
+		e.mu.Unlock()
+		panic("net: Start called twice")
+	}
+	e.mu.Unlock()
+
+	// Listen if any higher rank will dial us.
+	if e.cfg.Rank < e.cfg.Ranks-1 {
+		netw, addr, err := resolveAddr(e.cfg.Addrs[e.cfg.Rank], e.cfg.Session, e.cfg.Ranks)
+		if err != nil {
+			return err
+		}
+		ln, err := gonet.Listen(netw, addr)
+		if err != nil {
+			return fmt.Errorf("net: rank %d listen %s: %w", e.cfg.Rank, addr, err)
+		}
+		e.ln = ln
+		go e.acceptLoop(ln)
+	}
+	// Dial every lower rank (with backoff: the peer's listener may not
+	// exist yet — that skew IS the bootstrap).
+	for r := 0; r < e.cfg.Rank; r++ {
+		l := e.links[r]
+		l.mu.Lock()
+		l.dialing = true
+		l.mu.Unlock()
+		go l.redial()
+	}
+	// Rendezvous: wait until every link is connected.
+	deadline := time.Now().Add(e.cfg.ConnectTimeout)
+	for _, l := range e.links {
+		if l == nil {
+			continue
+		}
+		if err := l.waitConnected(deadline); err != nil {
+			return err
+		}
+	}
+	e.mu.Lock()
+	e.running = true
+	e.mu.Unlock()
+	e.start = time.Now()
+	close(e.started)
+	return nil
+}
+
+// Now returns the monotonic time since Start as a sim.Time (nanoseconds);
+// zero before Start.
+func (e *Engine) Now() sim.Time {
+	e.mu.Lock()
+	running := e.running
+	e.mu.Unlock()
+	if !running {
+		return 0
+	}
+	return sim.Time(time.Since(e.start))
+}
+
+// BarrierDone announces that this rank's workers all finished and waits for
+// every peer's announcement. DTM service loops keep serving remote traffic
+// throughout — that is the point: a rank may only tear down once no process
+// can still need its locks.
+func (e *Engine) BarrierDone(timeout time.Duration) error {
+	return e.barrier(ctrlDone, nil, e.doneCh, timeout)
+}
+
+// BarrierDrain flushes every connection: a DRAIN marker is written behind
+// all previously sent port messages, and per-connection FIFO means that
+// once every peer's marker has been read, every message addressed to this
+// rank has already been pushed into its destination mailbox. Call after
+// BarrierDone; Shutdown's mailbox drain then leaves the lock tables empty.
+func (e *Engine) BarrierDrain(timeout time.Duration) error {
+	return e.barrier(ctrlDrain, nil, e.drainCh, timeout)
+}
+
+func (e *Engine) barrier(sub uint8, payload []byte, ch chan struct{}, timeout time.Duration) error {
+	body := append([]byte{sub}, payload...)
+	for _, l := range e.links {
+		if l == nil {
+			continue
+		}
+		if err := l.write(frCtrl, body); err != nil {
+			return fmt.Errorf("net: rank %d: barrier %d to rank %d: %w", e.cfg.Rank, sub, l.peer, err)
+		}
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	for i := 0; i < e.cfg.Ranks-1; i++ {
+		select {
+		case <-ch:
+		case <-t.C:
+			return fmt.Errorf("net: rank %d: barrier %d timed out after %v (%d/%d peers)",
+				e.cfg.Rank, sub, timeout, i, e.cfg.Ranks-1)
+		}
+	}
+	return nil
+}
+
+// ExchangeStats broadcasts this rank's serialized post-run statistics and
+// returns every peer's. Call after Shutdown (local counters quiesced) and
+// before Close (the connections carry the exchange).
+func (e *Engine) ExchangeStats(local []byte, timeout time.Duration) ([][]byte, error) {
+	body := append([]byte{ctrlStats}, local...)
+	for _, l := range e.links {
+		if l == nil {
+			continue
+		}
+		if err := l.write(frCtrl, body); err != nil {
+			return nil, fmt.Errorf("net: rank %d: stats to rank %d: %w", e.cfg.Rank, l.peer, err)
+		}
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	var out [][]byte
+	for i := 0; i < e.cfg.Ranks-1; i++ {
+		select {
+		case b := <-e.statsCh:
+			out = append(out, b)
+		case <-t.C:
+			return nil, fmt.Errorf("net: rank %d: stats exchange timed out after %v", e.cfg.Rank, timeout)
+		}
+	}
+	return out, nil
+}
+
+// Shutdown drains and terminates every local port goroutine (mirroring the
+// live engine: a killed receiver empties its mailbox before unwinding) and
+// re-raises the first fault. Connections stay up for ExchangeStats; Close
+// tears them down.
+func (e *Engine) Shutdown() {
+	e.mu.Lock()
+	if !e.down {
+		e.down = true
+		close(e.quit)
+	}
+	e.mu.Unlock()
+	e.all.Wait()
+	e.mu.Lock()
+	f := e.fault
+	e.fault = nil
+	e.mu.Unlock()
+	if f != nil {
+		panic(f)
+	}
+}
+
+// Close tears down the listener and every connection. State RPCs fail fast
+// afterwards (post-run raw verification must run on the owning rank).
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	ln := e.ln
+	e.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, l := range e.links {
+		if l != nil {
+			l.close()
+		}
+	}
+}
+
+// Fault returns the first panic value captured from a port goroutine or the
+// transport, if any. Watchdogs consult it while waiting for workers.
+func (e *Engine) Fault() any {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fault
+}
+
+func (e *Engine) setFault(r any) {
+	e.mu.Lock()
+	if e.fault == nil {
+		e.fault = r
+	}
+	e.mu.Unlock()
+}
+
+func (e *Engine) isClosed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}

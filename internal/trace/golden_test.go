@@ -6,7 +6,9 @@ package trace_test
 
 import (
 	"bytes"
+	"compress/gzip"
 	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -85,13 +87,15 @@ func TestGoldenChromeTrace(t *testing.T) {
 	if err := trace.WriteChrome(&buf, tr); err != nil {
 		t.Fatalf("WriteChrome: %v", err)
 	}
-	golden := filepath.Join("testdata", "golden_bank_chrome.json")
+	// The golden file is stored gzipped (~12k lines of JSON compress ~20x);
+	// the comparison is still against the exact uncompressed bytes.
+	golden := filepath.Join("testdata", "golden_bank_chrome.json.gz")
 	if *update {
-		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+		if err := writeGzipped(golden, buf.Bytes()); err != nil {
 			t.Fatal(err)
 		}
 	}
-	want, err := os.ReadFile(golden)
+	want, err := readGzipped(golden)
 	if err != nil {
 		t.Fatalf("read golden (run with -update to regenerate): %v", err)
 	}
@@ -99,6 +103,36 @@ func TestGoldenChromeTrace(t *testing.T) {
 		t.Errorf("chrome trace deviates from %s (%d vs %d bytes); run with -update and review the diff",
 			golden, buf.Len(), len(want))
 	}
+}
+
+func writeGzipped(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	zw := gzip.NewWriter(f)
+	_, err = zw.Write(data)
+	if cerr := zw.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func readGzipped(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	return io.ReadAll(zr)
 }
 
 // TestSimTraceDeterministic asserts the tentpole's determinism guarantee:

@@ -183,8 +183,14 @@ const (
 	// ReasonUser: the application withdrew the transaction (Tx.Abort or a
 	// terminal Atomic error) or requested an explicit retry (ErrRetry).
 	ReasonUser
+	// ReasonTimeout: an awaited lock-response RPC exceeded the net backend's
+	// per-RPC deadline (Config.RPCDeadline) — the peer process stalled, died,
+	// or the connection broke mid-round-trip. The attempt conservatively
+	// releases everything it may hold and goes back around the retry loop,
+	// so a timeout is a retried abort, not a withdrawal.
+	ReasonTimeout
 	// NumReasons sizes per-reason counter arrays (Stats.AbortReasons).
-	NumReasons = int(ReasonUser) + 1
+	NumReasons = int(ReasonTimeout) + 1
 )
 
 func (r Reason) String() string {
@@ -199,13 +205,15 @@ func (r Reason) String() string {
 		return "stale-placement"
 	case ReasonUser:
 		return "user"
+	case ReasonTimeout:
+		return "timeout"
 	}
 	return "unknown"
 }
 
 // Reasons lists every abort reason in presentation order.
 func Reasons() []Reason {
-	return []Reason{ReasonConflict, ReasonRevoked, ReasonDoomedRead, ReasonStalePlacement, ReasonUser}
+	return []Reason{ReasonConflict, ReasonRevoked, ReasonDoomedRead, ReasonStalePlacement, ReasonUser, ReasonTimeout}
 }
 
 // FlowID packs a (requester core, correlation ID) pair into the flow

@@ -121,6 +121,7 @@ func TestReasonStrings(t *testing.T) {
 		ReasonDoomedRead:     "doomed-read",
 		ReasonStalePlacement: "stale-placement",
 		ReasonUser:           "user",
+		ReasonTimeout:        "timeout",
 	}
 	if len(Reasons()) != NumReasons {
 		t.Fatalf("Reasons() lists %d, NumReasons = %d", len(Reasons()), NumReasons)

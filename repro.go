@@ -101,6 +101,9 @@ type (
 	// Backend selects the execution backend of a System: the
 	// deterministic simulator or the real-concurrency goroutine backend.
 	Backend = core.Backend
+	// NetConfig places one process within a cross-process (BackendNet)
+	// system: rank, rank count, per-rank addresses, session.
+	NetConfig = core.NetConfig
 	// Protocol selects the read-visibility protocol of a System: visible
 	// reads (per-read DTM round trips) or invisible-read TL2 (local reads
 	// against a sharded version clock, commit-time validation).
@@ -120,10 +123,13 @@ const (
 
 // Execution backends. BackendSim is the deterministic discrete-event
 // simulator (virtual time, reproducible); BackendLive runs every core as a
-// real goroutine (wall-clock time, hardware speed, not reproducible).
+// real goroutine (wall-clock time, hardware speed, not reproducible);
+// BackendNet spreads the cores over separate OS processes connected by
+// length-prefixed binary frames (Config.Net places each process).
 const (
 	BackendSim  = core.BackendSim
 	BackendLive = core.BackendLive
+	BackendNet  = core.BackendNet
 )
 
 // Read-visibility protocols. ProtocolVisible is the paper's protocol —
