@@ -15,6 +15,13 @@
 // live backend, where each row's wall-clock window covers a different
 // amount of work.
 //
+// Independent of the table dispatch, -maxallocs and -maxnsop gate the
+// artifact's top-level allocs_per_op / ns_per_op fields (process-wide heap
+// allocations and wall-clock nanoseconds per completed transactional
+// operation, recorded by tm2c-bench around the whole run). They are the CI
+// regression guard for the pooled zero-allocation hot path: a change that
+// reintroduces per-commit allocation shows up directly in allocs_per_op.
+//
 // Two further modes bypass the table dispatch:
 //
 //   - -trace validates a flight-recorder chrome trace_event JSON file:
@@ -42,6 +49,8 @@
 //	benchcheck -file fresh/BENCH_fig5a.json -baseline BENCH_fig5a.json
 //	tm2c-bench -run fig5a -scale quick -backend net -json out/
 //	benchcheck -file out/BENCH_fig5a_net.json -netsmoke
+//	tm2c-bench -run fig5a -scale quick -backend live -json out/
+//	benchcheck -file out/BENCH_fig5a_live.json -maxallocs 2 -maxnsop 200000
 package main
 
 import (
@@ -61,10 +70,12 @@ type table struct {
 }
 
 type benchResult struct {
-	ID        string   `json:"id"`
-	Backend   string   `json:"backend"`
-	ElapsedMS int64    `json:"elapsed_ms"`
-	Tables    []*table `json:"tables"`
+	ID          string   `json:"id"`
+	Backend     string   `json:"backend"`
+	ElapsedMS   int64    `json:"elapsed_ms"`
+	AllocsPerOp float64  `json:"allocs_per_op"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	Tables      []*table `json:"tables"`
 }
 
 func main() {
@@ -78,6 +89,8 @@ func main() {
 		baseline        = flag.String("baseline", "", "committed artifact to gate -file against (sim tables must be cell-identical)")
 		maxSlowdown     = flag.Float64("maxslowdown", 0, "-baseline: max allowed elapsed_ms ratio fresh/baseline (0 disables the wall-clock gate)")
 		netSmoke        = flag.Bool("netsmoke", false, "validate -file as a cross-process net-backend artifact (backend tag, table shape, nonzero throughput) instead of the table dispatch")
+		maxAllocs       = flag.Float64("maxallocs", -1, "fail if the artifact's allocs_per_op exceeds this (-1 disables)")
+		maxNsOp         = flag.Float64("maxnsop", -1, "fail if the artifact's ns_per_op exceeds this (-1 disables)")
 	)
 	flag.Parse()
 	if *traceFile != "" {
@@ -110,6 +123,25 @@ func main() {
 		return
 	}
 	checked, failed := false, false
+	// Per-operation cost gates apply to any artifact that recorded them —
+	// the CI guard against alloc/op and ns/op regressions on the live
+	// backend's pooled hot path.
+	if *maxAllocs >= 0 {
+		checked = true
+		fmt.Printf("%s backend=%s: %.3f allocs/op (budget %.3f)\n", res.ID, res.Backend, res.AllocsPerOp, *maxAllocs)
+		if res.AllocsPerOp > *maxAllocs {
+			fmt.Printf("FAIL: allocs_per_op %.3f exceeds -maxallocs %.3f\n", res.AllocsPerOp, *maxAllocs)
+			failed = true
+		}
+	}
+	if *maxNsOp >= 0 {
+		checked = true
+		fmt.Printf("%s backend=%s: %.0f ns/op (budget %.0f)\n", res.ID, res.Backend, res.NsPerOp, *maxNsOp)
+		if res.NsPerOp > *maxNsOp {
+			fmt.Printf("FAIL: ns_per_op %.0f exceeds -maxnsop %.0f\n", res.NsPerOp, *maxNsOp)
+			failed = true
+		}
+	}
 	if grid := findTable(res.Tables, "ablbatch"); grid != nil {
 		checked = true
 		failed = checkABLBatch(&res, grid, *minReduction) || failed
@@ -119,7 +151,7 @@ func main() {
 		failed = checkABLTL2(&res, grid, *minTL2Reduction) || failed
 	}
 	if !checked {
-		fatal(fmt.Errorf("%s: no table benchcheck knows how to check (want ablbatch or abltl2)", *file))
+		fatal(fmt.Errorf("%s: no table benchcheck knows how to check (want ablbatch or abltl2, or enable -maxallocs/-maxnsop)", *file))
 	}
 	if failed {
 		os.Exit(1)
@@ -134,9 +166,9 @@ func checkABLBatch(res *benchResult, grid *table, minReduction float64) bool {
 	wireCol := colIndex(grid, "wire/op")
 	ppwCol := colIndex(grid, "payloads/wire")
 
-	// Pair up rows by batching setting: coalesce off vs on.
+	// Group rows by batching setting: transport mode off / on / adaptive.
 	type rowVals struct{ wirePerOp, ppw float64 }
-	rows := map[string]map[string]rowVals{} // batching -> coalesce -> values
+	rows := map[string]map[string]rowVals{} // batching -> coalesce mode -> values
 	for _, row := range grid.Rows {
 		rows[row[batchCol]] = appendRow(rows[row[batchCol]], row[coalCol], rowVals{
 			wirePerOp: cell(row, wireCol), ppw: cell(row, ppwCol),
@@ -160,8 +192,22 @@ func checkABLBatch(res *benchResult, grid *table, minReduction float64) bool {
 		}
 		fmt.Printf("%s backend=%s batching=%s: wire msgs/op %v -> %v (%.1f%% cross-run, %.1f%% per-payload reduction)\n",
 			res.ID, res.Backend, b, off.wirePerOp, on.wirePerOp, crossRun, perPayload)
+		if adpt, ok := rows[b]["adaptive"]; ok {
+			fmt.Printf("%s backend=%s batching=%s: adaptive flush wire msgs/op %v (plain coalesce %v, uncoalesced %v)\n",
+				res.ID, res.Backend, b, adpt.wirePerOp, on.wirePerOp, off.wirePerOp)
+			// The adaptive-flush claim is the batching-on plane: protocol
+			// batching already merged each burst, so plain coalescing finds
+			// nothing and pays envelope overhead for free — adaptive
+			// deferral must bring the coalescing transport back to parity
+			// or better against the uncoalesced plane.
+			if b == "on" && adpt.wirePerOp > off.wirePerOp {
+				fmt.Printf("FAIL: batching=on: adaptive flush sent more wire messages per op than uncoalesced (%v vs %v)\n",
+					adpt.wirePerOp, off.wirePerOp)
+				failed = true
+			}
+		}
 		if b != "off" {
-			continue // the batching-on pair has nothing to merge; informational only
+			continue // the plain batching-on pair has nothing to merge; informational only
 		}
 		if perPayload < minReduction {
 			fmt.Printf("FAIL: batching=off per-payload reduction %.1f%% < required %.1f%%\n", perPayload, minReduction)

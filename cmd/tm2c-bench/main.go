@@ -23,7 +23,9 @@
 // comparisons; the ablrpc ablation compares the two modes directly.
 // -coalesce enables the coalescing message plane (per-destination wire
 // batching, Config.Coalesce) in every experiment; the ablbatch ablation
-// compares both planes directly.
+// compares both planes directly. -adaptiveflush additionally defers
+// sub-threshold fire-and-forget envelopes until a size/age trigger fires
+// (implies -coalesce); ablbatch compares all three transport modes.
 // -placement forces an object→DTM-node placement policy in every
 // experiment; the ablplace ablation compares the three policies directly.
 // -readonly runs every bank balance scan as a declared read-only
@@ -56,6 +58,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/metrics"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -69,14 +72,20 @@ import (
 
 // benchResult is the schema of one BENCH_<id>.json file.
 type benchResult struct {
-	ID             string       `json:"id"`
-	Title          string       `json:"title"`
-	Backend        string       `json:"backend"`
-	Scale          string       `json:"scale"`
-	Seed           uint64       `json:"seed"`
-	ThroughputUnit string       `json:"throughput_unit"`
-	ElapsedMS      int64        `json:"elapsed_ms"`
-	Tables         []*exp.Table `json:"tables"`
+	ID             string `json:"id"`
+	Title          string `json:"title"`
+	Backend        string `json:"backend"`
+	Scale          string `json:"scale"`
+	Seed           uint64 `json:"seed"`
+	ThroughputUnit string `json:"throughput_unit"`
+	ElapsedMS      int64  `json:"elapsed_ms"`
+	// AllocsPerOp and NsPerOp are process-wide costs per completed
+	// transactional operation across the whole experiment (heap objects
+	// allocated, wall-clock nanoseconds): the coarse speed invariants
+	// benchcheck -maxallocs / -maxnsop gate in CI.
+	AllocsPerOp float64      `json:"allocs_per_op"`
+	NsPerOp     float64      `json:"ns_per_op"`
+	Tables      []*exp.Table `json:"tables"`
 }
 
 func main() {
@@ -88,6 +97,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		serialRPC  = flag.Bool("serialrpc", false, "force serial (non-scatter-gather) commit lock acquisition in every experiment")
 		coalesce   = flag.Bool("coalesce", false, "enable the coalescing message plane (per-destination wire batching) in every experiment")
+		adaptiveF  = flag.Bool("adaptiveflush", false, "enable size/age-triggered adaptive outbox flush in every experiment (implies -coalesce)")
 		placementF = flag.String("placement", "", "force a placement policy (hash | range | adaptive) in every experiment")
 		readonly   = flag.Bool("readonly", false, "run every bank balance scan as a declared read-only transaction")
 		protocolF  = flag.String("protocol", "", "force a read-visibility protocol (visible | tl2) in every experiment")
@@ -96,6 +106,7 @@ func main() {
 		timings    = flag.Bool("timings", false, "print wall-clock time per experiment")
 		traceDir   = flag.String("trace-dir", "", "directory to write one chrome trace_event JSON per system run into (enables the flight recorder)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) and dump runtime/metrics after the experiments finish")
+		allocProf  = flag.String("allocprofile", "", "write a pprof allocs profile to this file after the experiments finish")
 		arrivalF   = flag.Bool("arrivalstamp", false, "timestamp contending payloads at envelope arrival instead of per-payload service instant in every experiment (the ablarrival ablation compares both)")
 		groups     = flag.Int("groups", 2, "net backend: number of OS processes (forked from this one by default)")
 		rankF      = flag.Int("rank", 0, "net backend: this process's rank when launched standalone with -peers")
@@ -117,6 +128,7 @@ func main() {
 	ov.SerialRPC = *serialRPC
 	ov.ReadOnly = *readonly
 	ov.Coalesce = *coalesce
+	ov.AdaptiveFlush = *adaptiveF
 	if *placementF != "" {
 		k, err := placement.Parse(*placementF)
 		if err != nil {
@@ -235,9 +247,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tm2c-bench: unknown experiment %q (try -list)\n", id)
 			os.Exit(2)
 		}
+		var msBefore runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
+		opsBefore := core.OpsSoFar()
 		start := time.Now()
 		tables := e.Run(sc, ov)
 		elapsed := time.Since(start)
+		var msAfter runtime.MemStats
+		runtime.ReadMemStats(&msAfter)
+		var allocsPerOp, nsPerOp float64
+		if dOps := core.OpsSoFar() - opsBefore; dOps > 0 {
+			allocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(dOps)
+			nsPerOp = float64(elapsed.Nanoseconds()) / float64(dOps)
+		}
 		if isChild {
 			// Worker ranks participate in every system but rank 0 owns the
 			// merged stats report and artifacts.
@@ -268,6 +290,8 @@ func main() {
 				Seed:           *seed,
 				ThroughputUnit: resUnit,
 				ElapsedMS:      elapsed.Milliseconds(),
+				AllocsPerOp:    allocsPerOp,
+				NsPerOp:        nsPerOp,
 				Tables:         tables,
 			}
 			// Sim results keep the historic BENCH_<id>.json name; live and
@@ -305,6 +329,28 @@ func main() {
 	if *pprofAddr != "" {
 		dumpRuntimeMetrics(os.Stderr)
 	}
+	if *allocProf != "" {
+		if err := writeAllocProfile(*allocProf); err != nil {
+			fmt.Fprintf(os.Stderr, "tm2c-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeAllocProfile dumps the cumulative allocation profile at quiesce — the
+// no-server companion to -pprof for environments where scraping an HTTP
+// endpoint mid-run is impractical.
+func writeAllocProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // flush the most recent allocation records
+	err = pprof.Lookup("allocs").WriteTo(f, 0)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // traceSink returns an Options.Sink that writes every system run's merged

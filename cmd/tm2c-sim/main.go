@@ -46,6 +46,7 @@ func main() {
 		acquire  = flag.String("acquire", "lazy", "lazy | eager")
 		serial   = flag.Bool("serialrpc", false, "serial commit lock acquisition instead of scatter-gather")
 		coalesce = flag.Bool("coalesce", false, "coalescing message plane: same-destination payloads of one burst share a wire message")
+		adaptive = flag.Bool("adaptiveflush", false, "size/age-triggered adaptive outbox flush: defer sub-threshold fire-and-forget envelopes into the next burst (implies -coalesce)")
 		nobatch  = flag.Bool("nobatching", false, "disable per-node write-lock batching (one request per object; the ablbatch ablation's off arm)")
 		place    = flag.String("placement", "hash", "hash | range | adaptive object→DTM-node placement")
 		epoch    = flag.Int("epoch", 0, "adaptive placement: lock accesses per repartition epoch (0 = default)")
@@ -103,7 +104,8 @@ func main() {
 		ServiceCores:     *svc,
 		Policy:           pol,
 		SerialRPC:        *serial,
-		Coalesce:         *coalesce,
+		Coalesce:         *coalesce || *adaptive,
+		AdaptiveFlush:    *adaptive,
 		NoBatching:       *nobatch,
 		Placement:        placeKind,
 		RepartitionEpoch: *epoch,

@@ -297,6 +297,24 @@ type Config struct {
 	// figure fingerprints pin. Stats.WireMsgs/CoalescedPayloads quantify
 	// the effect; the ablbatch ablation compares both planes.
 	Coalesce bool
+	// AdaptiveFlush upgrades the application cores' coalescing outbox from
+	// flush-at-burst-end to size/age-triggered emission: a release or
+	// early-release burst leaves a staged entry in place unless it already
+	// carries FlushBytes of payload or has waited FlushAge since its first
+	// payload, so releases from consecutive transactions headed to the same
+	// DTM node share a wire message across burst boundaries. Fire-and-forget
+	// traffic only — everything awaited (lock requests, responses, DTM node
+	// replies, barriers) still flushes at the burst end, and a held release
+	// is revocable (the lock-stealing path treats a finished attempt's lock
+	// as stale), so deferral can cost an enemy a retry but never a deadlock.
+	// Requires Coalesce; sim-visible knob, off by default (the pinned
+	// fingerprints run the plain coalescing plane).
+	AdaptiveFlush bool
+	// FlushBytes and FlushAge override the adaptive-flush triggers (defaults
+	// from the platform: Platform.FlushBytes/FlushAge). Ignored unless
+	// AdaptiveFlush is set.
+	FlushBytes int
+	FlushAge   time.Duration
 	// LockGranule is the number of words covered by one lock stripe; it
 	// must be a power of two (default 1). Objects larger than the granule
 	// are locked by their base address.
@@ -398,6 +416,20 @@ func (c *Config) normalize() error {
 		if c.ServiceCores < 0 || c.ServiceCores >= c.TotalCores {
 			return fmt.Errorf("core: invalid service-core count %d of %d",
 				c.ServiceCores, c.TotalCores)
+		}
+	}
+	if c.AdaptiveFlush {
+		if !c.Coalesce {
+			return errors.New("core: AdaptiveFlush requires Coalesce (there is no outbox to govern without it)")
+		}
+		if c.FlushBytes == 0 {
+			c.FlushBytes = c.Platform.FlushBytes()
+		}
+		if c.FlushAge == 0 {
+			c.FlushAge = c.Platform.FlushAge()
+		}
+		if c.FlushBytes < 0 || c.FlushAge < 0 {
+			return fmt.Errorf("core: negative adaptive-flush trigger (bytes %d, age %v)", c.FlushBytes, c.FlushAge)
 		}
 	}
 	if c.LockGranule == 0 {

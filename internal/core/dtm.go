@@ -50,6 +50,11 @@ type dtmNode struct {
 	// skew their relative priorities.
 	arrival sim.Time
 
+	// acqScratch accumulates the addresses a write-lock batch has acquired
+	// so far, for rollback on a mid-batch conflict. Serving is single-
+	// threaded per node, so one buffer serves every batch.
+	acqScratch []mem.Addr
+
 	// out is the node's coalescing outbox (Config.Coalesce): responses
 	// stage into it during a dispatch and flush when the mailbox is
 	// momentarily empty, so the grants/NACKs answering requests that
@@ -121,21 +126,27 @@ func (n *dtmNode) flushOut(p port.Port) {
 // requests from transaction responses).
 func (n *dtmNode) handle(p port.Port, m port.Msg) bool {
 	n.arrival = m.At
+	// The node is each request's final toucher: handleX consumes the message
+	// (responses carry no pointer back into it), so the arms recycle it.
 	switch r := m.Payload.(type) {
 	case *reqReadLock:
 		n.switchIn(p)
 		n.handleReadLock(p, r)
+		putReadLockReq(r)
 	case *reqWriteLock:
 		n.switchIn(p)
 		n.handleWriteLock(p, r)
+		putWriteLockReq(r)
 	case *relLocks:
 		n.switchIn(p)
 		n.handleRelease(p, r)
 		n.tryGrantExclusive(p)
+		putRelLocks(r)
 	case *earlyRelease:
 		n.switchIn(p)
 		n.handleEarlyRelease(p, r)
 		n.tryGrantExclusive(p)
+		putEarlyRelease(r)
 	case *reqExclusive:
 		n.switchIn(p)
 		n.handleExclusive(p, r)
@@ -237,7 +248,11 @@ func (n *dtmNode) tryHandoffs() {
 // costs at worst one more NACK, inside the same hop bound.
 func (n *dtmNode) nackStale(p port.Port, reply port.Port, replyTo int, reqID uint64, keys ...mem.Addr) {
 	n.shard.StaleNacks++
-	resp := &respLock{ReqID: reqID, Stale: true, NackEpoch: n.s.dir.Epoch(), NackOwner: -1}
+	resp := getRespLock()
+	resp.ReqID = reqID
+	resp.Stale = true
+	resp.NackEpoch = n.s.dir.Epoch()
+	resp.NackOwner = -1
 	if len(keys) == 1 {
 		resp.NackOwner = n.s.dir.Owner(keys[0])
 	}
@@ -259,7 +274,9 @@ func (n *dtmNode) handleReadLock(p port.Port, r *reqReadLock) {
 		// An irrevocable transaction holds or awaits this node's
 		// exclusivity token: reject so the table drains (§2 extension).
 		n.emit(p, trace.KLockNack, r.Meta.TxID, trace.FlowID(r.ReplyTo, r.ReqID), uint64(cm.RAW), 0)
-		n.respond(p, r.Reply, r.ReplyTo, &respLock{ReqID: r.ReqID, OK: false, Kind: cm.RAW})
+		resp := getRespLock()
+		resp.ReqID, resp.Kind = r.ReqID, cm.RAW
+		n.respond(p, r.Reply, r.ReplyTo, resp)
 		return
 	}
 	meta := r.Meta
@@ -269,14 +286,18 @@ func (n *dtmNode) handleReadLock(p port.Port, r *reqReadLock) {
 		if conf == nil {
 			n.table.AddReader(r.Addr, meta)
 			n.emit(p, trace.KLockGrant, r.Meta.TxID, trace.FlowID(r.ReplyTo, r.ReqID), 1, 0)
-			n.respond(p, r.Reply, r.ReplyTo, &respLock{ReqID: r.ReqID, OK: true})
+			resp := getRespLock()
+			resp.ReqID, resp.OK = r.ReqID, true
+			n.respond(p, r.Reply, r.ReplyTo, resp)
 			return
 		}
 		n.shard.Conflicts++
 		if n.s.cfg.Policy.Resolve(meta, conf.Enemies, conf.Kind) == cm.AbortRequester ||
 			!n.abortEnemies(p, r.Addr, conf.Enemies) {
 			n.emit(p, trace.KLockNack, r.Meta.TxID, trace.FlowID(r.ReplyTo, r.ReqID), uint64(conf.Kind), 0)
-			n.respond(p, r.Reply, r.ReplyTo, &respLock{ReqID: r.ReqID, OK: false, Kind: conf.Kind})
+			resp := getRespLock()
+			resp.ReqID, resp.Kind = r.ReqID, conf.Kind
+			n.respond(p, r.Reply, r.ReplyTo, resp)
 			return
 		}
 		// Enemies aborted and revoked; re-check (bounded: the conflict
@@ -297,12 +318,15 @@ func (n *dtmNode) handleWriteLock(p port.Port, r *reqWriteLock) {
 	}
 	if n.excl.blocked() {
 		n.emit(p, trace.KLockNack, r.Meta.TxID, trace.FlowID(r.ReplyTo, r.ReqID), uint64(cm.WAW), 0)
-		n.respond(p, r.Reply, r.ReplyTo, &respLock{ReqID: r.ReqID, OK: false, Kind: cm.WAW})
+		resp := getRespLock()
+		resp.ReqID, resp.Kind = r.ReqID, cm.WAW
+		n.respond(p, r.Reply, r.ReplyTo, resp)
 		return
 	}
 	meta := r.Meta
 	n.s.cfg.Policy.ArrivalPrio(&meta, n.stamp(p))
-	var acquired []mem.Addr
+	acquired := n.acqScratch[:0]
+	defer func() { n.acqScratch = acquired[:0] }()
 	for _, addr := range r.Addrs {
 		for {
 			conf := n.table.WriteConflict(addr, meta)
@@ -318,21 +342,23 @@ func (n *dtmNode) handleWriteLock(p port.Port, r *reqWriteLock) {
 					n.table.ReleaseWrite(a, meta.Core, meta.TxID)
 				}
 				n.emit(p, trace.KLockNack, r.Meta.TxID, trace.FlowID(r.ReplyTo, r.ReqID), uint64(conf.Kind), 0)
-				n.respond(p, r.Reply, r.ReplyTo, &respLock{ReqID: r.ReqID, OK: false, Kind: conf.Kind})
+				resp := getRespLock()
+				resp.ReqID, resp.Kind = r.ReqID, conf.Kind
+				n.respond(p, r.Reply, r.ReplyTo, resp)
 				return
 			}
 		}
 	}
 	n.emit(p, trace.KLockGrant, r.Meta.TxID, trace.FlowID(r.ReplyTo, r.ReqID), uint64(len(r.Addrs)), 0)
-	resp := &respLock{ReqID: r.ReqID, OK: true}
+	resp := getRespLock()
+	resp.ReqID, resp.OK = r.ReqID, true
 	if n.s.tl2() {
 		// Piggyback the granted stripes' current versions: the committer
 		// revalidates its read∩write stripes against these without touching
 		// memory again. Stable until the holder's own write-back — a marker
 		// could only be set by another lock holder, which cannot exist.
-		resp.Vers = make([]uint64, len(r.Addrs))
-		for i, a := range r.Addrs {
-			resp.Vers[i] = n.s.Mem.VersionRaw(a)
+		for _, a := range r.Addrs {
+			resp.Vers = append(resp.Vers, n.s.Mem.VersionRaw(a))
 		}
 	}
 	n.respond(p, r.Reply, r.ReplyTo, resp)
@@ -401,7 +427,7 @@ func (n *dtmNode) respond(p port.Port, reply port.Port, replyCore int, resp *res
 	}
 	n.shard.Responses++
 	if n.s.cfg.Coalesce {
-		n.out.Stage(reply, replyCore, resp, respBytes(resp))
+		n.out.Stage(reply, replyCore, resp, respBytes(resp), p.Now())
 		return
 	}
 	n.s.send(&n.shard, n.rec, p, n.core, reply, replyCore, resp, respBytes(resp))

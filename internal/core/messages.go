@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"repro/internal/cm"
 	"repro/internal/mem"
 	"repro/internal/port"
@@ -141,3 +143,82 @@ type barrierMsg struct {
 }
 
 func (barrierMsg) bytes() int { return msgHeaderBytes + 8 }
+
+// Protocol-message pools. The hot path sends one lock request and one
+// response per acquisition plus a release burst per attempt; without reuse
+// every one of them is a fresh heap object. Ownership follows the message:
+// the creator fills a pooled struct and sends it, and the FINAL toucher
+// recycles it — requests and fire-and-forget releases by the DTM node after
+// its handle arm returns, responses by the requesting core once consumed.
+// Messages that are never consumed (dropped at shutdown, expired deadlines,
+// duplicate responses) simply fall to the garbage collector; nothing is ever
+// recycled twice. Address and version slices are pool-owned: builders copy
+// into them (append(x[:0], ...)) rather than alias caller storage, so an
+// in-flight message never shares backing arrays with scratch buffers the
+// sender is already reusing.
+//
+// Every get function fully reinitializes the struct — a pooled object
+// carries arbitrary stale field values from its previous life.
+var (
+	readLockPool     = sync.Pool{New: func() any { return new(reqReadLock) }}
+	writeLockPool    = sync.Pool{New: func() any { return new(reqWriteLock) }}
+	respLockPool     = sync.Pool{New: func() any { return new(respLock) }}
+	relLocksPool     = sync.Pool{New: func() any { return new(relLocks) }}
+	earlyReleasePool = sync.Pool{New: func() any { return new(earlyRelease) }}
+)
+
+func getReadLockReq() *reqReadLock {
+	r := readLockPool.Get().(*reqReadLock)
+	*r = reqReadLock{}
+	return r
+}
+
+func putReadLockReq(r *reqReadLock) {
+	r.Reply = nil
+	readLockPool.Put(r)
+}
+
+func getWriteLockReq() *reqWriteLock {
+	r := writeLockPool.Get().(*reqWriteLock)
+	addrs := r.Addrs[:0]
+	*r = reqWriteLock{Addrs: addrs}
+	return r
+}
+
+func putWriteLockReq(r *reqWriteLock) {
+	r.Reply = nil
+	writeLockPool.Put(r)
+}
+
+func getRespLock() *respLock {
+	r := respLockPool.Get().(*respLock)
+	vers := r.Vers[:0]
+	*r = respLock{Vers: vers}
+	return r
+}
+
+func putRespLock(r *respLock) {
+	respLockPool.Put(r)
+}
+
+func getRelLocks() *relLocks {
+	r := relLocksPool.Get().(*relLocks)
+	reads, writes := r.ReadAddrs[:0], r.WriteAddrs[:0]
+	*r = relLocks{ReadAddrs: reads, WriteAddrs: writes}
+	return r
+}
+
+func putRelLocks(r *relLocks) {
+	relLocksPool.Put(r)
+}
+
+func getEarlyRelease() *earlyRelease {
+	r := earlyReleasePool.Get().(*earlyRelease)
+	addrs := r.Addrs[:0]
+	*r = earlyRelease{Addrs: addrs}
+	return r
+}
+
+func putEarlyRelease(r *earlyRelease) {
+	earlyReleasePool.Put(r)
+}

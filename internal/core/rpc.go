@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/port"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -86,15 +87,41 @@ func (rt *Runtime) burstToNode(ni int, msg wireMsg) {
 		rt.sendToNode(ni, msg)
 		return
 	}
-	rt.out.Stage(rt.s.nodePorts[ni], rt.s.nodes[ni].core, msg, msg.bytes())
+	rt.out.Stage(rt.s.nodePorts[ni], rt.s.nodes[ni].core, msg, msg.bytes(), rt.proc.Now())
 }
 
 // flushOut transmits every burst staged in the core's outbox, one wire
-// message per destination node. Every staging site flushes before the core
-// can block on a receive, so no staged message ever waits on mailbox
-// traffic.
+// message per destination node. Every staging site that a response depends
+// on flushes before the core can block on a receive, so no staged message a
+// peer is waiting for ever waits on mailbox traffic.
 func (rt *Runtime) flushOut() {
 	rt.out.Flush(func(e *port.OutEntry) {
+		rt.s.sendEntry(&rt.shard, rt.rec, rt.proc, rt.core, e)
+	})
+}
+
+// flushOutSoft ends a fire-and-forget burst (releases, early releases).
+// Without adaptive flushing it is a plain flushOut. With it, only the
+// entries that reached the platform's bytes-per-fixed-cost sweet spot
+// (Config.FlushBytes) or aged past Config.FlushAge leave now; the rest stay
+// staged so the NEXT burst to the same node — typically the following
+// transaction's commit scatter — shares their envelope and its fixed wire
+// cost. Deferring a release is safe: a lock whose release is staged belongs
+// to a finished attempt, so any node that needs it revoked can do so
+// unilaterally through the requester's status register (abortEnemies), and
+// the age bound keeps the deferral from outliving the platform's fixed-cost
+// horizon even on an idle core (every subsequent soft flush re-checks it).
+func (rt *Runtime) flushOutSoft() {
+	if !rt.s.cfg.AdaptiveFlush {
+		rt.flushOut()
+		return
+	}
+	now := rt.proc.Now()
+	minBytes := rt.s.cfg.FlushBytes
+	maxAge := sim.Time(rt.s.cfg.FlushAge)
+	rt.out.FlushMatching(func(e *port.OutEntry) bool {
+		return e.Bytes >= minBytes || now-e.First >= maxAge
+	}, func(e *port.OutEntry) {
 		rt.s.sendEntry(&rt.shard, rt.rec, rt.proc, rt.core, e)
 	})
 }
@@ -125,14 +152,13 @@ func (rt *Runtime) rpcReadLock(tx *Tx, key mem.Addr) *respLock {
 	node, epoch := rt.s.nodeFor(key), rt.s.dir.Epoch()
 	for hop := 0; ; hop++ {
 		id := rt.nextReqID()
-		req := &reqReadLock{
-			ReqID:   id,
-			Epoch:   epoch,
-			Addr:    key,
-			Meta:    rt.local.RequestMeta(tx.id, rt.proc.Now()),
-			Reply:   rt.proc,
-			ReplyTo: rt.core,
-		}
+		req := getReadLockReq()
+		req.ReqID = id
+		req.Epoch = epoch
+		req.Addr = key
+		req.Meta = rt.local.RequestMeta(tx.id, rt.proc.Now())
+		req.Reply = rt.proc
+		req.ReplyTo = rt.core
 		rt.shard.ReadLockReqs++
 		rt.emit(trace.KLockReq, tx.id, trace.FlowID(rt.core, id), uint64(key), 1)
 		rt.sendToNode(node, req)
@@ -146,11 +172,13 @@ func (rt *Runtime) rpcReadLock(tx *Tx, key mem.Addr) *respLock {
 		if !resp.Stale {
 			return resp
 		}
+		hintOwner, hintEpoch := resp.NackOwner, resp.NackEpoch
+		putRespLock(resp)
 		if hop >= maxPlacementHops {
 			rt.placementAbort()
 		}
-		if resp.NackOwner >= 0 {
-			node, epoch = resp.NackOwner, resp.NackEpoch
+		if hintOwner >= 0 {
+			node, epoch = hintOwner, hintEpoch
 			rt.shard.StaleNackHints++
 		} else {
 			node, epoch = rt.s.nodeFor(key), rt.s.dir.Epoch()
@@ -171,22 +199,27 @@ func (rt *Runtime) rpcReadLock(tx *Tx, key mem.Addr) *respLock {
 // acquisition, not per resend).
 func (rt *Runtime) sendWriteLock(tx *Tx, node int, epoch uint64, keys []mem.Addr) uint64 {
 	req := rt.writeLockReq(tx, epoch, keys)
+	// Capture the correlation ID before the handoff: once sent, the node
+	// may consume and recycle the pooled request at any moment.
+	id := req.ReqID
 	rt.sendToNode(node, req)
-	return req.ReqID
+	return id
 }
 
 // writeLockReq builds one write-lock batch request with a fresh correlation
 // ID, counting it in the shard (the request will be transmitted exactly
 // once, sent directly or staged for a coalesced burst).
 func (rt *Runtime) writeLockReq(tx *Tx, epoch uint64, keys []mem.Addr) *reqWriteLock {
-	req := &reqWriteLock{
-		ReqID:   rt.nextReqID(),
-		Epoch:   epoch,
-		Addrs:   keys,
-		Meta:    rt.local.RequestMeta(tx.id, rt.proc.Now()),
-		Reply:   rt.proc,
-		ReplyTo: rt.core,
-	}
+	req := getWriteLockReq()
+	req.ReqID = rt.nextReqID()
+	req.Epoch = epoch
+	// Copy the keys into the request's pool-owned storage: the caller's
+	// batch slice is per-attempt scratch that will be reused while this
+	// request may still be in flight.
+	req.Addrs = append(req.Addrs[:0], keys...)
+	req.Meta = rt.local.RequestMeta(tx.id, rt.proc.Now())
+	req.Reply = rt.proc
+	req.ReplyTo = rt.core
 	rt.shard.WriteLockReqs++
 	rt.emit(trace.KLockReq, tx.id, trace.FlowID(rt.core, req.ReqID), uint64(keys[0]), uint64(len(keys)))
 	return req
@@ -207,18 +240,21 @@ func (rt *Runtime) rpcWriteLockEager(tx *Tx, key mem.Addr) *respLock {
 	rt.s.dir.Record(key)
 	node, epoch := rt.s.nodeFor(key), rt.s.dir.Epoch()
 	for hop := 0; ; hop++ {
-		resp := rt.rpcWriteLock(tx, node, epoch, []mem.Addr{key})
+		rt.eagerKey[0] = key
+		resp := rt.rpcWriteLock(tx, node, epoch, rt.eagerKey[:])
 		if resp == nil {
-			rt.timeoutAbort(tx, nil, []mem.Addr{key})
+			rt.timeoutAbort(tx, nil, rt.eagerKey[:])
 		}
 		if !resp.Stale {
 			return resp
 		}
+		hintOwner, hintEpoch := resp.NackOwner, resp.NackEpoch
+		putRespLock(resp)
 		if hop >= maxPlacementHops {
 			rt.placementAbort()
 		}
-		if resp.NackOwner >= 0 {
-			node, epoch = resp.NackOwner, resp.NackEpoch
+		if hintOwner >= 0 {
+			node, epoch = hintOwner, hintEpoch
 			rt.shard.StaleNackHints++
 		} else {
 			node, epoch = rt.s.nodeFor(key), rt.s.dir.Epoch()
@@ -235,18 +271,25 @@ func (rt *Runtime) rpcWriteLockEager(tx *Tx, key mem.Addr) *respLock {
 func (rt *Runtime) scatterWriteLocks(tx *Tx, epoch uint64, batches []nodeGroup) []*respLock {
 	scStart := rt.proc.Now()
 	rt.emit(trace.KPhaseBegin, tx.id, uint64(trace.PhaseScatter), 0, 0)
-	ids := make([]uint64, len(batches))
-	for i, b := range batches {
+	ids := rt.scatterIDs[:0]
+	for _, b := range batches {
 		req := rt.writeLockReq(tx, epoch, b.addrs)
+		// Record the correlation ID before the handoff: once staged or
+		// sent, the node may consume and recycle the pooled request.
+		ids = append(ids, req.ReqID)
 		rt.burstToNode(b.node, req)
-		ids[i] = req.ReqID
 	}
+	rt.scatterIDs = ids
 	rt.flushOut()
 	rt.emit(trace.KPhaseEnd, tx.id, uint64(trace.PhaseScatter), 0, 0)
 	rt.scatterLat.Observe(rt.proc.Now() - scStart)
 	gaStart := rt.proc.Now()
 	rt.emit(trace.KPhaseBegin, tx.id, uint64(trace.PhaseGather), 0, 0)
-	out := make([]*respLock, len(ids))
+	out := rt.scatterResps[:0]
+	for range ids {
+		out = append(out, nil)
+	}
+	rt.scatterResps = out
 	rt.awaitIDs = append(rt.awaitIDs[:0], ids...)
 	for remaining := len(ids); remaining > 0; {
 		resp, timedOut := rt.recvRPC()
@@ -277,6 +320,8 @@ func (rt *Runtime) scatterWriteLocks(tx *Tx, epoch uint64, batches []nodeGroup) 
 	rt.awaitIDs = rt.awaitIDs[:0]
 	rt.emit(trace.KPhaseEnd, tx.id, uint64(trace.PhaseGather), 0, 0)
 	rt.gatherLat.Observe(rt.proc.Now() - gaStart)
+	// out is per-runtime scratch (rt.scatterResps): the caller must consume
+	// every response before the next scatter reuses it.
 	return out
 }
 

@@ -282,6 +282,10 @@ func (s *System) SpawnWorkers(worker func(rt *Runtime)) {
 				}()
 				worker(rt)
 			}()
+			// Adaptive flush may still hold deferred fire-and-forget entries
+			// from the final transaction; emit them before the port goes
+			// passive so lock tables quiesce empty.
+			rt.flushOut()
 			if rt.node != nil {
 				// Keep serving DTM requests after the workload finishes.
 				for {
@@ -538,6 +542,16 @@ func (s *System) mergeNetStats() {
 	}
 }
 
+// globalOps accumulates every run's completed operations process-wide.
+// tm2c-bench samples it (with runtime.MemStats.Mallocs) around each
+// experiment to derive allocs/op and ns/op for the benchcheck gates.
+var globalOps atomic.Uint64
+
+// OpsSoFar returns the total operations completed by every system run in
+// this process so far (updated at snapshot time, i.e. once each run has
+// quiesced).
+func OpsSoFar() uint64 { return globalOps.Load() }
+
 // snapshot merges the per-runtime and per-node counter shards into the
 // run's Stats. It must run after the machine quiesced (kernel drained or
 // every goroutine joined), so no shard is concurrently written.
@@ -564,6 +578,7 @@ func (s *System) snapshot(d sim.Time) {
 		s.stats.Migrations = s.dir.Migrations
 		s.stats.Handoffs = s.dir.Handoffs
 	}
+	globalOps.Add(s.stats.Ops)
 	s.assembleTrace()
 }
 
@@ -644,9 +659,12 @@ func (s *System) sendEntry(st *Stats, rec *trace.Recorder, p port.Port, srcCore 
 		rec.Emit(p.Now(), trace.KWireSend, 0, uint64(dstCore), uint64(e.Bytes), uint64(len(e.Payloads)))
 	}
 	delay := s.cfg.Platform.BatchDelay(srcCore, dstCore, e.Bytes, len(e.Payloads), s.recvPeers(dstCore))
-	// Flush transfers ownership of e.Payloads, so the envelope may carry
-	// the slice as-is: the outbox never touches it again after the flush.
-	p.Send(e.Dst, &port.Batch{Payloads: e.Payloads}, delay)
+	// The outbox retains e.Payloads after the flush, so the envelope copies
+	// the staged payloads into pooled storage; the receiving mailbox recycles
+	// the envelope after unpacking it.
+	b := port.GetBatch()
+	b.Payloads = append(b.Payloads, e.Payloads...)
+	p.Send(e.Dst, b, delay)
 	st.Msgs += uint64(len(e.Payloads))
 	st.WireMsgs++
 	st.CoalescedPayloads += uint64(len(e.Payloads))

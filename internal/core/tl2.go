@@ -68,7 +68,7 @@ func (tx *Tx) readTL2(base mem.Addr, n int) []uint64 {
 	rt := tx.rt
 	tx.checkAborted() // eager-mode enemies can still remote-abort us
 	key := rt.s.lockKey(base)
-	vals, ver, locked := rt.s.Mem.ReadVersioned(rt.proc, rt.core, base, n, key)
+	vals, ver, locked := rt.s.Mem.ReadVersionedTo(rt.proc, rt.core, base, key, rt.wordBuf(n))
 	if locked || !mem.VersionLEQ(ver, tx.rv) {
 		// Doomed: the stripe is newer than our snapshot, or a committer's
 		// write-back is in flight. Returning the value could tear the
@@ -91,7 +91,7 @@ func (tx *Tx) readTL2(base mem.Addr, n int) []uint64 {
 	tx.reads[base] = vals
 	tx.readOrder = append(tx.readOrder, base)
 	rt.shard.LocalReads++
-	return cloneWords(vals)
+	return vals
 }
 
 // commitTL2 is the TL2 commit. A transaction with an empty write buffer
@@ -144,14 +144,7 @@ func (tx *Tx) commitTL2() {
 	// Persist the write set, then publish the new version: readers see the
 	// marker until the very instant the new data is fully in place.
 	rt.emit(trace.KPhaseBegin, tx.id, uint64(trace.PhaseWriteBack), 0, 0)
-	var addrs []mem.Addr
-	var vals []uint64
-	for _, base := range tx.writeOrd {
-		for i, v := range tx.writes[base] {
-			addrs = append(addrs, base+mem.Addr(i))
-			vals = append(vals, v)
-		}
-	}
+	addrs, vals := tx.writeBackLists()
 	rt.s.Mem.WriteBatch(rt.proc, rt.core, addrs, vals)
 	rt.s.Mem.PublishVersions(rt.proc, rt.core, keys, wv)
 	rt.emit(trace.KPhaseEnd, tx.id, uint64(trace.PhaseWriteBack), 0, 0)
@@ -171,14 +164,18 @@ func (tx *Tx) commitTL2() {
 // markers and roll the status back to abortable before unwinding.
 func (tx *Tx) revalidateTL2(writeKeys []mem.Addr) {
 	rt := tx.rt
-	var inWrite map[mem.Addr]bool
+	if rt.rvInWrite == nil {
+		rt.rvInWrite = make(map[mem.Addr]bool)
+		rt.rvSeen = make(map[mem.Addr]bool)
+	}
+	inWrite, seen := rt.rvInWrite, rt.rvSeen
+	clear(inWrite)
+	clear(seen)
 	if len(tx.readVers) > 0 {
-		inWrite = make(map[mem.Addr]bool, len(writeKeys))
 		for _, k := range writeKeys {
 			inWrite[k] = true
 		}
 	}
-	seen := make(map[mem.Addr]bool, len(tx.readVers))
 	for _, base := range tx.readOrder {
 		key := rt.s.lockKey(base)
 		if seen[key] {

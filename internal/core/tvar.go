@@ -147,12 +147,16 @@ func (v TVar[T]) Words() int { return v.codec.Words() }
 
 // Get transactionally reads the variable (one ReadN of the whole object).
 func (v TVar[T]) Get(tx *Tx) T {
-	return v.codec.Decode(tx.ReadN(v.base, v.codec.Words()))
+	// Decode from the transaction-internal view: the decoded T is the only
+	// thing that leaves this frame, so no defensive word copy is needed.
+	return v.codec.Decode(tx.readNView(v.base, v.codec.Words()))
 }
 
 // Set transactionally writes the variable (one WriteN of the whole object).
 func (v TVar[T]) Set(tx *Tx, val T) {
-	buf := make([]uint64, v.codec.Words())
+	// Encode into the per-attempt word arena; WriteN copies the words into
+	// the write buffer, so the scratch is free for the next operation.
+	buf := tx.rt.wordBuf(v.codec.Words())
 	v.codec.Encode(val, buf)
 	tx.WriteN(v.base, buf)
 }

@@ -57,8 +57,56 @@ type Runtime struct {
 	// attempt is ever live per runtime, so attempts may share it.
 	rvBuf []uint64
 
+	// Hot-path scratch, all single-consumer state of this runtime's port:
+	// one attempt is ever live per runtime, so the commit and read paths
+	// reuse these across attempts and allocate nothing in steady state.
+	// tx is the reusable attempt (reset per attempt); words is the arena
+	// backing every tx-internal word copy (read/write-set values), reset at
+	// attempt start — values handed to user code or the auditor are always
+	// fresh clones (cloneWords), never arena slices, so callers may retain
+	// them across attempts.
+	txScratch    *Tx
+	words        []uint64
+	eagerKey     [1]mem.Addr       // single-key batch for eager write locks
+	scatterIDs   []uint64          // scatter-gather correlation IDs
+	scatterResps []*respLock       // scatter-gather response slots
+	relGroups    []relGroup        // releaseAll per-node grouping
+	relIdx       map[int]int       // releaseAll node → relGroups index
+	ngGroups     []nodeGroup       // groupByNode result slots
+	ngIdx        map[int]int       // groupByNode node → ngGroups index
+	wkSeen       map[mem.Addr]bool // writeKeys dedup set
+	wkKeys       []mem.Addr        // writeKeys result
+	batchScratch []nodeGroup       // commitBatches result slots
+	wbAddrs      []mem.Addr        // commit write-back address list
+	wbVals       []uint64          // commit write-back value list
+	erKeys       []mem.Addr        // EarlyRelease key list
+	rvInWrite    map[mem.Addr]bool // revalidateTL2 write-stripe set
+	rvSeen       map[mem.Addr]bool // revalidateTL2 visited-stripe set
+
 	barrierEpoch uint64
 	barrierSeen  map[uint64]int
+}
+
+// wordBuf carves an n-word slice out of the runtime's word arena. The arena
+// is reset at every attempt start, so the slices only back attempt-internal
+// state (tx.reads/tx.writes values, window entries); anything with a longer
+// lifetime must be cloned (cloneWords). When the arena is full a larger one
+// replaces it — outstanding slices keep the old array alive until the
+// attempt ends, so they stay valid.
+func (rt *Runtime) wordBuf(n int) []uint64 {
+	if len(rt.words)+n > cap(rt.words) {
+		grow := 2 * cap(rt.words)
+		if grow < n {
+			grow = n
+		}
+		if grow < 64 {
+			grow = 64
+		}
+		rt.words = make([]uint64, 0, grow)
+	}
+	l := len(rt.words)
+	rt.words = rt.words[:l+n]
+	return rt.words[l : l+n : l+n]
 }
 
 func (rt *Runtime) initLocal() {
@@ -150,6 +198,37 @@ type winEntry struct {
 	vals []uint64
 }
 
+// reset prepares the runtime's reusable Tx for a fresh attempt: maps are
+// cleared in place and slice capacities retained, while slots referencing
+// heap objects (hooks, window values) are zeroed so nothing registered by a
+// previous attempt stays reachable — the semantics of a brand-new Tx, minus
+// the allocations.
+func (tx *Tx) reset(id uint64, kind TxKind) {
+	tx.id = id
+	tx.kind = kind
+	clear(tx.reads)
+	tx.readOrder = tx.readOrder[:0]
+	clear(tx.writes)
+	tx.writeOrd = tx.writeOrd[:0]
+	tx.wlocked = tx.wlocked[:0]
+	tx.window[0] = winEntry{}
+	tx.window[1] = winEntry{}
+	tx.nwin = 0
+	for i := range tx.onCommit {
+		tx.onCommit[i] = nil
+	}
+	tx.onCommit = tx.onCommit[:0]
+	for i := range tx.onAbort {
+		tx.onAbort[i] = nil
+	}
+	tx.onAbort = tx.onAbort[:0]
+	tx.lastGrant = 0
+	tx.rv = nil
+	tx.snapAt = 0
+	clear(tx.readVers)
+	clear(tx.grantVers)
+}
+
 // ID returns the attempt identifier.
 func (tx *Tx) ID() uint64 { return tx.id }
 
@@ -199,20 +278,20 @@ func (rt *Runtime) runLoop(kind TxKind, fn func(*Tx) error) (attempts int, userE
 		attempts++
 		rt.drainRequests()
 		rt.nextTxID++
-		tx := &Tx{
-			rt:    rt,
-			id:    rt.nextTxID,
-			kind:  kind,
-			reads: make(map[mem.Addr][]uint64),
+		tx := rt.txScratch
+		if tx == nil {
+			tx = &Tx{
+				rt:     rt,
+				reads:  make(map[mem.Addr][]uint64),
+				writes: make(map[mem.Addr][]uint64),
+			}
+			if rt.s.tl2() {
+				tx.readVers = make(map[mem.Addr]uint64)
+			}
+			rt.txScratch = tx
 		}
-		if rt.s.tl2() {
-			tx.readVers = make(map[mem.Addr]uint64)
-		}
-		if kind != ReadOnly {
-			// The declared read-only fast path never buffers writes, so it
-			// skips the write-set allocation entirely.
-			tx.writes = make(map[mem.Addr][]uint64)
-		}
+		tx.reset(rt.nextTxID, kind)
+		rt.words = rt.words[:0]
 		rt.s.Regs.SetStatusLocal(rt.core, tx.id, mem.TxPending)
 		if attempts == 1 {
 			lifeStart = rt.proc.Now()
@@ -316,21 +395,32 @@ func (tx *Tx) checkAborted() {
 }
 
 // Read returns the single word object at addr.
-func (tx *Tx) Read(addr mem.Addr) uint64 { return tx.ReadN(addr, 1)[0] }
+func (tx *Tx) Read(addr mem.Addr) uint64 { return tx.readNView(addr, 1)[0] }
 
 // ReadN returns the n-word object at base. Under Normal and ElasticEarly
 // kinds this is Algorithm 4: the read lock is acquired from the responsible
 // DTM node before the shared memory is read (visible reads, early
 // acquisition). Under ElasticRead no lock is taken; the previous reads in
-// the validation window are re-read instead.
+// the validation window are re-read instead. The returned slice is a copy
+// the caller owns.
 func (tx *Tx) ReadN(base mem.Addr, n int) []uint64 {
+	return cloneWords(tx.readNView(base, n))
+}
+
+// readNView is ReadN minus the defensive copy: the returned slice aliases
+// transaction-owned storage (write buffer, read set, validation window or
+// the per-attempt word arena) and is valid only until the next operation on
+// the transaction. The typed accessors decode from it immediately, which
+// keeps the codec hot path allocation-free; everything user-facing goes
+// through ReadN.
+func (tx *Tx) readNView(base mem.Addr, n int) []uint64 {
 	rt := tx.rt
 	rt.proc.Advance(rt.s.compute(rt.s.cfg.Costs.Wrapper))
 	if v, ok := tx.writes[base]; ok {
-		return cloneWords(v)
+		return v
 	}
 	if v, ok := tx.reads[base]; ok {
-		return cloneWords(v)
+		return v
 	}
 	if rt.s.tl2() {
 		// Every kind reads invisibly under TL2: the elastic relaxations
@@ -344,19 +434,22 @@ func (tx *Tx) ReadN(base mem.Addr, n int) []uint64 {
 	key := rt.s.lockKey(base)
 	resp := rt.rpcReadLock(tx, key)
 	if !resp.OK {
-		panic(abortSignal{kind: resp.Kind, hasKind: true, reason: trace.ReasonConflict})
+		k := resp.Kind
+		putRespLock(resp)
+		panic(abortSignal{kind: k, hasKind: true, reason: trace.ReasonConflict})
 	}
+	putRespLock(resp)
 	// Record the grant before anything can abort the attempt: if the lock
 	// were not in the read set when the post-read abort check fires, the
 	// cleanup would never release it and the stale entry could block that
 	// object forever.
-	vals := rt.s.Mem.ReadBatch(rt.proc, rt.core, base, n)
+	vals := rt.s.Mem.ReadBatchTo(rt.proc, rt.core, base, rt.wordBuf(n))
 	tx.reads[base] = vals
 	tx.readOrder = append(tx.readOrder, base)
 	tx.lastGrant = rt.proc.Now()
 	rt.emit(trace.KRead, tx.id, uint64(key), 0, 0)
 	tx.checkAborted()
-	return cloneWords(vals)
+	return vals
 }
 
 // elasticRead performs a lock-free read with consecutive-read validation
@@ -369,13 +462,13 @@ func (tx *Tx) elasticRead(base mem.Addr, n int) []uint64 {
 	rt := tx.rt
 	for i := 0; i < tx.nwin; i++ {
 		if tx.window[i].base == base {
-			return cloneWords(tx.window[i].vals)
+			return tx.window[i].vals
 		}
 	}
 	tx.validateWindow(true)
 	vals := rt.s.Mem.ReadBatch(rt.proc, rt.core, base, n)
 	tx.pushWindow(base, vals)
-	return cloneWords(vals)
+	return vals
 }
 
 func (tx *Tx) pushWindow(base mem.Addr, vals []uint64) {
@@ -432,16 +525,22 @@ func (tx *Tx) WriteN(base mem.Addr, vals []uint64) {
 			tx.checkAborted()
 			resp := rt.rpcWriteLockEager(tx, key)
 			if !resp.OK {
-				panic(abortSignal{kind: resp.Kind, hasKind: true, reason: trace.ReasonConflict})
+				k := resp.Kind
+				putRespLock(resp)
+				panic(abortSignal{kind: k, hasKind: true, reason: trace.ReasonConflict})
 			}
 			tx.wlocked = append(tx.wlocked, key)
-			tx.recordGrantVers([]mem.Addr{key}, resp.Vers)
+			rt.eagerKey[0] = key
+			tx.recordGrantVers(rt.eagerKey[:], resp.Vers)
+			putRespLock(resp)
 		}
 	}
 	if _, ok := tx.writes[base]; !ok {
 		tx.writeOrd = append(tx.writeOrd, base)
 	}
-	tx.writes[base] = cloneWords(vals)
+	buf := rt.wordBuf(len(vals))
+	copy(buf, vals)
+	tx.writes[base] = buf
 }
 
 // EarlyRelease drops the read locks of the given objects before commit
@@ -457,7 +556,7 @@ func (tx *Tx) EarlyRelease(bases ...mem.Addr) {
 		// set and remain snapshot-validated (strictly stronger semantics).
 		return
 	}
-	var keys []mem.Addr
+	keys := rt.erKeys[:0]
 	for _, b := range bases {
 		if _, ok := tx.reads[b]; !ok {
 			continue
@@ -465,14 +564,18 @@ func (tx *Tx) EarlyRelease(bases ...mem.Addr) {
 		delete(tx.reads, b)
 		keys = append(keys, rt.s.lockKey(b))
 	}
+	rt.erKeys = keys
 	// Scatter: all per-node release messages go out in one burst (they are
 	// fire-and-forget, so there is nothing to gather).
 	for _, g := range rt.groupByNode(keys) {
-		msg := &earlyRelease{Addrs: g.addrs, Core: rt.core, TxID: tx.id}
+		msg := getEarlyRelease()
+		msg.Addrs = append(msg.Addrs[:0], g.addrs...)
+		msg.Core = rt.core
+		msg.TxID = tx.id
 		rt.shard.EarlyReleases++
 		rt.burstToNode(g.node, msg)
 	}
-	rt.flushOut()
+	rt.flushOutSoft()
 }
 
 // commit implements Algorithm 3 (txcommit): acquire the write locks (batched
@@ -517,14 +620,7 @@ func (tx *Tx) commit() {
 		}
 		// Persist the write set to shared memory.
 		rt.emit(trace.KPhaseBegin, tx.id, uint64(trace.PhaseWriteBack), 0, 0)
-		var addrs []mem.Addr
-		var vals []uint64
-		for _, base := range tx.writeOrd {
-			for i, v := range tx.writes[base] {
-				addrs = append(addrs, base+mem.Addr(i))
-				vals = append(vals, v)
-			}
-		}
+		addrs, vals := tx.writeBackLists()
 		rt.s.Mem.WriteBatch(rt.proc, rt.core, addrs, vals)
 		rt.emit(trace.KPhaseEnd, tx.id, uint64(trace.PhaseWriteBack), 0, 0)
 	}
@@ -557,6 +653,23 @@ func (tx *Tx) commitReadOnly() {
 	}
 	rt.releaseAll(tx)
 	rt.commitLat.Observe(rt.proc.Now() - start)
+}
+
+// writeBackLists flattens the write set into parallel address/value lists
+// for the persist WriteBatch, reusing the runtime's scratch (one attempt is
+// live per runtime, and WriteBatch consumes the lists before returning).
+func (tx *Tx) writeBackLists() ([]mem.Addr, []uint64) {
+	rt := tx.rt
+	addrs := rt.wbAddrs[:0]
+	vals := rt.wbVals[:0]
+	for _, base := range tx.writeOrd {
+		for i, v := range tx.writes[base] {
+			addrs = append(addrs, base+mem.Addr(i))
+			vals = append(vals, v)
+		}
+	}
+	rt.wbAddrs, rt.wbVals = addrs, vals
+	return addrs, vals
 }
 
 // acquireCommitLocks performs the lazy commit's write-lock acquisition: the
@@ -622,10 +735,14 @@ func (tx *Tx) serialAcquire(keys []mem.Addr) (stale []mem.Addr) {
 		case resp.OK:
 			tx.wlocked = append(tx.wlocked, b.addrs...)
 			tx.recordGrantVers(b.addrs, resp.Vers)
+			putRespLock(resp)
 		case resp.Stale:
 			stale = append(stale, b.addrs...)
+			putRespLock(resp)
 		default:
-			panic(abortSignal{kind: resp.Kind, hasKind: true, reason: trace.ReasonConflict})
+			k := resp.Kind
+			putRespLock(resp)
+			panic(abortSignal{kind: k, hasKind: true, reason: trace.ReasonConflict})
 		}
 	}
 	return stale
@@ -641,7 +758,8 @@ func (tx *Tx) scatterAcquire(keys []mem.Addr) (stale []mem.Addr) {
 	tx.checkAborted()
 	rt.shard.CommitRoundTrips++
 	resps := rt.scatterWriteLocks(tx, epoch, batches)
-	var fail *respLock
+	failed := false
+	var failKind cm.Kind
 	for i, resp := range resps {
 		switch {
 		case resp.OK:
@@ -649,12 +767,14 @@ func (tx *Tx) scatterAcquire(keys []mem.Addr) (stale []mem.Addr) {
 			tx.recordGrantVers(batches[i].addrs, resp.Vers)
 		case resp.Stale:
 			stale = append(stale, batches[i].addrs...)
-		case fail == nil:
-			fail = resp // first rejection in send order, for determinism
+		case !failed:
+			failed, failKind = true, resp.Kind // first rejection in send order, for determinism
 		}
+		putRespLock(resp)
+		resps[i] = nil
 	}
-	if fail != nil {
-		panic(abortSignal{kind: fail.Kind, hasKind: true, reason: trace.ReasonConflict})
+	if failed {
+		panic(abortSignal{kind: failKind, hasKind: true, reason: trace.ReasonConflict})
 	}
 	return stale
 }
@@ -668,16 +788,21 @@ func (tx *Tx) scatterAcquire(keys []mem.Addr) (stale []mem.Addr) {
 // receiver (see sendWriteLock).
 func (tx *Tx) commitBatches(keys []mem.Addr) ([]nodeGroup, uint64) {
 	rt := tx.rt
-	var batches []nodeGroup
+	batches := rt.batchScratch[:0]
 	for _, g := range rt.groupByNode(keys) {
 		if rt.s.cfg.NoBatching {
-			for _, a := range g.addrs {
-				batches = append(batches, nodeGroup{node: g.node, addrs: []mem.Addr{a}})
+			// One batch per object: each aliases a one-element sub-slice of
+			// the group's storage (full slice expression, so appends to one
+			// batch can never scribble on the next). The batches are consumed
+			// before the next groupByNode call reuses that storage.
+			for i := range g.addrs {
+				batches = append(batches, nodeGroup{node: g.node, addrs: g.addrs[i : i+1 : i+1]})
 			}
 		} else {
 			batches = append(batches, g)
 		}
 	}
+	rt.batchScratch = batches
 	return batches, rt.s.dir.Epoch()
 }
 
@@ -707,18 +832,11 @@ func (rt *Runtime) abortCleanup(tx *Tx, sig abortSignal) {
 // identical runs schedule identical events.
 func (rt *Runtime) releaseAll(tx *Tx) {
 	rt.emit(trace.KPhaseBegin, tx.id, uint64(trace.PhaseRelease), 0, 0)
-	type rel struct{ reads, writes []mem.Addr }
-	perNode := make(map[int]*rel)
-	var order []int
-	get := func(ni int) *rel {
-		r := perNode[ni]
-		if r == nil {
-			r = &rel{}
-			perNode[ni] = r
-			order = append(order, ni)
-		}
-		return r
+	if rt.relIdx == nil {
+		rt.relIdx = make(map[int]int)
 	}
+	clear(rt.relIdx)
+	rt.relGroups = rt.relGroups[:0]
 	if tx.kind != ElasticRead && !rt.s.tl2() {
 		// Elastic-read and TL2 reads are invisible: no read locks exist.
 		for _, base := range tx.readOrder {
@@ -726,36 +844,74 @@ func (rt *Runtime) releaseAll(tx *Tx) {
 				continue // early-released
 			}
 			key := rt.s.lockKey(base)
-			r := get(rt.s.nodeFor(key))
-			r.reads = append(r.reads, key)
+			g := rt.relGroupFor(rt.s.nodeFor(key))
+			g.reads = append(g.reads, key)
 		}
 	}
 	for _, key := range tx.wlocked {
-		r := get(rt.s.nodeFor(key))
-		r.writes = append(r.writes, key)
+		g := rt.relGroupFor(rt.s.nodeFor(key))
+		g.writes = append(g.writes, key)
 	}
-	for _, ni := range order {
-		r := perNode[ni]
-		msg := &relLocks{ReadAddrs: r.reads, WriteAddrs: r.writes, Core: rt.core, TxID: tx.id}
+	for i := range rt.relGroups {
+		g := &rt.relGroups[i]
+		msg := getRelLocks()
+		msg.ReadAddrs = append(msg.ReadAddrs[:0], g.reads...)
+		msg.WriteAddrs = append(msg.WriteAddrs[:0], g.writes...)
+		msg.Core = rt.core
+		msg.TxID = tx.id
 		rt.shard.ReleaseMsgs++
-		rt.burstToNode(ni, msg)
+		rt.burstToNode(g.node, msg)
 	}
-	rt.flushOut()
+	rt.flushOutSoft()
 	rt.emit(trace.KPhaseEnd, tx.id, uint64(trace.PhaseRelease), 0, 0)
+}
+
+// relGroup is releaseAll's per-node accumulator; the slices are runtime-
+// owned scratch, copied into the pooled message before send.
+type relGroup struct {
+	node          int
+	reads, writes []mem.Addr
+}
+
+// relGroupFor returns the release group for node ni, appending a new one
+// (reusing any retained slice capacity in that slot) on first use. The
+// returned pointer is only valid until the next relGroupFor call — callers
+// use it immediately.
+func (rt *Runtime) relGroupFor(ni int) *relGroup {
+	if gi, ok := rt.relIdx[ni]; ok {
+		return &rt.relGroups[gi]
+	}
+	gi := len(rt.relGroups)
+	rt.relIdx[ni] = gi
+	if gi < cap(rt.relGroups) {
+		rt.relGroups = rt.relGroups[:gi+1]
+		g := &rt.relGroups[gi]
+		g.node = ni
+		g.reads = g.reads[:0]
+		g.writes = g.writes[:0]
+	} else {
+		rt.relGroups = append(rt.relGroups, relGroup{node: ni})
+	}
+	return &rt.relGroups[gi]
 }
 
 // writeKeys returns the deduplicated lock keys of the write set, in first-
 // write order.
 func (tx *Tx) writeKeys() []mem.Addr {
-	seen := make(map[mem.Addr]bool, len(tx.writeOrd))
-	var keys []mem.Addr
+	rt := tx.rt
+	if rt.wkSeen == nil {
+		rt.wkSeen = make(map[mem.Addr]bool, len(tx.writeOrd))
+	}
+	clear(rt.wkSeen)
+	keys := rt.wkKeys[:0]
 	for _, base := range tx.writeOrd {
-		k := tx.rt.s.lockKey(base)
-		if !seen[k] {
-			seen[k] = true
+		k := rt.s.lockKey(base)
+		if !rt.wkSeen[k] {
+			rt.wkSeen[k] = true
 			keys = append(keys, k)
 		}
 	}
+	rt.wkKeys = keys
 	return keys
 }
 
@@ -767,18 +923,28 @@ type nodeGroup struct {
 // groupByNode partitions lock keys by responsible DTM node, preserving the
 // relative order of first appearance (deterministic batching).
 func (rt *Runtime) groupByNode(keys []mem.Addr) []nodeGroup {
-	idx := make(map[int]int)
-	var groups []nodeGroup
+	if rt.ngIdx == nil {
+		rt.ngIdx = make(map[int]int)
+	}
+	clear(rt.ngIdx)
+	groups := rt.ngGroups[:0]
 	for _, k := range keys {
 		ni := rt.s.nodeFor(k)
-		gi, ok := idx[ni]
+		gi, ok := rt.ngIdx[ni]
 		if !ok {
 			gi = len(groups)
-			idx[ni] = gi
-			groups = append(groups, nodeGroup{node: ni})
+			rt.ngIdx[ni] = gi
+			if gi < cap(groups) {
+				groups = groups[:gi+1]
+				groups[gi].node = ni
+				groups[gi].addrs = groups[gi].addrs[:0]
+			} else {
+				groups = append(groups, nodeGroup{node: ni})
+			}
 		}
 		groups[gi].addrs = append(groups[gi].addrs, k)
 	}
+	rt.ngGroups = groups
 	return groups
 }
 
@@ -811,6 +977,9 @@ func (rt *Runtime) drainRequests() {
 // (§8 privatization support): each core sends a barrier message to all other
 // application cores and waits for all of theirs.
 func (rt *Runtime) Barrier() {
+	// Adaptive flush may have deferred release messages from the last
+	// transaction; a barrier must not let them age behind the rendezvous.
+	rt.flushOut()
 	rt.barrierEpoch++
 	epoch := rt.barrierEpoch
 	msg := barrierMsg{Epoch: epoch}

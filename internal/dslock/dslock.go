@@ -20,9 +20,13 @@ import (
 	"repro/internal/mem"
 )
 
-// entry is the lock state of one address.
+// entry is the lock state of one address. The writer pointer, when set,
+// always points at the entry's own wmeta field: entries are recycled through
+// the table's freelist on the release hot path, so the writer metadata lives
+// inline instead of in a fresh heap box per write lock.
 type entry struct {
 	writer  *cm.Meta
+	wmeta   cm.Meta
 	readers []cm.Meta // at most one per core
 }
 
@@ -31,6 +35,10 @@ func (e *entry) empty() bool { return e.writer == nil && len(e.readers) == 0 }
 // Table is the lock table of one DTM node.
 type Table struct {
 	locks map[mem.Addr]*entry
+	// free holds recycled entries (empty, reader capacity retained): lock
+	// tables drain back to empty after every transaction, so without reuse
+	// each acquire/release cycle would allocate a fresh entry.
+	free []*entry
 
 	// Stats.
 	Grants, Conflicts uint64
@@ -107,8 +115,8 @@ func (t *Table) SetWriter(addr mem.Addr, m cm.Meta) {
 	if e.writer != nil && e.writer.Core != m.Core {
 		panic(fmt.Sprintf("dslock: SetWriter(%#x) over foreign writer core %d", uint64(addr), e.writer.Core))
 	}
-	w := m
-	e.writer = &w
+	e.wmeta = m
+	e.writer = &e.wmeta
 }
 
 // WriterOf returns the current writer's metadata, if any.
@@ -199,7 +207,11 @@ func (t *Table) ForEach(fn func(mem.Addr)) {
 func (t *Table) ensure(addr mem.Addr) *entry {
 	e := t.locks[addr]
 	if e == nil {
-		e = &entry{}
+		if n := len(t.free); n > 0 {
+			e, t.free = t.free[n-1], t.free[:n-1]
+		} else {
+			e = &entry{}
+		}
 		t.locks[addr] = e
 	}
 	return e
@@ -207,7 +219,10 @@ func (t *Table) ensure(addr mem.Addr) *entry {
 
 func (t *Table) gc(addr mem.Addr, e *entry) {
 	if e.empty() {
+		// empty() guarantees writer == nil and len(readers) == 0; the
+		// reader backing array survives for the next acquire.
 		delete(t.locks, addr)
+		t.free = append(t.free, e)
 	}
 }
 

@@ -30,14 +30,20 @@ func init() {
 // is the batching-off pair: coalescing re-merges the per-object requests
 // AND the per-request responses at the transport, recovering most of the
 // protocol batching win without protocol knowledge. With protocol batching
-// on, every burst is already one payload per node and coalescing finds
-// little to merge — the planes compose, they do not stack.
+// on, every burst is already one payload per node and plain coalescing
+// finds little to merge — the planes compose, they do not stack. The third
+// transport mode, adaptive flush (Config.AdaptiveFlush), closes that gap:
+// fire-and-forget envelopes below the platform's bytes-per-fixed-cost
+// sweet spot are held back at soft flush points and merge into the next
+// burst to the same node, so coalescing pays off even when protocol
+// batching has already merged each burst.
 func ablBatch(sc Scale, ov Overrides) []*Table {
-	run := func(total, svc int, batching, coalesce bool) *core.Stats {
+	run := func(total, svc int, batching bool, mode string) *core.Stats {
 		c := defaultSys(total)
 		c.svc = svc
 		c.batch = batching
-		c.coalesce = coalesce
+		c.coalesce = mode != "off"
+		c.adaptive = mode == "adaptive"
 		c.seed = sc.Seed
 		s := c.build(ov)
 		const words = 4096
@@ -64,13 +70,13 @@ func ablBatch(sc Scale, ov Overrides) []*Table {
 
 	grid := &Table{
 		ID:      "ablbatch",
-		Title:   "Message plane: protocol batching x transport coalescing, 16-object scatter-write transactions, 48 cores (36 app + 12 DTM)",
+		Title:   "Message plane: protocol batching x transport coalescing (off/on/adaptive), 16-object scatter-write transactions, 48 cores (36 app + 12 DTM)",
 		Columns: []string{"batching", "coalesce", "ops/ms", "wire msgs", "wire/op", "payloads/wire", "write-lock msgs"},
 	}
 	for _, batching := range []bool{true, false} {
-		for _, coalesce := range []bool{false, true} {
-			st := run(48, 12, batching, coalesce)
-			grid.AddRow(onOff(batching), onOff(coalesce), perMs(st.Ops, st.Duration),
+		for _, mode := range []string{"off", "on", "adaptive"} {
+			st := run(48, 12, batching, mode)
+			grid.AddRow(onOff(batching), mode, perMs(st.Ops, st.Duration),
 				st.WireMsgs, ratio(float64(st.WireMsgs), float64(st.Ops)),
 				st.PayloadsPerWireMsg(), st.WriteLockReqs)
 		}
@@ -78,7 +84,8 @@ func ablBatch(sc Scale, ov Overrides) []*Table {
 	grid.Notes = append(grid.Notes,
 		"batching requests all locks owned by one DTM node in a single message (§3.3): at most one write-lock message per DTM node instead of one per object",
 		"coalescing merges same-destination payloads of one burst into a single wire envelope (port.Outbox), paying the fixed send/receive/hop cost once per envelope (noc.BatchDelay)",
-		"headline: with protocol batching off, coalescing recovers the win at the transport layer — per-object requests re-merge per node and the node's per-request grants re-merge per core")
+		"headline: with protocol batching off, coalescing recovers the win at the transport layer — per-object requests re-merge per node and the node's per-request grants re-merge per core",
+		"adaptive flush defers sub-threshold fire-and-forget envelopes (releases) at soft flush points until the size or age trigger fires, merging them into the next burst to the same node — the mode that makes coalescing pay on the batching-on plane too")
 
 	scale := &Table{
 		ID:      "ablbatch-scale",
@@ -86,9 +93,9 @@ func ablBatch(sc Scale, ov Overrides) []*Table {
 		Columns: []string{"cores", "coalesce", "ops/ms", "wire msgs", "wire/op", "payloads/wire"},
 	}
 	for _, n := range sc.Cores {
-		for _, coalesce := range []bool{false, true} {
-			st := run(n, 0, false, coalesce)
-			scale.AddRow(n, onOff(coalesce), perMs(st.Ops, st.Duration),
+		for _, mode := range []string{"off", "on"} {
+			st := run(n, 0, false, mode)
+			scale.AddRow(n, mode, perMs(st.Ops, st.Duration),
 				st.WireMsgs, ratio(float64(st.WireMsgs), float64(st.Ops)),
 				st.PayloadsPerWireMsg())
 		}

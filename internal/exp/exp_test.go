@@ -220,24 +220,32 @@ func parse(t *testing.T, s string) float64 {
 // protocol batching off, transport coalescing must cut wire messages by at
 // least 20% on the contended scatter-write workload (the acceptance bar of
 // the message-plane refactor), and with protocol batching on it must not
-// inflate them by more than noise.
+// inflate them by more than noise — while adaptive flush must make the
+// coalescing transport WIN on that plane, where plain coalescing finds
+// nothing left to merge.
 func TestShapeCoalescingRecoversBatchingWin(t *testing.T) {
 	sc := Scale{Duration: 2 * time.Millisecond, SizeDiv: 8, Cores: []int{8}, Seed: 5}
 	tabs := ablBatch(sc, Overrides{})
-	rows := tabs[0].Rows // (batching, coalesce) grid: on/off, on/on, off/off, off/on
-	if len(rows) != 4 {
-		t.Fatalf("ablbatch grid has %d rows, want 4", len(rows))
+	rows := tabs[0].Rows // (batching, mode) grid: on x off/on/adaptive, off x off/on/adaptive
+	if len(rows) != 6 {
+		t.Fatalf("ablbatch grid has %d rows, want 6", len(rows))
 	}
-	batchedOff, batchedOn := parse(t, rows[0][3]), parse(t, rows[1][3])
-	plainOff, plainOn := parse(t, rows[2][3]), parse(t, rows[3][3])
+	batchedOff, batchedOn, batchedAdpt := parse(t, rows[0][3]), parse(t, rows[1][3]), parse(t, rows[2][3])
+	plainOff, plainOn, plainAdpt := parse(t, rows[3][3]), parse(t, rows[4][3]), parse(t, rows[5][3])
 	if plainOn > 0.8*plainOff {
 		t.Errorf("batching off: coalescing sent %.0f wire msgs vs %.0f — want >= 20%% reduction", plainOn, plainOff)
 	}
 	if batchedOn > 1.05*batchedOff {
 		t.Errorf("batching on: coalescing inflated wire msgs %.0f vs %.0f", batchedOn, batchedOff)
 	}
+	if batchedAdpt >= batchedOff {
+		t.Errorf("batching on: adaptive flush sent %.0f wire msgs vs %.0f uncoalesced — the deferral must win this plane", batchedAdpt, batchedOff)
+	}
+	if plainAdpt >= plainOn {
+		t.Errorf("batching off: adaptive flush sent %.0f wire msgs vs %.0f plain coalescing — deferral found nothing extra to merge", plainAdpt, plainOn)
+	}
 	// payloads/wire must exceed 1 exactly where merging happens.
-	if ppw := parse(t, rows[3][5]); ppw <= 1.1 {
+	if ppw := parse(t, rows[4][5]); ppw <= 1.1 {
 		t.Errorf("batching off + coalesce: payloads/wire = %.3f, want > 1.1", ppw)
 	}
 }

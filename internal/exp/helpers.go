@@ -39,6 +39,13 @@ type Overrides struct {
 	// ablation compares both planes itself; under the flag its uncoalesced
 	// rows degenerate to coalesced ones.
 	Coalesce bool
+	// AdaptiveFlush enables size/age-triggered outbox emission
+	// (Config.AdaptiveFlush) in every system an experiment builds — wired
+	// to the -adaptiveflush flag. It implies Coalesce: adaptive flush is a
+	// policy over staged envelopes, so there is nothing for it to defer on
+	// the uncoalesced plane. The ablbatch ablation compares the three
+	// transport modes (off/on/adaptive) itself.
+	AdaptiveFlush bool
 	// Backend selects the execution backend every system runs on — wired
 	// to the -backend flag. On BackendLive durations are wall-clock and
 	// throughput columns read ops per wall millisecond. The fig8a
@@ -82,6 +89,7 @@ type sysConfig struct {
 	batch     bool // false disables write-lock batching
 	serialRPC bool // true disables commit-time scatter-gather
 	coalesce  bool // true enables the coalescing message plane
+	adaptive  bool // true enables adaptive outbox flush (implies coalesce)
 	gran      int
 	place     placement.Kind
 	repEpoch  int // adaptive placement epoch length (0 = default)
@@ -106,10 +114,14 @@ func (c sysConfig) build(ov Overrides) *core.System {
 		NoBatching:       !c.batch,
 		SerialRPC:        c.serialRPC || ov.SerialRPC,
 		Coalesce:         c.coalesce || ov.Coalesce,
+		AdaptiveFlush:    c.adaptive || ov.AdaptiveFlush,
 		LockGranule:      c.gran,
 		Placement:        c.place,
 		RepartitionEpoch: c.repEpoch,
 		Protocol:         c.protocol,
+	}
+	if cfg.AdaptiveFlush {
+		cfg.Coalesce = true // adaptive flush is a policy over staged envelopes
 	}
 	if ov.Placement != nil {
 		cfg.Placement = *ov.Placement

@@ -291,6 +291,7 @@ func (p *Port) deliver(m port.Msg) {
 		if p.onBatch != nil {
 			p.onBatch(len(b.Payloads))
 		}
+		port.PutBatch(b)
 		return
 	}
 	p.stash.Push(m)

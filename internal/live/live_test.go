@@ -328,7 +328,7 @@ func TestOutboxConcurrentFlushOrdering(t *testing.T) {
 				// flush carries a multi-payload entry per destination.
 				for k := 0; k < perBurst; k++ {
 					for d := 0; d < 2; d++ {
-						o.Stage(recvs[d], d, item{sender, next[d]}, 8)
+						o.Stage(recvs[d], d, item{sender, next[d]}, 8, 0)
 						next[d]++
 					}
 				}
@@ -337,7 +337,12 @@ func TestOutboxConcurrentFlushOrdering(t *testing.T) {
 						p.Send(en.Dst, en.Payloads[0], 0)
 						return
 					}
-					p.Send(en.Dst, &port.Batch{Payloads: en.Payloads}, 0)
+					// The outbox retains en.Payloads after Flush returns, so
+					// the envelope must carry its own copy (the same contract
+					// core.sendEntry follows).
+					b := port.GetBatch()
+					b.Payloads = append(b.Payloads, en.Payloads...)
+					p.Send(en.Dst, b, 0)
 				})
 				p.Yield()
 			}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package live_test
+
+const raceEnabled = false

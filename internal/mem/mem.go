@@ -229,20 +229,31 @@ func (m *Memory) ReadBatch(p Ctx, core int, base Addr, n int) []uint64 {
 	if n <= 0 {
 		panic("mem: ReadBatch of non-positive size")
 	}
+	return m.ReadBatchTo(p, core, base, make([]uint64, n))
+}
+
+// ReadBatchTo is ReadBatch reading len(dst) words into dst — identical
+// charging, no allocation — and returns dst. The hot transactional read path
+// passes arena-backed buffers here.
+func (m *Memory) ReadBatchTo(p Ctx, core int, base Addr, dst []uint64) []uint64 {
+	n := len(dst)
+	if n <= 0 {
+		panic("mem: ReadBatchTo of empty buffer")
+	}
 	m.mu.Lock()
 	m.Stats.Reads += uint64(n)
 	m.mu.Unlock()
 	m.access(p, core, base, n)
 	if m.remote != nil {
-		return m.remote.ReadBatchRaw(base, n)
+		copy(dst, m.remote.ReadBatchRaw(base, n))
+		return dst
 	}
-	out := make([]uint64, n)
 	m.mu.Lock()
-	for i := range out {
-		out[i] = m.words[base+Addr(i)]
+	for i := range dst {
+		dst[i] = m.words[base+Addr(i)]
 	}
 	m.mu.Unlock()
-	return out
+	return dst
 }
 
 // WriteBatch stores values[i] at addrs[i], charging a single batched access:
@@ -255,8 +266,15 @@ func (m *Memory) WriteBatch(p Ctx, core int, addrs []Addr, values []uint64) {
 		return
 	}
 	// Group per controller, paying distance once per controller; iterate
-	// controllers in fixed order for determinism.
-	perMC := make([]int, len(m.brk))
+	// controllers in fixed order for determinism. The counter vector lives
+	// on the stack for realistic controller counts.
+	var mcBuf [8]int
+	perMC := mcBuf[:0]
+	if len(m.brk) <= len(mcBuf) {
+		perMC = mcBuf[:len(m.brk)]
+	} else {
+		perMC = make([]int, len(m.brk))
+	}
 	for _, a := range addrs {
 		perMC[m.MCOf(a)]++
 	}

@@ -105,18 +105,28 @@ func (m *Memory) ReadVersioned(p Ctx, core int, base Addr, n int, key Addr) (val
 	if n <= 0 {
 		panic("mem: ReadVersioned of non-positive size")
 	}
+	return m.ReadVersionedTo(p, core, base, key, make([]uint64, n))
+}
+
+// ReadVersionedTo is ReadVersioned reading the object into dst (len(dst)
+// words) — identical atomicity and charging, no allocation — and returns
+// dst as vals.
+func (m *Memory) ReadVersionedTo(p Ctx, core int, base Addr, key Addr, dst []uint64) (vals []uint64, ver uint64, locked bool) {
+	n := len(dst)
+	if n <= 0 {
+		panic("mem: ReadVersionedTo of empty buffer")
+	}
 	m.mu.Lock()
 	m.Stats.Reads += uint64(n) + 1
 	m.mu.Unlock()
 	m.access(p, core, base, n+1)
-	vals = make([]uint64, n)
 	m.mu.Lock()
-	for i := range vals {
-		vals[i] = m.words[base+Addr(i)]
+	for i := range dst {
+		dst[i] = m.words[base+Addr(i)]
 	}
 	ov := m.vers[key]
 	m.mu.Unlock()
-	return vals, ov.ver, ov.locked
+	return dst, ov.ver, ov.locked
 }
 
 // LoadVersion returns the version metadata of one lock stripe, charging a
@@ -203,7 +213,13 @@ func (m *Memory) chargeKeyBatch(p Ctx, core int, keys []Addr) {
 	if len(keys) == 0 {
 		return
 	}
-	perMC := make([]int, len(m.brk))
+	var mcBuf [8]int
+	perMC := mcBuf[:0]
+	if len(m.brk) <= len(mcBuf) {
+		perMC = mcBuf[:len(m.brk)]
+	} else {
+		perMC = make([]int, len(m.brk))
+	}
 	for _, k := range keys {
 		perMC[m.MCOf(k)]++
 	}

@@ -144,6 +144,7 @@ func (p *Port) deliver(m port.Msg) {
 		if p.onBatch != nil {
 			p.onBatch(len(b.Payloads))
 		}
+		port.PutBatch(b)
 		return
 	}
 	p.stash.Push(m)
@@ -316,13 +317,17 @@ func (s *Stub) RecvTimeout(time.Duration) (port.Msg, bool) { panic(s.remoteUse("
 // destination rank's connection. A write failure (connection mid-reconnect)
 // drops the message: the protocol's RPC deadlines absorb the loss.
 func (e *Engine) sendRemote(src int, dst *Stub, payload any) {
-	enc := wire.NewEnc(nil)
+	enc := wire.GetEnc()
 	enc.U32(uint32(dst.id))
 	enc.U32(uint32(src))
 	if err := wire.EncodePayload(enc, payload); err != nil {
 		panic(err) // unregistered payload type: a protocol bug, not an I/O fault
 	}
-	if err := e.links[dst.rank].write(frMsg, enc.Bytes()); err != nil {
+	// write copies the frame out before returning, so the encoder recycles
+	// regardless of the write's outcome.
+	err := e.links[dst.rank].write(frMsg, enc.Bytes())
+	wire.PutEnc(enc)
+	if err != nil {
 		e.Drops.Add(1)
 	}
 }

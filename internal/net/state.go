@@ -61,10 +61,12 @@ func (e *Engine) stateCall(rank int, build func(enc *wire.Enc)) []byte {
 	e.pendMu.Lock()
 	e.pend[corr] = ch
 	e.pendMu.Unlock()
-	enc := wire.NewEnc(nil)
+	enc := wire.GetEnc()
 	enc.U64(corr)
 	build(enc)
-	if err := e.links[rank].write(frStateReq, enc.Bytes()); err != nil {
+	err := e.links[rank].write(frStateReq, enc.Bytes())
+	wire.PutEnc(enc)
+	if err != nil {
 		e.pendMu.Lock()
 		delete(e.pend, corr)
 		e.pendMu.Unlock()
@@ -95,7 +97,8 @@ func (e *Engine) serveState(l *link, body []byte) {
 	d := wire.NewDec(body, nil)
 	corr := d.U64()
 	op := d.U8()
-	resp := wire.NewEnc(nil)
+	resp := wire.GetEnc()
+	defer wire.PutEnc(resp) // l.write copies the frame out before returning
 	resp.U64(corr)
 	st := e.st
 	if st.mem == nil {

@@ -7,6 +7,13 @@ import "repro/internal/sim"
 // port seam never imports a backend for it.
 type Batch = sim.Batch
 
+// GetBatch and PutBatch expose the shared envelope pool (see sim.GetBatch):
+// senders draw pooled envelopes, the unpacking mailbox recycles them.
+var (
+	GetBatch = sim.GetBatch
+	PutBatch = sim.PutBatch
+)
+
 // Outbox is the coalescing half of the message plane: protocol endpoints
 // stage typed payloads into it per destination and flush at explicit
 // protocol points (the end of a commit scatter burst, of a release burst,
@@ -28,22 +35,25 @@ type Batch = sim.Batch
 type Outbox struct {
 	entries []OutEntry
 	index   map[int]int // destination port ID → entries index
+	spare   [][]any     // retained payload backing arrays, reused by Stage
 }
 
 // OutEntry is the staged traffic for one destination.
 type OutEntry struct {
-	Dst      Port  // destination port
-	DstTag   int   // caller-supplied destination tag (e.g. physical core ID)
-	Payloads []any // staged payloads, in staged order
-	Bytes    int   // summed modeled payload bytes
+	Dst      Port     // destination port
+	DstTag   int      // caller-supplied destination tag (e.g. physical core ID)
+	Payloads []any    // staged payloads, in staged order
+	Bytes    int      // summed modeled payload bytes
+	First    sim.Time // when the entry's first payload was staged
 }
 
 // Stage queues payload for dst, to be sent at the next Flush. dstTag is an
 // opaque caller tag returned with the entry at flush time (the DTM protocol
 // stores the destination's physical core ID, which its cost model needs and
 // the port interface does not expose). nbytes is the payload's modeled
-// on-wire size.
-func (o *Outbox) Stage(dst Port, dstTag int, payload any, nbytes int) {
+// on-wire size; now stamps the entry's First when this payload opens it, so
+// flush policies can age-bound staged traffic.
+func (o *Outbox) Stage(dst Port, dstTag int, payload any, nbytes int, now sim.Time) {
 	if o.index == nil {
 		o.index = make(map[int]int)
 	}
@@ -52,7 +62,11 @@ func (o *Outbox) Stage(dst Port, dstTag int, payload any, nbytes int) {
 	if !ok {
 		i = len(o.entries)
 		o.index[id] = i
-		o.entries = append(o.entries, OutEntry{Dst: dst, DstTag: dstTag})
+		var ps []any
+		if n := len(o.spare); n > 0 {
+			ps, o.spare = o.spare[n-1], o.spare[:n-1]
+		}
+		o.entries = append(o.entries, OutEntry{Dst: dst, DstTag: dstTag, Payloads: ps, First: now})
 	}
 	e := &o.entries[i]
 	e.Payloads = append(e.Payloads, payload)
@@ -68,23 +82,63 @@ func (o *Outbox) Pending() int {
 	return n
 }
 
+// recycle clears and retains e's payload backing array for reuse by a later
+// Stage. Callers must be done with e.Payloads: the send path copies payloads
+// into a pooled Batch envelope (or sends the singleton payload bare), so by
+// the time recycle runs nothing aliases the slice.
+func (o *Outbox) recycle(e *OutEntry) {
+	for j := range e.Payloads {
+		e.Payloads[j] = nil
+	}
+	o.spare = append(o.spare, e.Payloads[:0])
+	e.Payloads = nil
+}
+
 // Flush hands every destination's staged payloads to send, in first-staged
 // destination order, and resets the outbox. The caller owns the actual
 // transmission: one wire message per entry, a bare payload for singleton
-// entries and a Batch envelope otherwise (see the owner's send path).
-// Ownership of each entry's Payloads slice transfers to send — the outbox
-// starts a fresh slice per destination after a reset, so the callee may
-// retain or wrap the slice without copying. Flush on an empty outbox is a
-// no-op.
+// entries and a Batch envelope otherwise (see the owner's send path). The
+// outbox RETAINS each entry's Payloads backing array after send returns —
+// send must copy anything it wants to keep (the envelope path copies into a
+// pooled Batch). Flush on an empty outbox is a no-op.
 func (o *Outbox) Flush(send func(e *OutEntry)) {
 	if len(o.entries) == 0 {
 		return
 	}
 	for i := range o.entries {
 		send(&o.entries[i])
+		o.recycle(&o.entries[i])
 	}
 	o.entries = o.entries[:0]
 	for id := range o.index {
 		delete(o.index, id)
 	}
+}
+
+// FlushMatching hands only the entries satisfying pred to send (first-staged
+// destination order, same ownership contract as Flush) and keeps the rest
+// staged, preserving their relative order. Adaptive flushing uses it to emit
+// entries that reached the size or age bound while younger, smaller ones
+// keep accumulating.
+func (o *Outbox) FlushMatching(pred func(e *OutEntry) bool, send func(e *OutEntry)) {
+	if len(o.entries) == 0 {
+		return
+	}
+	kept := 0
+	for i := range o.entries {
+		e := &o.entries[i]
+		if pred(e) {
+			send(e)
+			o.recycle(e)
+			delete(o.index, e.Dst.ID())
+			continue
+		}
+		if kept != i {
+			o.entries[kept] = *e
+			o.index[e.Dst.ID()] = kept
+			e.Payloads = nil
+		}
+		kept++
+	}
+	o.entries = o.entries[:kept]
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -25,6 +26,32 @@ type Msg struct {
 // what a message that delivers nothing means.
 type Batch struct {
 	Payloads []any
+}
+
+// batchPool recycles Batch envelopes and their payload backing arrays. The
+// lifetime is one wire hop: a sender draws an envelope with GetBatch and
+// copies the staged payloads in; the receiving mailbox unpacks it and hands
+// it back with PutBatch. Envelopes that are never unpacked (a shutdown drops
+// the mailbox) simply fall to the garbage collector.
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// GetBatch returns an empty envelope from the pool. Its Payloads slice is
+// length zero but may retain capacity from a previous hop.
+func GetBatch() *Batch {
+	b := batchPool.Get().(*Batch)
+	b.Payloads = b.Payloads[:0]
+	return b
+}
+
+// PutBatch recycles an unpacked envelope. The caller must be done with b and
+// with the Payloads slice header (the payload values themselves have already
+// been re-homed into the receiver's mailbox).
+func PutBatch(b *Batch) {
+	for i := range b.Payloads {
+		b.Payloads[i] = nil
+	}
+	b.Payloads = b.Payloads[:0]
+	batchPool.Put(b)
 }
 
 // killSentinel is panicked out of park() during Kernel.Shutdown so that the
@@ -176,6 +203,7 @@ func (k *Kernel) SendFrom(src int, dst *Proc, payload any, delay time.Duration) 
 			if dst.onBatch != nil {
 				dst.onBatch(len(b.Payloads))
 			}
+			PutBatch(b)
 		} else {
 			dst.mbox.Push(Msg{From: src, SentAt: sent, At: k.now, Payload: payload})
 		}

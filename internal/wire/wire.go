@@ -26,6 +26,7 @@ import (
 	"io"
 	"math"
 	"reflect"
+	"sync"
 
 	"repro/internal/port"
 	"repro/internal/sim"
@@ -57,6 +58,21 @@ type Enc struct {
 
 // NewEnc returns an encoder reusing buf's storage (pass nil for a fresh one).
 func NewEnc(buf []byte) *Enc { return &Enc{b: buf[:0]} }
+
+// encPool recycles encoders for the per-message send paths. An encoder's
+// buffer grows to the largest frame it ever carried and stays that size.
+var encPool = sync.Pool{New: func() any { return &Enc{} }}
+
+// GetEnc returns a pooled encoder, empty but with retained capacity.
+func GetEnc() *Enc {
+	e := encPool.Get().(*Enc)
+	e.b = e.b[:0]
+	return e
+}
+
+// PutEnc recycles an encoder. The caller must be done with every slice
+// obtained from Bytes — the storage is reused by the next GetEnc.
+func PutEnc(e *Enc) { encPool.Put(e) }
 
 // Bytes returns the encoded buffer. It aliases the encoder's storage.
 func (e *Enc) Bytes() []byte { return e.b }
@@ -296,6 +312,10 @@ func DecodePayload(d *Dec) (any, error) {
 	return v, nil
 }
 
+// framePool recycles the scratch buffers WriteFrame uses to emit header and
+// body as a single Write call (one syscall, no partial-frame interleaving).
+var framePool = sync.Pool{New: func() any { return new([]byte) }}
+
 // WriteFrame writes one [u32 length][u8 kind][body] frame.
 func WriteFrame(w io.Writer, kind uint8, body []byte) error {
 	if len(body)+1 > MaxFrame {
@@ -304,10 +324,12 @@ func WriteFrame(w io.Writer, kind uint8, body []byte) error {
 	var hdr [5]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(body)+1))
 	hdr[4] = kind
-	buf := make([]byte, 0, 5+len(body))
-	buf = append(buf, hdr[:]...)
+	bp := framePool.Get().(*[]byte)
+	buf := append((*bp)[:0], hdr[:]...)
 	buf = append(buf, body...)
 	_, err := w.Write(buf)
+	*bp = buf[:0]
+	framePool.Put(bp)
 	return err
 }
 
