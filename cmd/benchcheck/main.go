@@ -10,6 +10,12 @@
 //     TL2 row must report at least -mintl2reduction percent fewer wire
 //     messages per operation than the visible row, and TL2 throughput must
 //     be no worse than visible.
+//   - scaleplace: the hierarchical-placement-at-scale claim. On the Zipf
+//     rows the hier policy must hold at least -minscaletput of hash's
+//     throughput, report a strictly lower remote-access share than flat
+//     adaptive, and materialize far fewer leaves than the leaf universe;
+//     -maximbalance bounds every adaptive/hier row's node imbalance and
+//     -maxwireop bounds every row's wire messages per operation.
 //
 // The per-operation normalization is what makes both checks valid on the
 // live backend, where each row's wall-clock window covers a different
@@ -91,6 +97,9 @@ func main() {
 		netSmoke        = flag.Bool("netsmoke", false, "validate -file as a cross-process net-backend artifact (backend tag, table shape, nonzero throughput) instead of the table dispatch")
 		maxAllocs       = flag.Float64("maxallocs", -1, "fail if the artifact's allocs_per_op exceeds this (-1 disables)")
 		maxNsOp         = flag.Float64("maxnsop", -1, "fail if the artifact's ns_per_op exceeds this (-1 disables)")
+		minScaleTput    = flag.Float64("minscaletput", 0.9, "scaleplace: minimum hier/hash throughput ratio required on Zipf rows")
+		maxImbalance    = flag.Float64("maximbalance", -1, "scaleplace: fail if an adaptive/hier row's node imbalance exceeds this (-1 disables)")
+		maxWireOp       = flag.Float64("maxwireop", -1, "scaleplace: fail if any row's wire/op exceeds this (-1 disables)")
 	)
 	flag.Parse()
 	if *traceFile != "" {
@@ -150,8 +159,12 @@ func main() {
 		checked = true
 		failed = checkABLTL2(&res, grid, *minTL2Reduction) || failed
 	}
+	if grid := findTable(res.Tables, "scaleplace"); grid != nil {
+		checked = true
+		failed = checkScalePlace(&res, grid, *minScaleTput, *maxImbalance, *maxWireOp) || failed
+	}
 	if !checked {
-		fatal(fmt.Errorf("%s: no table benchcheck knows how to check (want ablbatch or abltl2, or enable -maxallocs/-maxnsop)", *file))
+		fatal(fmt.Errorf("%s: no table benchcheck knows how to check (want ablbatch, abltl2 or scaleplace, or enable -maxallocs/-maxnsop)", *file))
 	}
 	if failed {
 		os.Exit(1)
@@ -263,6 +276,72 @@ func checkABLTL2(res *benchResult, grid *table, minReduction float64) bool {
 		}
 		if tl2.tput < vis.tput {
 			fmt.Printf("FAIL: workload=%s: tl2 throughput %v below visible %v\n", w, tl2.tput, vis.tput)
+			failed = true
+		}
+	}
+	return failed
+}
+
+// checkScalePlace verifies the hierarchical-placement-at-scale claims over
+// the scaleplace grid (skew x policy rows). Returns true on failure.
+func checkScalePlace(res *benchResult, grid *table, minTput, maxImbalance, maxWireOp float64) bool {
+	skewCol := colIndex(grid, "skew")
+	polCol := colIndex(grid, "policy")
+	tputCol := colIndex(grid, "ops/ms")
+	imbCol := colIndex(grid, "node imbalance")
+	wireCol := colIndex(grid, "wire/op")
+	leavesCol := colIndex(grid, "leaves")
+	univCol := colIndex(grid, "leaf universe")
+	remoteCol := colIndex(grid, "remote %")
+
+	type rowVals struct{ tput, imb, wire, leaves, univ, remote float64 }
+	rows := map[string]map[string]rowVals{} // skew -> policy -> values
+	order := []string{}
+	failed := false
+	for _, row := range grid.Rows {
+		s, p := row[skewCol], row[polCol]
+		if rows[s] == nil {
+			order = append(order, s)
+		}
+		rows[s] = appendRow(rows[s], p, rowVals{
+			tput: cell(row, tputCol), imb: cell(row, imbCol), wire: cell(row, wireCol),
+			leaves: cell(row, leavesCol), univ: cell(row, univCol), remote: cell(row, remoteCol),
+		})
+		if maxWireOp >= 0 && cell(row, wireCol) > maxWireOp {
+			fmt.Printf("FAIL: skew=%s policy=%s: wire/op %v exceeds -maxwireop %v\n", s, p, cell(row, wireCol), maxWireOp)
+			failed = true
+		}
+		if maxImbalance >= 0 && p != "hash" && cell(row, imbCol) > maxImbalance {
+			fmt.Printf("FAIL: skew=%s policy=%s: node imbalance %v exceeds -maximbalance %v\n", s, p, cell(row, imbCol), maxImbalance)
+			failed = true
+		}
+	}
+	for _, s := range order {
+		hash, okH := rows[s]["hash"]
+		flat, okA := rows[s]["adaptive"]
+		hier, okR := rows[s]["hier"]
+		if !okH || !okA || !okR {
+			fatal(fmt.Errorf("skew=%s: missing hash/adaptive/hier triple", s))
+		}
+		// The hierarchical directory only materializes what the run touched;
+		// a flat table would hold (and scan) the whole leaf universe.
+		if hier.univ <= 0 || 10*hier.leaves >= hier.univ {
+			fmt.Printf("FAIL: skew=%s: hier materialized %v leaves of a %v-leaf universe (not ≪)\n", s, hier.leaves, hier.univ)
+			failed = true
+		}
+		fmt.Printf("%s backend=%s skew=%s: ops/ms hash %v adaptive %v hier %v; remote %% adaptive %v hier %v; leaves %v/%v\n",
+			res.ID, res.Backend, s, hash.tput, flat.tput, hier.tput, flat.remote, hier.remote, hier.leaves, hier.univ)
+		if !strings.HasPrefix(s, "zipf") {
+			continue // uniform rows are informational: every policy converges
+		}
+		if hash.tput > 0 && hier.tput < minTput*hash.tput {
+			fmt.Printf("FAIL: skew=%s: hier throughput %v below %.2fx hash %v\n", s, hier.tput, minTput, hash.tput)
+			failed = true
+		}
+		// The co-mapping claim: locality-aware migration must strictly cut
+		// the remote share flat adaptive ends up with.
+		if hier.remote >= flat.remote {
+			fmt.Printf("FAIL: skew=%s: hier remote share %v%% not below flat adaptive's %v%%\n", s, hier.remote, flat.remote)
 			failed = true
 		}
 	}

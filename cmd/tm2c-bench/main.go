@@ -17,7 +17,9 @@
 //	tm2c-bench -run fig5a -json results/
 //
 // Scales: quick (seconds), default (a few minutes), full (closest to the
-// paper's parameters; tens of minutes). Results print as aligned text
+// paper's parameters; tens of minutes), large (million-object working sets
+// on a 256-core mesh — the scale dimension of the scaleplace experiment).
+// Results print as aligned text
 // tables, or CSV with -csv. -serialrpc forces serial commit-time lock
 // acquisition (instead of scatter-gather) in every experiment, for A/B
 // comparisons; the ablrpc ablation compares the two modes directly.
@@ -83,22 +85,27 @@ type benchResult struct {
 	// transactional operation across the whole experiment (heap objects
 	// allocated, wall-clock nanoseconds): the coarse speed invariants
 	// benchcheck -maxallocs / -maxnsop gate in CI.
-	AllocsPerOp float64      `json:"allocs_per_op"`
-	NsPerOp     float64      `json:"ns_per_op"`
-	Tables      []*exp.Table `json:"tables"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	// Directory is the process-wide placement-directory delta across the
+	// experiment (core.DirSoFar bracketing): hierarchical-directory gauges
+	// (materialized leaves vs leaf universe), migration/handoff counts and
+	// the cumulative local/remote access split behind RemoteAccessRatio.
+	Directory core.DirStats `json:"directory"`
+	Tables    []*exp.Table  `json:"tables"`
 }
 
 func main() {
 	var (
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 		run        = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
-		scale      = flag.String("scale", "default", "quick | default | full")
+		scale      = flag.String("scale", "default", "quick | default | full | large")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		serialRPC  = flag.Bool("serialrpc", false, "force serial (non-scatter-gather) commit lock acquisition in every experiment")
 		coalesce   = flag.Bool("coalesce", false, "enable the coalescing message plane (per-destination wire batching) in every experiment")
 		adaptiveF  = flag.Bool("adaptiveflush", false, "enable size/age-triggered adaptive outbox flush in every experiment (implies -coalesce)")
-		placementF = flag.String("placement", "", "force a placement policy (hash | range | adaptive) in every experiment")
+		placementF = flag.String("placement", "", "force a placement policy (hash | range | adaptive | hier) in every experiment")
 		readonly   = flag.Bool("readonly", false, "run every bank balance scan as a declared read-only transaction")
 		protocolF  = flag.String("protocol", "", "force a read-visibility protocol (visible | tl2) in every experiment")
 		backendF   = flag.String("backend", "sim", "execution backend: sim (deterministic simulator) | live (real goroutines, wall-clock)")
@@ -196,6 +203,8 @@ func main() {
 		sc = exp.Default
 	case "full":
 		sc = exp.Full
+	case "large":
+		sc = exp.Large
 	default:
 		fmt.Fprintf(os.Stderr, "tm2c-bench: unknown scale %q\n", *scale)
 		os.Exit(2)
@@ -250,6 +259,7 @@ func main() {
 		var msBefore runtime.MemStats
 		runtime.ReadMemStats(&msBefore)
 		opsBefore := core.OpsSoFar()
+		dirBefore := core.DirSoFar()
 		start := time.Now()
 		tables := e.Run(sc, ov)
 		elapsed := time.Since(start)
@@ -292,6 +302,7 @@ func main() {
 				ElapsedMS:      elapsed.Milliseconds(),
 				AllocsPerOp:    allocsPerOp,
 				NsPerOp:        nsPerOp,
+				Directory:      core.DirSoFar().Delta(dirBefore),
 				Tables:         tables,
 			}
 			// Sim results keep the historic BENCH_<id>.json name; live and

@@ -48,7 +48,7 @@ func main() {
 		coalesce = flag.Bool("coalesce", false, "coalescing message plane: same-destination payloads of one burst share a wire message")
 		adaptive = flag.Bool("adaptiveflush", false, "size/age-triggered adaptive outbox flush: defer sub-threshold fire-and-forget envelopes into the next burst (implies -coalesce)")
 		nobatch  = flag.Bool("nobatching", false, "disable per-node write-lock batching (one request per object; the ablbatch ablation's off arm)")
-		place    = flag.String("placement", "hash", "hash | range | adaptive object→DTM-node placement")
+		place    = flag.String("placement", "hash", "hash | range | adaptive | hier object→DTM-node placement")
 		epoch    = flag.Int("epoch", 0, "adaptive placement: lock accesses per repartition epoch (0 = default)")
 		platform = flag.String("platform", "scc", "scc | scc800 | opteron | scc:N (setting N)")
 		backendF = flag.String("backend", "sim", "execution backend: sim (deterministic, virtual time) | live (real goroutines, wall-clock) | net (cores spread over OS processes)")

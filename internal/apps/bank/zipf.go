@@ -77,6 +77,45 @@ func (b *Bank) HotReadWorker(writePct, readSet int, theta float64) func(rt *core
 	}
 }
 
+// LocalZipfWorker partitions the account array into parts contiguous
+// slices and returns a worker that transfers between Zipf(theta)-skewed
+// accounts of the partition partOf assigns to its core. With partOf =
+// Platform.ClusterOf and parts = Platform.NumClusters this is the
+// locality-structured workload of the scaleplace experiment: every
+// cluster's heat lands on a disjoint contiguous account range, so an
+// affinity-aware placement policy can co-locate each range with its
+// accessors while a flat policy only balances totals. The last partition
+// absorbs the remainder when parts does not divide the account count.
+func (b *Bank) LocalZipfWorker(parts int, partOf func(core int) int, theta float64) func(rt *core.Runtime) {
+	if parts < 1 || b.n < 2*parts {
+		panic(fmt.Sprintf("bank: %d accounts cannot be split into %d partitions of at least 2", b.n, parts))
+	}
+	size := b.n / parts
+	samplers := make([]*Zipf, parts)
+	for p := range samplers {
+		n := size
+		if p == parts-1 {
+			n = b.n - p*size
+		}
+		samplers[p] = NewZipf(n, theta)
+	}
+	return func(rt *core.Runtime) {
+		part := partOf(rt.Core()) % parts
+		base := part * size
+		z := samplers[part]
+		r := rt.Rand()
+		for !rt.Stopped() {
+			from := z.Pick(r)
+			to := z.Pick(r)
+			if to == from {
+				to = (from + 1 + r.Intn(z.Ranks()-1)) % z.Ranks()
+			}
+			b.Transfer(rt, base+from, base+to, 1)
+			rt.AddOps(1)
+		}
+	}
+}
+
 // ZipfTransferWorker is TransferWorker with Zipf(theta)-skewed account
 // choice: rank r is account r, so the hot accounts cluster at the low end
 // of the array (contiguous heat — the case range placement concentrates on

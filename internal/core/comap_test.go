@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cm"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/placement"
+)
+
+// clusteredWorker returns a worker whose transactions touch only its own
+// cluster's partition of the pool, with Zipf-ish skew inside the partition.
+// Each mesh quadrant's app cores hammer a distinct contiguous range, so a
+// stripe's dominant accessor cluster is unambiguous — the signal the hier
+// policy's co-mapping needs, and exactly the structure of a partitioned
+// workload (per-region shards, per-tenant tables) on a real machine.
+func clusteredWorker(pl *noc.Platform, pool mem.Addr, partWords, ops int) func(rt *Runtime) {
+	return func(rt *Runtime) {
+		part := pl.ClusterOf(rt.Core())
+		base := pool + mem.Addr(part*partWords)
+		r := rt.Rand()
+		for i := 0; i < ops; i++ {
+			rt.Run(func(tx *Tx) {
+				a := base + mem.Addr(r.Intn(1+r.Intn(partWords)))
+				tx.Write(a, tx.Read(a)+1)
+			})
+			rt.AddOps(1)
+		}
+	}
+}
+
+// runComap runs the clustered workload under one placement kind and returns
+// the stats and the directory.
+func runComap(t *testing.T, kind placement.Kind) (*Stats, *placement.Directory) {
+	t.Helper()
+	cfg := Config{
+		Platform:         noc.SCC(0),
+		Seed:             13,
+		TotalCores:       48,
+		ServiceCores:     8,
+		Policy:           cm.FairCM,
+		Placement:        kind,
+		RepartitionEpoch: 256,
+	}
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const partWords = 256
+	pool := s.Mem.Alloc(partWords*4, 0)
+	s.SpawnWorkers(clusteredWorker(s.Platform(), pool, partWords, 120))
+	st := s.RunToCompletion()
+	if st.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	if leaked := s.LockedAddrs(); leaked != 0 {
+		t.Fatalf("%d locks leaked", leaked)
+	}
+	if err := s.Placement().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return st, s.Placement()
+}
+
+// TestCoMappingConvergesOnStableSkew is the deterministic end-to-end
+// co-mapping test the ISSUE asks for: on a stable clustered Zipf workload,
+// the hier policy's migrations must pull stripes toward their accessor
+// clusters, so (a) its remote-access ratio across epoch windows strictly
+// drops from the first window to the last, and (b) its final remote ratio
+// beats flat adaptive's on the identical workload and seed — the
+// Stats.RemoteAccessRatio counter proving the win.
+func TestCoMappingConvergesOnStableSkew(t *testing.T) {
+	hierStats, hierDir := runComap(t, placement.AdaptiveHier)
+	flatStats, _ := runComap(t, placement.Adaptive)
+
+	if hierStats.Migrations == 0 {
+		t.Fatal("hier policy initiated no migrations under clustered skew")
+	}
+	hist := hierDir.RemoteHistory()
+	if len(hist) < 2 {
+		t.Fatalf("only %d epoch windows recorded", len(hist))
+	}
+	if first, last := hist[0], hist[len(hist)-1]; last >= first {
+		t.Errorf("hier remote-access ratio did not drop: first window %.3f, last %.3f", first, last)
+	}
+	hr, fr := hierStats.RemoteAccessRatio(), flatStats.RemoteAccessRatio()
+	if hr == 0 || fr == 0 {
+		t.Fatalf("remote ratios not tracked (hier %.3f, flat %.3f)", hr, fr)
+	}
+	if hr >= fr {
+		t.Errorf("co-mapping remote ratio %.3f not below flat adaptive's %.3f", hr, fr)
+	}
+}
+
+// TestDirectoryStateIsOTouched asserts the hierarchical directory's scaling
+// contract end to end: under the default million-leaf universe (MemWords
+// 2^26 per region), a run touching a small pool materializes leaves
+// proportional to the pool, leaving the leaf universe overwhelmingly
+// unmaterialized — and the gauges surface through Stats for the bench
+// artifacts to record.
+func TestDirectoryStateIsOTouched(t *testing.T) {
+	st, _ := runComap(t, placement.AdaptiveHier)
+	if st.MaterializedLeaves == 0 {
+		t.Fatal("no materialized leaves reported")
+	}
+	if st.LeafUniverse < 1<<20 {
+		t.Fatalf("leaf universe = %d, want >= 2^20 under the default MemWords", st.LeafUniverse)
+	}
+	if 1000*st.MaterializedLeaves >= st.LeafUniverse {
+		t.Fatalf("materialized leaves %d not ≪ leaf universe %d", st.MaterializedLeaves, st.LeafUniverse)
+	}
+	if st.DirSplits == 0 {
+		t.Fatal("no splits counted")
+	}
+}

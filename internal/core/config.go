@@ -320,13 +320,20 @@ type Config struct {
 	// are locked by their base address.
 	LockGranule int
 	// Placement selects the object→DTM-node placement policy: the static
-	// multiplicative hash of §3.2 (default), contiguous range striping, or
-	// the adaptive epoch-based repartitioner (internal/placement).
+	// multiplicative hash of §3.2 (default), contiguous range striping, the
+	// adaptive epoch-based repartitioner, or the hierarchical adaptive
+	// repartitioner with locality-aware co-mapping (internal/placement).
 	Placement placement.Kind
 	// RepartitionEpoch is the adaptive placement epoch length: the number
 	// of recorded lock-key accesses between repartition evaluations
 	// (default 2048). Static policies ignore it.
 	RepartitionEpoch int
+	// MemWords is the per-memory-controller-region word capacity the
+	// placement directory's stripe universe covers (default 1<<26, 67M
+	// words per region). Addresses beyond it panic loudly at directory
+	// resolution instead of silently aliasing onto low stripes; raise it
+	// for workloads allocating beyond 64M words behind one controller.
+	MemWords uint64
 	// Costs overrides the nominal software costs (default DefaultCosts).
 	Costs *Costs
 	// Trace enables the flight recorder (internal/trace): every runtime,
@@ -386,7 +393,7 @@ func (c *Config) normalize() error {
 		if c.Protocol == ProtocolTL2 {
 			return errors.New("core: tl2 protocol needs a shared version clock; unsupported on the net backend")
 		}
-		if c.Placement == placement.Adaptive {
+		if c.Placement == placement.Adaptive || c.Placement == placement.AdaptiveHier {
 			return errors.New("core: adaptive placement needs a shared directory; unsupported on the net backend")
 		}
 		if c.RPCDeadline == 0 {
@@ -438,11 +445,14 @@ func (c *Config) normalize() error {
 	if c.LockGranule&(c.LockGranule-1) != 0 {
 		return fmt.Errorf("core: lock granule %d is not a power of two", c.LockGranule)
 	}
-	if c.Placement > placement.Adaptive {
+	if c.Placement > placement.AdaptiveHier {
 		return fmt.Errorf("core: unknown placement policy %d", c.Placement)
 	}
 	if c.RepartitionEpoch < 0 {
 		return fmt.Errorf("core: negative repartition epoch %d", c.RepartitionEpoch)
+	}
+	if c.MemWords == 0 {
+		c.MemWords = 1 << 26
 	}
 	if c.Costs == nil {
 		c.Costs = &DefaultCosts
@@ -507,13 +517,28 @@ type Stats struct {
 	Conflicts   uint64
 	Revocations uint64 // enemy aborts performed by CMs
 
-	// Placement activity (adaptive policy; see internal/placement).
+	// Placement activity (adaptive policies; see internal/placement).
 	StaleNacks        uint64 // lock requests NACKed for stale placement resolution
 	StaleNackHints    uint64 // stale-NACK retries steered by the piggybacked owner hint
 	PlacementAborts   uint64 // attempts aborted after chasing migrating ownership too long
 	RepartitionRounds uint64 // repartition rounds that initiated at least one migration
 	Migrations        uint64 // stripe migrations initiated by the directory
 	Handoffs          uint64 // stripe handoffs completed by DTM nodes
+
+	// Hierarchical-directory activity (adaptive policies). The leaf counters
+	// are end-of-run gauges, not sums: MaterializedLeaves ≪ LeafUniverse is
+	// the O(touched) scaling witness.
+	DirSplits          uint64 // super-stripes materialized into leaves
+	DirMerges          uint64 // cooled leaves dematerialized
+	MaterializedLeaves int    // leaves materialized at the end of the run
+	LeafUniverse       int    // super-stripes the universe divides into
+
+	// Thread/data locality (adaptive policies with platform clusters wired;
+	// see noc.Platform.ClusterOf). A recorded access is local when the
+	// accessor's cluster contains the owning DTM node. RemoteAccessRatio
+	// summarizes; the hier policy's co-mapping exists to shrink it.
+	LocalAccesses  uint64
+	RemoteAccesses uint64
 
 	// TL2 protocol activity (Protocol=tl2; all zero under the visible
 	// default).
@@ -621,6 +646,18 @@ func (s *Stats) PayloadsPerWireMsg() float64 {
 		return 0
 	}
 	return float64(s.Msgs) / float64(s.WireMsgs)
+}
+
+// RemoteAccessRatio returns the fraction of recorded lock accesses whose
+// owning DTM node sat outside the accessor's locality cluster: 0 means
+// perfectly co-mapped, 1 means every access crossed clusters. It returns 0
+// when locality was not tracked (static placement, or no cluster map).
+func (s *Stats) RemoteAccessRatio() float64 {
+	total := s.LocalAccesses + s.RemoteAccesses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RemoteAccesses) / float64(total)
 }
 
 // CommitRate returns the fraction of attempts that committed, in percent.

@@ -148,7 +148,7 @@ func (rt *Runtime) placementAbort() {
 // logical acquisition — NACK-chasing resends must not inflate the stripe
 // heat the adaptive policy reads.
 func (rt *Runtime) rpcReadLock(tx *Tx, key mem.Addr) *respLock {
-	rt.s.dir.Record(key)
+	rt.s.dir.Record(rt.cluster, key)
 	node, epoch := rt.s.nodeFor(key), rt.s.dir.Epoch()
 	for hop := 0; ; hop++ {
 		id := rt.nextReqID()
@@ -237,7 +237,7 @@ func (rt *Runtime) rpcWriteLock(tx *Tx, node int, epoch uint64, keys []mem.Addr)
 // retrying when a migration NACKs the request; like rpcReadLock, a NACK's
 // owner hint steers the retry without a fresh directory resolution.
 func (rt *Runtime) rpcWriteLockEager(tx *Tx, key mem.Addr) *respLock {
-	rt.s.dir.Record(key)
+	rt.s.dir.Record(rt.cluster, key)
 	node, epoch := rt.s.nodeFor(key), rt.s.dir.Epoch()
 	for hop := 0; ; hop++ {
 		rt.eagerKey[0] = key

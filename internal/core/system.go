@@ -159,10 +159,23 @@ func NewSystem(cfg Config) (*System, error) {
 		s.nodes = append(s.nodes, &dtmNode{s: s, idx: i, core: c, table: dslock.NewTable()})
 	}
 	if len(s.nodes) > 0 {
+		// The stripe universe derives from the configured memory size (one
+		// region per controller, MemWords words each) so far-apart addresses
+		// can never alias onto one stripe; the cluster map wires each node's
+		// mesh quadrant / socket for the locality accounting and the hier
+		// policy's co-mapping bias.
+		clusters := make([]int, len(s.nodes))
+		for i, n := range s.nodes {
+			clusters[i] = s.cfg.Platform.ClusterOf(n.core)
+		}
 		dir, err := placement.New(placement.Config{
-			Nodes:     len(s.nodes),
-			Kind:      cfg.Placement,
-			EvalEvery: cfg.RepartitionEpoch,
+			Nodes:       len(s.nodes),
+			Kind:        cfg.Placement,
+			Span:        cfg.LockGranule,
+			Regions:     cfg.Platform.MCCount(),
+			RegionWords: cfg.MemWords,
+			Clusters:    clusters,
+			EvalEvery:   cfg.RepartitionEpoch,
 		})
 		if err != nil {
 			return nil, err
@@ -245,10 +258,11 @@ func (s *System) SpawnWorkers(worker func(rt *Runtime)) {
 	s.spawned = true
 	for i, c := range s.appCores {
 		rt := &Runtime{
-			s:      s,
-			core:   c,
-			appIdx: i,
-			stats:  CoreStats{Core: c},
+			s:       s,
+			core:    c,
+			appIdx:  i,
+			cluster: s.cfg.Platform.ClusterOf(c),
+			stats:   CoreStats{Core: c},
 		}
 		if s.cfg.Deployment == Multitask {
 			rt.node = s.nodes[i] // svcCores == appCores, same index
@@ -552,6 +566,69 @@ var globalOps atomic.Uint64
 // quiesced).
 func OpsSoFar() uint64 { return globalOps.Load() }
 
+// DirStats is the process-wide directory-activity accumulator tm2c-bench
+// samples around each experiment, mirroring OpsSoFar: leaf counts sum over
+// the runs bracketed, LeafUniverse keeps the largest universe seen.
+type DirStats struct {
+	MaterializedLeaves int    `json:"materialized_leaves"`
+	LeafUniverse       int    `json:"leaf_universe"`
+	Migrations         uint64 `json:"migrations"`
+	Handoffs           uint64 `json:"handoffs"`
+	LocalAccesses      uint64 `json:"local_accesses"`
+	RemoteAccesses     uint64 `json:"remote_accesses"`
+}
+
+// Delta returns the directory activity accumulated since an earlier
+// DirSoFar sample. LeafUniverse is a gauge, not a counter: the delta keeps
+// the later sample's value.
+func (d DirStats) Delta(before DirStats) DirStats {
+	return DirStats{
+		MaterializedLeaves: d.MaterializedLeaves - before.MaterializedLeaves,
+		LeafUniverse:       d.LeafUniverse,
+		Migrations:         d.Migrations - before.Migrations,
+		Handoffs:           d.Handoffs - before.Handoffs,
+		LocalAccesses:      d.LocalAccesses - before.LocalAccesses,
+		RemoteAccesses:     d.RemoteAccesses - before.RemoteAccesses,
+	}
+}
+
+// RemoteRatio returns the remote share of clustered directory accesses, 0
+// when nothing was tracked.
+func (d DirStats) RemoteRatio() float64 {
+	if t := d.LocalAccesses + d.RemoteAccesses; t > 0 {
+		return float64(d.RemoteAccesses) / float64(t)
+	}
+	return 0
+}
+
+type dirAccum struct {
+	mu sync.Mutex
+	d  DirStats
+}
+
+var globalDir dirAccum
+
+func (g *dirAccum) add(st *Stats) {
+	g.mu.Lock()
+	g.d.MaterializedLeaves += st.MaterializedLeaves
+	if st.LeafUniverse > g.d.LeafUniverse {
+		g.d.LeafUniverse = st.LeafUniverse
+	}
+	g.d.Migrations += st.Migrations
+	g.d.Handoffs += st.Handoffs
+	g.d.LocalAccesses += st.LocalAccesses
+	g.d.RemoteAccesses += st.RemoteAccesses
+	g.mu.Unlock()
+}
+
+// DirSoFar returns the accumulated directory activity of every system run
+// in this process so far (updated at snapshot time).
+func DirSoFar() DirStats {
+	globalDir.mu.Lock()
+	defer globalDir.mu.Unlock()
+	return globalDir.d
+}
+
 // snapshot merges the per-runtime and per-node counter shards into the
 // run's Stats. It must run after the machine quiesced (kernel drained or
 // every goroutine joined), so no shard is concurrently written.
@@ -577,8 +654,14 @@ func (s *System) snapshot(d sim.Time) {
 		s.stats.RepartitionRounds = s.dir.Epochs
 		s.stats.Migrations = s.dir.Migrations
 		s.stats.Handoffs = s.dir.Handoffs
+		s.stats.DirSplits = s.dir.Splits
+		s.stats.DirMerges = s.dir.Merges
+		s.stats.MaterializedLeaves = s.dir.MaterializedLeaves()
+		s.stats.LeafUniverse = s.dir.LeafUniverse()
+		s.stats.LocalAccesses, s.stats.RemoteAccesses = s.dir.AccessLocality()
 	}
 	globalOps.Add(s.stats.Ops)
+	globalDir.add(&s.stats)
 	s.assembleTrace()
 }
 

@@ -18,12 +18,13 @@ import (
 // including its counter shard and histograms — belongs to its own execution
 // port, so the live backend's concurrent workers never share a write.
 type Runtime struct {
-	s      *System
-	core   int // physical core ID
-	appIdx int
-	proc   port.Port
-	local  *cm.Local
-	node   *dtmNode // co-located DTM node (Multitask only)
+	s       *System
+	core    int // physical core ID
+	appIdx  int
+	cluster int // locality cluster of core (noc.Platform.ClusterOf)
+	proc    port.Port
+	local   *cm.Local
+	node    *dtmNode // co-located DTM node (Multitask only)
 
 	nextTxID   uint64
 	stats      CoreStats
@@ -693,7 +694,7 @@ func (tx *Tx) writeBackLists() ([]mem.Addr, []uint64) {
 func (tx *Tx) acquireCommitLocks() {
 	rt := tx.rt
 	keys := tx.writeKeys()
-	rt.s.dir.Record(keys...) // once per attempt; stale retries resend, not re-record
+	rt.s.dir.Record(rt.cluster, keys...) // once per attempt; stale retries resend, not re-record
 	for hop := 0; ; hop++ {
 		var stale []mem.Addr
 		if rt.s.cfg.SerialRPC {

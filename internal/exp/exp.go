@@ -29,6 +29,10 @@ type Scale struct {
 	Cores []int
 	// Seed drives all randomness.
 	Seed uint64
+	// Objects, when non-zero, overrides the per-experiment default object
+	// count of the experiments that have a scale dimension (scaleplace).
+	// SizeDiv does not apply to it: Large pins the count directly.
+	Objects int
 }
 
 // Full approximates the paper's parameters (minutes of wall-clock time).
@@ -39,6 +43,12 @@ var Default = Scale{Duration: 15 * time.Millisecond, SizeDiv: 2, Cores: []int{2,
 
 // Quick is the CI/bench scale: small structures, short windows.
 var Quick = Scale{Duration: 3 * time.Millisecond, SizeDiv: 8, Cores: []int{2, 8, 24, 48}, Seed: 1}
+
+// Large opens the scale dimension beyond the paper's 48-core SCC: a
+// million-object working set on a 256-core mesh. Only the experiments with
+// a scale dimension (scaleplace) react to Objects and to core counts above
+// 48; the figure experiments stay within the paper's platform.
+var Large = Scale{Duration: 120 * time.Millisecond, SizeDiv: 1, Cores: []int{256}, Seed: 1, Objects: 1 << 20}
 
 // div scales a size down, with a floor.
 func (sc Scale) div(n, floor int) int {

@@ -36,8 +36,29 @@ type Ctx interface {
 // Addr is a word address in the shared address space.
 type Addr uint64
 
-// regionShift selects the memory-controller region from the high bits.
-const regionShift = 40
+// RegionShift selects the memory-controller region from the high bits:
+// region r serves addresses [r<<RegionShift, (r+1)<<RegionShift). Exported
+// so the placement directory can derive its stripe universe from the same
+// partitioning instead of aliasing far-apart addresses.
+const RegionShift = 40
+
+// Word storage is paged: a sparse map of fixed-size pages rather than one
+// map entry per word. At the million-object scales the ROADMAP targets, a
+// per-word map costs ~50 bytes/entry and a cache miss per access; pages
+// amortize to ~8 bytes/word for any reasonably dense allocation while cold
+// ranges of the 2^40-word regions cost nothing. A page that drops to zero
+// live words is freed, so footprint tracks the working set, not the
+// universe.
+const (
+	pageShift = 9 // 512 words (4 KiB of data) per page
+	pageWords = 1 << pageShift
+	pageMask  = pageWords - 1
+)
+
+type page struct {
+	live int // non-zero words on the page
+	w    [pageWords]uint64
+}
 
 // Nil is the null address. The allocator never returns it, so data
 // structures may use it as a null pointer.
@@ -53,11 +74,12 @@ const Nil Addr = 0
 type Memory struct {
 	pl *noc.Platform
 
-	mu    sync.Mutex
-	words map[Addr]uint64
-	vers  map[Addr]objVer // per-lock-stripe TL2 version metadata (see version.go)
-	brk   []Addr          // per-region bump pointer
-	busy  []sim.Time      // per-controller queue: time the MC is busy until
+	mu      sync.Mutex
+	pages   map[Addr]*page  // page number -> page (sparse word storage)
+	nonzero int             // non-zero words across all pages
+	vers    map[Addr]objVer // per-lock-stripe TL2 version metadata (see version.go); populated only for written stripes
+	brk     []Addr          // per-region bump pointer
+	busy    []sim.Time      // per-controller queue: time the MC is busy until
 
 	// remote, when set, redirects word storage and allocation to another
 	// process (the net backend homes all words on rank 0). Latency is still
@@ -101,7 +123,7 @@ func New(pl *noc.Platform) *Memory {
 	n := pl.MCCount()
 	m := &Memory{
 		pl:    pl,
-		words: make(map[Addr]uint64),
+		pages: make(map[Addr]*page),
 		vers:  make(map[Addr]objVer),
 		brk:   make([]Addr, n),
 		busy:  make([]sim.Time, n),
@@ -109,14 +131,14 @@ func New(pl *noc.Platform) *Memory {
 	m.Stats.PerMC = make([]uint64, n)
 	for i := range m.brk {
 		// Start each region at word 1 so that Nil (0) is never allocated.
-		m.brk[i] = Addr(i)<<regionShift + 1
+		m.brk[i] = Addr(i)<<RegionShift + 1
 	}
 	return m
 }
 
 // MCOf returns the memory controller serving addr.
 func (m *Memory) MCOf(addr Addr) int {
-	mc := int(addr >> regionShift)
+	mc := int(addr >> RegionShift)
 	if mc >= len(m.brk) {
 		panic(fmt.Sprintf("mem: address %#x outside any controller region", uint64(addr)))
 	}
@@ -201,7 +223,7 @@ func (m *Memory) Read(p Ctx, core int, addr Addr) uint64 {
 		return m.remote.ReadRaw(addr)
 	}
 	m.mu.Lock()
-	v := m.words[addr]
+	v := m.getWord(addr)
 	m.mu.Unlock()
 	return v
 }
@@ -249,9 +271,7 @@ func (m *Memory) ReadBatchTo(p Ctx, core int, base Addr, dst []uint64) []uint64 
 		return dst
 	}
 	m.mu.Lock()
-	for i := range dst {
-		dst[i] = m.words[base+Addr(i)]
-	}
+	m.getBatch(base, dst)
 	m.mu.Unlock()
 	return dst
 }
@@ -302,13 +322,61 @@ func (m *Memory) WriteBatch(p Ctx, core int, addrs []Addr, values []uint64) {
 	m.mu.Unlock()
 }
 
-// setWord stores v at addr; called with mu held.
-func (m *Memory) setWord(addr Addr, v uint64) {
-	if v == 0 {
-		delete(m.words, addr) // keep the map sparse
-		return
+// getWord returns the word at addr; called with mu held.
+func (m *Memory) getWord(addr Addr) uint64 {
+	if pg := m.pages[addr>>pageShift]; pg != nil {
+		return pg.w[addr&pageMask]
 	}
-	m.words[addr] = v
+	return 0
+}
+
+// getBatch reads len(dst) contiguous words starting at base into dst,
+// walking whole pages at a time; called with mu held.
+func (m *Memory) getBatch(base Addr, dst []uint64) {
+	for i := 0; i < len(dst); {
+		a := base + Addr(i)
+		n := pageWords - int(a&pageMask)
+		if rest := len(dst) - i; n > rest {
+			n = rest
+		}
+		if pg := m.pages[a>>pageShift]; pg != nil {
+			copy(dst[i:i+n], pg.w[a&pageMask:int(a&pageMask)+n])
+		} else {
+			for j := i; j < i+n; j++ {
+				dst[j] = 0
+			}
+		}
+		i += n
+	}
+}
+
+// setWord stores v at addr; called with mu held. Pages materialize on first
+// non-zero write and free when their last live word zeroes, so storage
+// stays proportional to the live working set.
+func (m *Memory) setWord(addr Addr, v uint64) {
+	pn := addr >> pageShift
+	pg := m.pages[pn]
+	if pg == nil {
+		if v == 0 {
+			return
+		}
+		pg = &page{}
+		m.pages[pn] = pg
+	}
+	slot := &pg.w[addr&pageMask]
+	old := *slot
+	*slot = v
+	switch {
+	case old == 0 && v != 0:
+		pg.live++
+		m.nonzero++
+	case old != 0 && v == 0:
+		pg.live--
+		m.nonzero--
+		if pg.live == 0 {
+			delete(m.pages, pn)
+		}
+	}
 }
 
 // ReadRaw returns the word at addr without charging latency. Intended for
@@ -319,7 +387,7 @@ func (m *Memory) ReadRaw(addr Addr) uint64 {
 		return m.remote.ReadRaw(addr)
 	}
 	m.mu.Lock()
-	v := m.words[addr]
+	v := m.getWord(addr)
 	m.mu.Unlock()
 	return v
 }
@@ -341,9 +409,7 @@ func (m *Memory) WriteRaw(addr Addr, v uint64) {
 func (m *Memory) ReadBatchRaw(base Addr, n int) []uint64 {
 	out := make([]uint64, n)
 	m.mu.Lock()
-	for i := range out {
-		out[i] = m.words[base+Addr(i)]
-	}
+	m.getBatch(base, out)
 	m.mu.Unlock()
 	return out
 }
@@ -362,5 +428,5 @@ func (m *Memory) WriteBatchRaw(addrs []Addr, values []uint64) {
 func (m *Memory) Footprint() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.words)
+	return m.nonzero
 }

@@ -121,9 +121,7 @@ func (m *Memory) ReadVersionedTo(p Ctx, core int, base Addr, key Addr, dst []uin
 	m.mu.Unlock()
 	m.access(p, core, base, n+1)
 	m.mu.Lock()
-	for i := range dst {
-		dst[i] = m.words[base+Addr(i)]
-	}
+	m.getBatch(base, dst)
 	ov := m.vers[key]
 	m.mu.Unlock()
 	return dst, ov.ver, ov.locked

@@ -150,6 +150,25 @@ func Opteron() Platform {
 	}
 }
 
+// Mesh returns a generic 2D-mesh platform of w x h tiles with
+// coresPerTile cores each, using the SCC default setting's per-component
+// timings and one memory controller per mesh corner plus edge midpoints
+// (8 controllers). It is the scale-out platform for the million-object
+// benchmarks: the SCC's geometry tops out at 48 cores, while the timing
+// model itself is geometry-independent.
+func Mesh(w, h, coresPerTile int) Platform {
+	if w < 2 || h < 2 || coresPerTile < 1 {
+		panic(fmt.Sprintf("noc: invalid mesh geometry %dx%dx%d", w, h, coresPerTile))
+	}
+	pl := SCC(0)
+	pl.Name = fmt.Sprintf("Mesh%dx%dx%d", w, h, coresPerTile)
+	pl.MeshW = w
+	pl.MeshH = h
+	pl.CoresPerUnit = coresPerTile
+	pl.NumMCs = 8
+	return pl
+}
+
 func scaleDur(d time.Duration, f float64) time.Duration {
 	return time.Duration(float64(d) * f)
 }
@@ -247,19 +266,59 @@ func (pl *Platform) MCCount() int {
 	return pl.NumMCs
 }
 
-// mcCoord places memory controllers at the mesh corners, approximating the
-// SCC's edge-mounted DDR3 controllers.
+// mcCoord places memory controllers at the mesh corners (the first four,
+// approximating the SCC's edge-mounted DDR3 controllers) and then at the
+// edge midpoints (controllers 4-7 on the larger Mesh platforms).
 func (pl *Platform) mcCoord(mc int) (x, y int) {
-	switch mc % 4 {
+	switch mc % 8 {
 	case 0:
 		return 0, 0
 	case 1:
 		return pl.MeshW - 1, 0
 	case 2:
 		return 0, pl.MeshH - 1
-	default:
+	case 3:
 		return pl.MeshW - 1, pl.MeshH - 1
+	case 4:
+		return pl.MeshW / 2, 0
+	case 5:
+		return pl.MeshW / 2, pl.MeshH - 1
+	case 6:
+		return 0, pl.MeshH / 2
+	default:
+		return pl.MeshW - 1, pl.MeshH / 2
 	}
+}
+
+// ClusterOf returns the locality cluster of a core: the mesh quadrant on
+// Mesh2D (a proxy for NUMA-style distance domains — cores in the same
+// quadrant are a few hops apart, opposite quadrants pay the full mesh
+// diameter), or the socket under the Sockets topology. Clusters are the
+// granularity of the placement directory's thread/data co-mapping:
+// deliberately coarser than a tile, so every cluster contains DTM service
+// nodes a hot stripe can migrate to.
+func (pl *Platform) ClusterOf(core int) int {
+	if pl.Topology == Sockets {
+		return pl.unitOf(core)
+	}
+	x, y := pl.UnitCoord(core)
+	cx, cy := 0, 0
+	if x >= (pl.MeshW+1)/2 {
+		cx = 1
+	}
+	if y >= (pl.MeshH+1)/2 {
+		cy = 1
+	}
+	return cy*2 + cx
+}
+
+// NumClusters returns how many locality clusters ClusterOf partitions the
+// platform into.
+func (pl *Platform) NumClusters() int {
+	if pl.Topology == Sockets {
+		return pl.MeshW * pl.MeshH
+	}
+	return 4
 }
 
 // MemHops returns the routing distance from a core to a memory controller.

@@ -4,13 +4,43 @@
 //
 // TM2C (§3.2) fixes this mapping to a static multiplicative hash, which
 // balances load only under uniform access. This package makes placement a
-// first-class subsystem behind a Policy interface with three strategies:
+// first-class subsystem behind a Policy interface with four strategies:
 //
 //   - Hash: the paper's static multiplicative hash (the default);
 //   - Range: contiguous striping, so neighbouring addresses share a DTM
 //     node (spatial locality for scans and block-structured data);
 //   - Adaptive: a per-stripe ownership table that tracks access counts per
-//     epoch and migrates hot stripes from overloaded to underloaded nodes.
+//     epoch and migrates hot stripes from overloaded to underloaded nodes;
+//   - AdaptiveHier: Adaptive plus locality-aware thread/data co-mapping —
+//     migrations are biased toward a DTM node in the cluster (mesh
+//     quadrant / socket) of the stripe's dominant accessor group.
+//
+// # Stripe universe
+//
+// The stripe universe is derived from the configured memory size: Regions
+// memory-controller regions of RegionWords words each, quantized into
+// stripes of Span words. A key outside the configured universe panics
+// loudly — the directory never aliases far-apart addresses onto the same
+// stripe (the historic wrap-modulo behavior silently merged unrelated keys
+// at large universes, coarsening migration in ways that were impossible to
+// diagnose).
+//
+// # Hierarchical storage
+//
+// A universe sized for millions of objects makes flat per-stripe arrays an
+// O(universe) cost paid on every epoch. The adaptive directory therefore
+// stores its ownership table hierarchically: the universe is divided into
+// super-stripes of LeafStripes leaf stripes, and a super-stripe is
+// materialized into a leaf — per-stripe owner/pending/count/affinity arrays
+// — only when one of its stripes is first recorded or frozen (a split).
+// Unmaterialized stripes implicitly carry the interleaved default owner
+// (stripe mod Nodes) and a zero count, so resolution never needs the leaf.
+// Epoch decay, repartition scans and invariant checks walk only the
+// materialized leaves; a leaf whose counts have decayed to zero, with no
+// frozen stripe and every owner back at the default, is merged away
+// (dematerialized). Directory work is thus O(touched), not O(universe).
+//
+// # Migration protocol
 //
 // Adaptive migration is a consistency-critical distributed protocol. The
 // directory never moves ownership of a stripe while locks on it are live:
@@ -52,6 +82,10 @@ const (
 	// Adaptive starts from an interleaved stripe assignment and migrates
 	// hot stripes between nodes at epoch boundaries.
 	Adaptive
+	// AdaptiveHier is Adaptive with locality-aware co-mapping: hot stripes
+	// migrate toward a DTM node in the cluster of their dominant accessor
+	// group instead of merely toward the globally coolest node.
+	AdaptiveHier
 )
 
 func (k Kind) String() string {
@@ -60,12 +94,14 @@ func (k Kind) String() string {
 		return "range"
 	case Adaptive:
 		return "adaptive"
+	case AdaptiveHier:
+		return "hier"
 	default:
 		return "hash"
 	}
 }
 
-// Parse parses a placement policy name (hash|range|adaptive).
+// Parse parses a placement policy name (hash|range|adaptive|hier).
 func Parse(s string) (Kind, error) {
 	switch s {
 	case "", "hash":
@@ -74,12 +110,14 @@ func Parse(s string) (Kind, error) {
 		return Range, nil
 	case "adaptive":
 		return Adaptive, nil
+	case "hier", "adaptive-hier":
+		return AdaptiveHier, nil
 	}
 	return Hash, fmt.Errorf("placement: unknown policy %q", s)
 }
 
 // Kinds lists every policy in presentation order.
-func Kinds() []Kind { return []Kind{Hash, Range, Adaptive} }
+func Kinds() []Kind { return []Kind{Hash, Range, Adaptive, AdaptiveHier} }
 
 // Config describes one directory.
 type Config struct {
@@ -87,13 +125,30 @@ type Config struct {
 	Nodes int
 	// Kind selects the policy (default Hash).
 	Kind Kind
-	// Stripes is the size of the stripe universe for stripe-based policies
-	// (default 4096). Addresses wrap modulo Span*Stripes, so two keys that
-	// far apart may alias to the same stripe; aliasing only coarsens
-	// migration, never correctness.
+	// Stripes is the legacy stripe-universe size, used only when
+	// RegionWords is unset: the universe then covers Stripes*Span words in
+	// a single region (default 4096). Prefer deriving the universe from the
+	// memory size via Regions/RegionWords.
 	Stripes int
 	// Span is the number of contiguous words per stripe (default 1).
 	Span int
+	// Regions is the number of memory-controller regions the universe
+	// covers (default 1). Region r serves addresses [r<<mem.RegionShift,
+	// r<<mem.RegionShift + RegionWords).
+	Regions int
+	// RegionWords is the per-region word capacity of the stripe universe.
+	// Keys outside it panic instead of aliasing. Default: Stripes*Span
+	// (the legacy single-region universe).
+	RegionWords uint64
+	// LeafStripes is the number of leaf stripes per super-stripe (rounded
+	// up to a power of two; default 256). Adaptive state materializes in
+	// units of this size.
+	LeafStripes int
+	// Clusters maps each DTM node index to its locality cluster (mesh
+	// quadrant or socket; see noc.Platform.ClusterOf). Required for the
+	// AdaptiveHier co-mapping bias and for the local/remote access
+	// accounting; nil disables both.
+	Clusters []int
 	// EvalEvery is the adaptive epoch length: the number of recorded lock
 	// accesses between repartition evaluations (default 2048).
 	EvalEvery int
@@ -115,6 +170,27 @@ func (c *Config) normalize() error {
 	if c.Span <= 0 {
 		c.Span = 1
 	}
+	if c.Regions <= 0 {
+		c.Regions = 1
+	}
+	if c.RegionWords == 0 {
+		c.RegionWords = uint64(c.Stripes) * uint64(c.Span)
+	}
+	if c.RegionWords > 1<<mem.RegionShift {
+		return fmt.Errorf("placement: RegionWords %d exceeds the %d-word region capacity", c.RegionWords, uint64(1)<<mem.RegionShift)
+	}
+	if c.LeafStripes <= 0 {
+		c.LeafStripes = 256
+	}
+	// Round the leaf size up to a power of two so leaf lookup is a shift.
+	ls := 1
+	for ls < c.LeafStripes {
+		ls <<= 1
+	}
+	c.LeafStripes = ls
+	if c.Clusters != nil && len(c.Clusters) != c.Nodes {
+		return fmt.Errorf("placement: %d node clusters for %d nodes", len(c.Clusters), c.Nodes)
+	}
 	if c.EvalEvery <= 0 {
 		c.EvalEvery = 2048
 	}
@@ -123,6 +199,10 @@ func (c *Config) normalize() error {
 	}
 	if c.ImbalanceFactor <= 1 {
 		c.ImbalanceFactor = 1.25
+	}
+	spr := (c.RegionWords + uint64(c.Span) - 1) / uint64(c.Span)
+	if total := spr * uint64(c.Regions); total > 1<<40 {
+		return fmt.Errorf("placement: stripe universe %d exceeds 2^40 stripes; raise Span", total)
 	}
 	return nil
 }
@@ -143,6 +223,19 @@ const (
 	TraceHandoff
 )
 
+// leaf is one materialized super-stripe: per-stripe adaptive state for
+// LeafStripes consecutive leaf stripes. Everything in it is guarded by the
+// directory mutex.
+type leaf struct {
+	owner   []int32  // stripe -> owning node
+	pending []int32  // stripe -> migration target, -1 when none
+	counts  []uint64 // stripe -> accesses in the current epoch window
+	aff     []uint64 // stripe -> packed accessor-affinity vote (co-mapping)
+	total   uint64   // sum of counts (the super-stripe heat aggregate)
+	frozen  int      // stripes with a pending migration
+	moved   int      // stripes whose owner differs from the default formula
+}
+
 // Directory owns the key→node mapping and drives the epoch-numbered remap
 // protocol. Methods are safe for concurrent use: a mutex linearizes every
 // resolution, record and migration step. On the single-threaded simulation
@@ -153,20 +246,33 @@ type Directory struct {
 	cfg Config
 	pol Policy
 
+	stripesPerRegion int // leaf stripes per region
+	totalStripes     int // leaf-stripe universe size
+	leafShift        uint
+	numLeaves        int // super-stripe universe size
+
 	mu        sync.Mutex
 	epoch     uint64
-	owner     []int32  // stripe -> owning node (adaptive only)
-	pending   []int32  // stripe -> migration target, -1 when none
-	frozen    [][]int  // node -> frozen stripes it still owns, ascending
-	freezeGen []uint64 // node -> freezes ever initiated on its stripes
-	counts    []uint64 // stripe -> accesses in the current epoch window
+	leaves    map[int]*leaf // super-stripe -> materialized leaf (adaptive only)
+	leafOrder []int         // materialized super-stripes, ascending
+	frozen    [][]int       // node -> frozen stripes it still owns, ascending
+	freezeGen []uint64      // node -> freezes ever initiated on its stripes
 	accesses  uint64
 	nextEval  uint64
+
+	// Locality accounting (Clusters set): recorded accesses whose owner
+	// node shares / does not share the accessor's cluster, cumulative and
+	// for the current epoch window.
+	localAcc, remoteAcc uint64
+	winLocal, winRemote uint64
+	remoteHist          []float64 // per-epoch remote-access ratio history
 
 	// Counters, snapshotted into core.Stats after a run.
 	Epochs     uint64 // repartition rounds that initiated at least one move
 	Migrations uint64 // stripe migrations initiated
 	Handoffs   uint64 // stripe handoffs completed
+	Splits     uint64 // super-stripes materialized into leaves
+	Merges     uint64 // leaves dematerialized after cooling down
 
 	// tracer, when set, observes every freeze and handoff. Called with mu
 	// held (serialized, in transition order); it must not call back into
@@ -189,18 +295,16 @@ func New(cfg Config) (*Directory, error) {
 		return nil, err
 	}
 	d := &Directory{cfg: cfg, pol: policyFor(cfg.Kind), nextEval: uint64(cfg.EvalEvery)}
-	if cfg.Kind == Adaptive {
-		d.owner = make([]int32, cfg.Stripes)
-		d.pending = make([]int32, cfg.Stripes)
-		d.counts = make([]uint64, cfg.Stripes)
+	d.stripesPerRegion = int((cfg.RegionWords + uint64(cfg.Span) - 1) / uint64(cfg.Span))
+	d.totalStripes = d.stripesPerRegion * cfg.Regions
+	for 1<<d.leafShift < cfg.LeafStripes {
+		d.leafShift++
+	}
+	d.numLeaves = (d.totalStripes + cfg.LeafStripes - 1) / cfg.LeafStripes
+	if cfg.Kind == Adaptive || cfg.Kind == AdaptiveHier {
+		d.leaves = make(map[int]*leaf)
 		d.frozen = make([][]int, cfg.Nodes)
 		d.freezeGen = make([]uint64, cfg.Nodes)
-		for s := range d.owner {
-			// Interleaved start: consecutive stripes round-robin across the
-			// nodes, balanced under uniform access; migration refines it.
-			d.owner[s] = int32(s % cfg.Nodes)
-			d.pending[s] = -1
-		}
 	}
 	return d, nil
 }
@@ -214,8 +318,41 @@ func (d *Directory) PolicyName() string { return d.pol.Name() }
 // Nodes returns the number of DTM nodes.
 func (d *Directory) Nodes() int { return d.cfg.Nodes }
 
-// NumStripes returns the size of the stripe universe.
-func (d *Directory) NumStripes() int { return d.cfg.Stripes }
+// NumStripes returns the size of the leaf-stripe universe.
+func (d *Directory) NumStripes() int { return d.totalStripes }
+
+// LeafUniverse returns how many super-stripes the universe divides into.
+func (d *Directory) LeafUniverse() int { return d.numLeaves }
+
+// LeafSpan returns the number of leaf stripes per super-stripe.
+func (d *Directory) LeafSpan() int { return d.cfg.LeafStripes }
+
+// MaterializedLeaves returns how many super-stripes currently hold
+// materialized adaptive state. The whole point of the hierarchical store is
+// that this stays proportional to the touched working set, not the
+// universe.
+func (d *Directory) MaterializedLeaves() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.leaves)
+}
+
+// AccessLocality returns the cumulative recorded accesses whose owning DTM
+// node did / did not share the accessor's cluster. Zero unless the
+// directory is adaptive and Config.Clusters is set.
+func (d *Directory) AccessLocality() (local, remote uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.localAcc, d.remoteAcc
+}
+
+// RemoteHistory returns the per-epoch-window remote-access ratios, oldest
+// first — the convergence witness of the co-mapping tests.
+func (d *Directory) RemoteHistory() []float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]float64(nil), d.remoteHist...)
+}
 
 // Epoch returns the current remap epoch. Static policies stay at 0.
 func (d *Directory) Epoch() uint64 {
@@ -224,15 +361,95 @@ func (d *Directory) Epoch() uint64 {
 	return d.epoch
 }
 
-func (d *Directory) adaptive() bool { return d.owner != nil }
+func (d *Directory) adaptive() bool { return d.leaves != nil }
 
-// StripeOf maps a lock key to its stripe.
+func (d *Directory) clustered() bool { return d.cfg.Clusters != nil }
+
+// StripeOf maps a lock key to its stripe: region-major, Span words per
+// stripe. It panics on a key outside the configured universe — the
+// directory derives its universe from the memory size precisely so that
+// far-apart keys can never silently alias.
 func (d *Directory) StripeOf(key mem.Addr) int {
-	return int((uint64(key) / uint64(d.cfg.Span)) % uint64(d.cfg.Stripes))
+	r := uint64(key) >> mem.RegionShift
+	off := uint64(key) & (1<<mem.RegionShift - 1)
+	s := off / uint64(d.cfg.Span)
+	if int(r) >= d.cfg.Regions || s >= uint64(d.stripesPerRegion) {
+		panic(fmt.Sprintf(
+			"placement: address %#x outside the configured stripe universe (%d regions x %d words); raise the configured memory size (core.Config.MemWords) instead of relying on aliasing",
+			uint64(key), d.cfg.Regions, d.cfg.RegionWords))
+	}
+	return int(r)*d.stripesPerRegion + int(s)
 }
 
 // KeyInStripe reports whether key belongs to stripe s.
 func (d *Directory) KeyInStripe(key mem.Addr, s int) bool { return d.StripeOf(key) == s }
+
+// defaultOwner is the implicit owner of an unmaterialized stripe: the
+// interleaved start assignment (consecutive stripes round-robin across the
+// nodes, balanced under uniform access; migration refines it).
+func (d *Directory) defaultOwner(s int) int32 { return int32(s % d.cfg.Nodes) }
+
+// leafAt returns the materialized leaf covering stripe s, or nil. Called
+// with mu held.
+func (d *Directory) leafAt(s int) (*leaf, int) {
+	lf := d.leaves[s>>d.leafShift]
+	if lf == nil {
+		return nil, 0
+	}
+	return lf, s & (d.cfg.LeafStripes - 1)
+}
+
+// materialize splits the super-stripe covering s into a leaf (no-op when
+// already materialized) and returns it with s's index inside it. Called
+// with mu held.
+func (d *Directory) materialize(s int) (*leaf, int) {
+	id := s >> d.leafShift
+	lf := d.leaves[id]
+	if lf == nil {
+		base := id << d.leafShift
+		size := d.cfg.LeafStripes
+		if base+size > d.totalStripes {
+			size = d.totalStripes - base
+		}
+		lf = &leaf{
+			owner:   make([]int32, size),
+			pending: make([]int32, size),
+			counts:  make([]uint64, size),
+		}
+		if d.clustered() {
+			lf.aff = make([]uint64, size)
+		}
+		for i := range lf.owner {
+			lf.owner[i] = d.defaultOwner(base + i)
+			lf.pending[i] = -1
+		}
+		d.leaves[id] = lf
+		at := sort.SearchInts(d.leafOrder, id)
+		d.leafOrder = append(d.leafOrder, 0)
+		copy(d.leafOrder[at+1:], d.leafOrder[at:])
+		d.leafOrder[at] = id
+		d.Splits++
+	}
+	return lf, s & (d.cfg.LeafStripes - 1)
+}
+
+// ownerAt returns stripe s's owner without materializing. Called with mu
+// held.
+func (d *Directory) ownerAt(s int) int32 {
+	if lf, i := d.leafAt(s); lf != nil {
+		return lf.owner[i]
+	}
+	return d.defaultOwner(s)
+}
+
+// pendingAt returns stripe s's migration target (-1 when none) without
+// materializing. Called with mu held.
+func (d *Directory) pendingAt(s int) int32 {
+	if lf, i := d.leafAt(s); lf != nil {
+		return lf.pending[i]
+	}
+	return -1
+}
 
 // Owner resolves a lock key to its owning DTM node under the current
 // assignment. Resolution is pure lookup; use Record to account accesses.
@@ -250,7 +467,7 @@ func (d *Directory) StripeOwner(s int) int {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return int(d.owner[s])
+	return int(d.ownerAt(s))
 }
 
 // PendingTarget returns the migration target of stripe s, if it is frozen.
@@ -260,23 +477,40 @@ func (d *Directory) PendingTarget(s int) (int, bool) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.pending[s] < 0 {
-		return 0, false
+	if t := d.pendingAt(s); t >= 0 {
+		return int(t), true
 	}
-	return int(d.pending[s]), true
+	return 0, false
 }
 
-// Record accounts intended lock acquisitions on each key and, at epoch
-// boundaries, lets the policy initiate a repartition round. Static policies
-// ignore it.
-func (d *Directory) Record(keys ...mem.Addr) {
+// Record accounts intended lock acquisitions on each key by an accessor in
+// cluster src (see noc.Platform.ClusterOf; pass -1 when unknown) and, at
+// epoch boundaries, lets the policy initiate a repartition round. Static
+// policies ignore it. Recording materializes the touched super-stripes:
+// counters, affinity votes and freeze state live only in those leaves, so
+// everything downstream — epoch decay, repartition scans, handoff walks —
+// costs O(touched), never O(universe).
+func (d *Directory) Record(src int, keys ...mem.Addr) {
 	if !d.adaptive() {
 		return
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for _, k := range keys {
-		d.counts[d.StripeOf(k)]++
+		s := d.StripeOf(k)
+		lf, i := d.materialize(s)
+		lf.counts[i]++
+		lf.total++
+		if d.clustered() && src >= 0 {
+			if d.cfg.Clusters[lf.owner[i]] == src {
+				d.localAcc++
+				d.winLocal++
+			} else {
+				d.remoteAcc++
+				d.winRemote++
+			}
+			lf.aff[i] = affVote(lf.aff[i], src)
+		}
 	}
 	d.accesses += uint64(len(keys))
 	if d.accesses >= d.nextEval {
@@ -287,7 +521,10 @@ func (d *Directory) Record(keys ...mem.Addr) {
 
 // evaluate closes an epoch window: the policy proposes migrations, the
 // directory freezes the chosen stripes, and the access counts decay so old
-// heat fades across windows. Called with mu held.
+// heat fades across windows. The decay walks materialized leaves only —
+// unmaterialized stripes hold zero counts by construction, so skipping
+// them is exact, and a leaf that has fully cooled (no heat, no frozen
+// stripe, all owners back at the default) merges away. Called with mu held.
 func (d *Directory) evaluate() {
 	moved := false
 	for _, m := range d.pol.Repartition(d) {
@@ -298,8 +535,39 @@ func (d *Directory) evaluate() {
 	if moved {
 		d.Epochs++
 	}
-	for i := range d.counts {
-		d.counts[i] >>= 1
+	var cold []int
+	for _, id := range d.leafOrder {
+		lf := d.leaves[id]
+		if lf.total != 0 {
+			var tot uint64
+			for i := range lf.counts {
+				lf.counts[i] >>= 1
+				tot += lf.counts[i]
+			}
+			lf.total = tot
+		}
+		if lf.aff != nil {
+			for i, a := range lf.aff {
+				if a != 0 {
+					lf.aff[i] = affDecay(a)
+				}
+			}
+		}
+		if lf.total == 0 && lf.frozen == 0 && lf.moved == 0 {
+			cold = append(cold, id)
+		}
+	}
+	for _, id := range cold {
+		delete(d.leaves, id)
+		at := sort.SearchInts(d.leafOrder, id)
+		d.leafOrder = append(d.leafOrder[:at], d.leafOrder[at+1:]...)
+		d.Merges++
+	}
+	if w := d.winLocal + d.winRemote; w > 0 {
+		if len(d.remoteHist) < 4096 {
+			d.remoteHist = append(d.remoteHist, float64(d.winRemote)/float64(w))
+		}
+		d.winLocal, d.winRemote = 0, 0
 	}
 }
 
@@ -319,14 +587,16 @@ func (d *Directory) InitiateMove(s, to int) bool {
 
 // initiateMove is InitiateMove with mu held.
 func (d *Directory) initiateMove(s, to int) bool {
-	if s < 0 || s >= d.cfg.Stripes || to < 0 || to >= d.cfg.Nodes {
+	if s < 0 || s >= d.totalStripes || to < 0 || to >= d.cfg.Nodes {
 		return false
 	}
-	if d.pending[s] >= 0 || int(d.owner[s]) == to {
+	lf, i := d.materialize(s)
+	if lf.pending[i] >= 0 || int(lf.owner[i]) == to {
 		return false
 	}
-	d.pending[s] = int32(to)
-	owner := int(d.owner[s])
+	lf.pending[i] = int32(to)
+	lf.frozen++
+	owner := int(lf.owner[i])
 	list := d.frozen[owner]
 	at := sort.SearchInts(list, s)
 	list = append(list, 0)
@@ -351,19 +621,30 @@ func (d *Directory) CompleteHandoff(s int) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.pending[s] < 0 {
+	lf, i := d.leafAt(s)
+	if lf == nil || lf.pending[i] < 0 {
 		panic(fmt.Sprintf("placement: CompleteHandoff(%d) without a pending migration", s))
 	}
-	owner := int(d.owner[s])
+	owner := int(lf.owner[i])
 	list := d.frozen[owner]
 	at := sort.SearchInts(list, s)
 	d.frozen[owner] = append(list[:at], list[at+1:]...)
-	d.owner[s] = d.pending[s]
-	d.pending[s] = -1
+	def := d.defaultOwner(s)
+	wasDefault := lf.owner[i] == def
+	lf.owner[i] = lf.pending[i]
+	lf.pending[i] = -1
+	lf.frozen--
+	if isDefault := lf.owner[i] == def; wasDefault != isDefault {
+		if isDefault {
+			lf.moved--
+		} else {
+			lf.moved++
+		}
+	}
 	d.epoch++
 	d.Handoffs++
 	if d.tracer != nil {
-		d.tracer(TraceHandoff, s, owner, int(d.owner[s]))
+		d.tracer(TraceHandoff, s, owner, int(lf.owner[i]))
 	}
 }
 
@@ -423,7 +704,11 @@ func (d *Directory) ValidFor(node int, keys ...mem.Addr) bool {
 	defer d.mu.Unlock()
 	for _, k := range keys {
 		s := d.StripeOf(k)
-		if int(d.owner[s]) != node || d.pending[s] >= 0 {
+		if lf, i := d.leafAt(s); lf != nil {
+			if int(lf.owner[i]) != node || lf.pending[i] >= 0 {
+				return false
+			}
+		} else if int(d.defaultOwner(s)) != node {
 			return false
 		}
 	}
@@ -433,26 +718,56 @@ func (d *Directory) ValidFor(node int, keys ...mem.Addr) bool {
 // CheckInvariants validates the directory's structural invariants; tests
 // call it after random migration schedules. The invariants are: every
 // stripe has exactly one owner in range, frozen-stripe bookkeeping matches
-// the pending table, and a pending target never equals the current owner.
+// the pending table, a pending target never equals the current owner, and
+// every leaf's aggregate counters (total heat, frozen count, moved count)
+// agree with its per-stripe state — in particular no frozen stripe can live
+// outside a materialized leaf, so a leaf is never merged away while a
+// migration is in flight on it.
 func (d *Directory) CheckInvariants() error {
 	if !d.adaptive() {
 		return nil
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if len(d.leafOrder) != len(d.leaves) {
+		return fmt.Errorf("%d leaves ordered, %d materialized", len(d.leafOrder), len(d.leaves))
+	}
 	wantFrozen := make([][]int, d.cfg.Nodes)
-	for s, o := range d.owner {
-		if o < 0 || int(o) >= d.cfg.Nodes {
-			return fmt.Errorf("stripe %d owned by out-of-range node %d", s, o)
+	for oi, id := range d.leafOrder {
+		if oi > 0 && d.leafOrder[oi-1] >= id {
+			return fmt.Errorf("leaf order not ascending at %d", oi)
 		}
-		if t := d.pending[s]; t >= 0 {
-			if int(t) >= d.cfg.Nodes {
-				return fmt.Errorf("stripe %d pending to out-of-range node %d", s, t)
+		lf := d.leaves[id]
+		if lf == nil {
+			return fmt.Errorf("ordered leaf %d not materialized", id)
+		}
+		base := id << d.leafShift
+		var tot uint64
+		frozen, moved := 0, 0
+		for i := range lf.owner {
+			s := base + i
+			o := lf.owner[i]
+			if o < 0 || int(o) >= d.cfg.Nodes {
+				return fmt.Errorf("stripe %d owned by out-of-range node %d", s, o)
 			}
-			if t == o {
-				return fmt.Errorf("stripe %d pending to its own owner %d", s, o)
+			if o != d.defaultOwner(s) {
+				moved++
 			}
-			wantFrozen[o] = append(wantFrozen[o], s)
+			tot += lf.counts[i]
+			if t := lf.pending[i]; t >= 0 {
+				if int(t) >= d.cfg.Nodes {
+					return fmt.Errorf("stripe %d pending to out-of-range node %d", s, t)
+				}
+				if t == o {
+					return fmt.Errorf("stripe %d pending to its own owner %d", s, o)
+				}
+				frozen++
+				wantFrozen[o] = append(wantFrozen[o], s)
+			}
+		}
+		if tot != lf.total || frozen != lf.frozen || moved != lf.moved {
+			return fmt.Errorf("leaf %d aggregates (total %d, frozen %d, moved %d) disagree with per-stripe state (%d, %d, %d)",
+				id, lf.total, lf.frozen, lf.moved, tot, frozen, moved)
 		}
 	}
 	for n, want := range wantFrozen {
@@ -467,4 +782,44 @@ func (d *Directory) CheckInvariants() error {
 		}
 	}
 	return nil
+}
+
+// affVote folds one accessor-cluster observation into a packed
+// Boyer-Moore-style majority vote: the candidate cluster (plus one, so 0
+// means empty) in the high 32 bits, its lead count in the low 32. Matching
+// observations strengthen the candidate, conflicting ones weaken it until a
+// new candidate takes over — O(1) space per stripe regardless of how many
+// clusters exist, and exact whenever one cluster truly dominates the epoch
+// window.
+func affVote(a uint64, src int) uint64 {
+	cand, cnt := uint32(a>>32), uint32(a)
+	switch {
+	case cnt == 0:
+		return uint64(src+1)<<32 | 1
+	case cand == uint32(src+1):
+		if cnt < 1<<32-1 {
+			cnt++
+		}
+		return uint64(cand)<<32 | uint64(cnt)
+	default:
+		return uint64(cand)<<32 | uint64(cnt-1)
+	}
+}
+
+// affDecay halves a vote's lead at an epoch boundary, mirroring the count
+// decay: stale affinity fades at the same rate as stale heat.
+func affDecay(a uint64) uint64 {
+	cnt := uint32(a) >> 1
+	if cnt == 0 {
+		return 0
+	}
+	return a&0xffffffff00000000 | uint64(cnt)
+}
+
+// affCluster unpacks a vote's dominant cluster, -1 when none.
+func affCluster(a uint64) int {
+	if uint32(a) == 0 {
+		return -1
+	}
+	return int(uint32(a>>32)) - 1
 }

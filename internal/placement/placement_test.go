@@ -93,16 +93,20 @@ func TestDirectoryOwnershipProperty(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		nodes := 2 + r.Intn(6)
 		stripes := 16 << r.Intn(3)
+		span := 1 + r.Intn(4)
 		d, err := New(Config{
-			Nodes: nodes, Kind: Adaptive, Stripes: stripes, Span: 1 + r.Intn(4),
+			Nodes: nodes, Kind: Adaptive, Stripes: stripes, Span: span,
 			EvalEvery: 16 + r.Intn(64), MaxMoves: 1 + r.Intn(4),
+			LeafStripes: 8 << r.Intn(3), // several leaves even at 16 stripes
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Keys stay inside the configured universe (stripes*span words):
+		// out-of-universe addresses now panic instead of aliasing.
 		keys := make([]mem.Addr, 64)
 		for i := range keys {
-			keys[i] = mem.Addr(r.Intn(stripes * 8))
+			keys[i] = mem.Addr(r.Intn(stripes * span))
 		}
 		lastEpoch := d.Epoch()
 		owners := make([]int, len(keys))
@@ -120,7 +124,7 @@ func TestDirectoryOwnershipProperty(t *testing.T) {
 					}
 				}
 			default: // skewed accesses (low keys hot), may trigger a round
-				d.Record(keys[r.Intn(1+r.Intn(len(keys)))])
+				d.Record(-1, keys[r.Intn(1+r.Intn(len(keys)))])
 			}
 			if err := d.CheckInvariants(); err != nil {
 				t.Fatalf("trial %d step %d: %v", trial, step, err)
@@ -189,7 +193,7 @@ func TestAdaptiveRepartitionMovesHeat(t *testing.T) {
 	// (stripes 0, 4, 8, 12 with 4 nodes and span 1).
 	hot := []mem.Addr{0, 4, 8, 12}
 	for i := 0; i < 2048; i++ {
-		d.Record(hot[i%len(hot)])
+		d.Record(-1, hot[i%len(hot)])
 	}
 	if d.Migrations == 0 {
 		t.Fatal("no migrations initiated under a fully skewed stream")

@@ -22,6 +22,8 @@ func policyFor(k Kind) Policy {
 		return rangePolicy{}
 	case Adaptive:
 		return adaptivePolicy{}
+	case AdaptiveHier:
+		return hierPolicy{}
 	default:
 		return hashPolicy{}
 	}
@@ -46,17 +48,65 @@ func (hashPolicy) Repartition(*Directory) []Move { return nil }
 
 // rangePolicy stripes the address space contiguously: each node owns one
 // contiguous block of stripes, so neighbouring addresses resolve to the
-// same node (spatial locality; the wrap at Span*Stripes words restarts the
-// blocks).
+// same node (spatial locality across the whole configured universe).
 type rangePolicy struct{}
 
 func (rangePolicy) Name() string { return "range" }
 
 func (rangePolicy) Owner(d *Directory, key mem.Addr) int {
-	return d.StripeOf(key) * d.cfg.Nodes / d.cfg.Stripes
+	s := d.StripeOf(key)
+	return int(uint64(s) * uint64(d.cfg.Nodes) / uint64(d.totalStripes))
 }
 
 func (rangePolicy) Repartition(*Directory) []Move { return nil }
+
+// nodeLoads sums the closing epoch's access counts per owning node over the
+// materialized leaves. Unmaterialized stripes were never recorded this
+// window, so their contribution is exactly zero — walking leaves only is
+// bit-identical to the historic flat scan. Called with d.mu held.
+func nodeLoads(d *Directory) (load []uint64, total uint64) {
+	load = make([]uint64, d.cfg.Nodes)
+	for _, id := range d.leafOrder {
+		lf := d.leaves[id]
+		if lf.total == 0 {
+			continue
+		}
+		for i, c := range lf.counts {
+			if c != 0 {
+				load[lf.owner[i]] += c
+				total += c
+			}
+		}
+	}
+	return load, total
+}
+
+// hottestFit scans the materialized stripes in ascending order for the
+// hottest stripe owned by donor that is not frozen, not already planned,
+// and no hotter than maxHeat; ties break to the lowest stripe index. A
+// whole leaf is skipped when its aggregate heat cannot beat the incumbent.
+// Returns the stripe, its count and its packed affinity vote, or stripe -1.
+// Called with d.mu held.
+func hottestFit(d *Directory, donor int, maxHeat float64, planned map[int]bool) (stripe int, count, aff uint64) {
+	stripe = -1
+	for _, id := range d.leafOrder {
+		lf := d.leaves[id]
+		if lf.total <= count {
+			continue // no stripe inside can beat the incumbent
+		}
+		base := id << d.leafShift
+		for i, c := range lf.counts {
+			if c <= count || float64(c) > maxHeat || int(lf.owner[i]) != donor || lf.pending[i] >= 0 || planned[base+i] {
+				continue
+			}
+			stripe, count = base+i, c
+			if lf.aff != nil {
+				aff = lf.aff[i]
+			}
+		}
+	}
+	return stripe, count, aff
+}
 
 // adaptivePolicy resolves through the directory's stripe-ownership table
 // and rebalances it at epoch boundaries: while the hottest node carries
@@ -74,7 +124,7 @@ type adaptivePolicy struct{}
 func (adaptivePolicy) Name() string { return "adaptive" }
 
 func (adaptivePolicy) Owner(d *Directory, key mem.Addr) int {
-	return int(d.owner[d.StripeOf(key)])
+	return int(d.ownerAt(d.StripeOf(key)))
 }
 
 func (adaptivePolicy) Repartition(d *Directory) []Move {
@@ -82,12 +132,7 @@ func (adaptivePolicy) Repartition(d *Directory) []Move {
 	if n < 2 {
 		return nil
 	}
-	load := make([]uint64, n)
-	var total uint64
-	for s, c := range d.counts {
-		load[d.owner[s]] += c
-		total += c
-	}
+	load, total := nodeLoads(d)
 	if total == 0 {
 		return nil
 	}
@@ -109,20 +154,93 @@ func (adaptivePolicy) Repartition(d *Directory) []Move {
 		}
 		// Hottest unfrozen stripe of the donor that fits in its excess over
 		// the mean and strictly improves the pair; ties break to the lowest
-		// stripe index (determinism).
+		// stripe index (determinism). The recipient constraint folds into
+		// the heat cap: a candidate must also leave the recipient below the
+		// donor after the move.
 		excess := float64(load[donor]) - mean
-		best, bestCount := -1, uint64(0)
-		for s := range d.counts {
-			if int(d.owner[s]) != donor || d.pending[s] >= 0 || planned[s] {
-				continue
-			}
-			c := d.counts[s]
-			if c > bestCount && float64(c) <= excess && load[recip]+c < load[donor] {
-				best, bestCount = s, c
-			}
+		maxHeat := excess
+		if gap := float64(load[donor]) - float64(load[recip]) - 1; gap < maxHeat {
+			maxHeat = gap
 		}
+		best, bestCount, _ := hottestFit(d, donor, maxHeat, planned)
 		if best < 0 {
 			break
+		}
+		moves = append(moves, Move{Stripe: best, From: donor, To: recip})
+		planned[best] = true
+		load[donor] -= bestCount
+		load[recip] += bestCount
+	}
+	return moves
+}
+
+// hierPolicy is adaptivePolicy plus locality-aware co-mapping: the stripe
+// to shed is still the donor's hottest migratable stripe within its excess,
+// but the recipient is chosen by the stripe's accessors — the least-loaded
+// DTM node in the cluster of the stripe's dominant accessor group (its
+// Boyer-Moore affinity vote), falling back to the globally coolest node
+// when the affinity cluster has no improving node. Moves therefore pull
+// data toward its users (shrinking the remote-access ratio) while still
+// strictly narrowing the donor/recipient gap.
+type hierPolicy struct{}
+
+func (hierPolicy) Name() string { return "hier" }
+
+func (hierPolicy) Owner(d *Directory, key mem.Addr) int {
+	return int(d.ownerAt(d.StripeOf(key)))
+}
+
+func (hierPolicy) Repartition(d *Directory) []Move {
+	n := d.cfg.Nodes
+	if n < 2 {
+		return nil
+	}
+	load, total := nodeLoads(d)
+	if total == 0 {
+		return nil
+	}
+	mean := float64(total) / float64(n)
+	var moves []Move
+	planned := make(map[int]bool)
+	for len(moves) < d.cfg.MaxMoves {
+		donor, coolest := 0, 0
+		for i := 1; i < n; i++ {
+			if load[i] > load[donor] {
+				donor = i
+			}
+			if load[i] < load[coolest] {
+				coolest = i
+			}
+		}
+		if donor == coolest || float64(load[donor]) <= d.cfg.ImbalanceFactor*mean {
+			break
+		}
+		excess := float64(load[donor]) - mean
+		best, bestCount, aff := hottestFit(d, donor, excess, planned)
+		if best < 0 {
+			break
+		}
+		// Co-mapping: prefer the least-loaded node in the candidate's
+		// dominant accessor cluster, provided moving there still strictly
+		// narrows the gap; otherwise fall back to the globally coolest node.
+		recip := -1
+		if d.clustered() {
+			if cl := affCluster(aff); cl >= 0 {
+				for i := 0; i < n; i++ {
+					if i != donor && d.cfg.Clusters[i] == cl && (recip < 0 || load[i] < load[recip]) {
+						recip = i
+					}
+				}
+				if recip >= 0 && load[recip]+bestCount >= load[donor] {
+					recip = -1
+				}
+			}
+		}
+		if recip < 0 {
+			if load[coolest]+bestCount >= load[donor] {
+				break
+			}
+			recip = coolest
 		}
 		moves = append(moves, Move{Stripe: best, From: donor, To: recip})
 		planned[best] = true

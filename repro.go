@@ -245,12 +245,14 @@ const (
 )
 
 // Placement policies (internal/placement): the paper's static hash
-// (default), contiguous range striping, and epoch-based adaptive
-// repartitioning.
+// (default), contiguous range striping, epoch-based adaptive
+// repartitioning, and the hierarchical locality-aware variant of the
+// adaptive policy.
 const (
 	PlacementHash     = placement.Hash
 	PlacementRange    = placement.Range
 	PlacementAdaptive = placement.Adaptive
+	PlacementHier     = placement.AdaptiveHier
 )
 
 // NewSystem builds a simulated TM2C machine from cfg. Zero-valued fields
@@ -271,7 +273,7 @@ func Opteron() Platform { return noc.Opteron() }
 // (none|backoff|offset-greedy|wholly|faircm).
 func ParsePolicy(s string) (Policy, error) { return cm.Parse(s) }
 
-// ParsePlacement parses a placement policy name (hash|range|adaptive).
+// ParsePlacement parses a placement policy name (hash|range|adaptive|hier).
 func ParsePlacement(s string) (PlacementKind, error) { return placement.Parse(s) }
 
 // ParseBackend parses an execution backend name (sim|live).
